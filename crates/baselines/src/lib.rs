@@ -1,0 +1,31 @@
+//! Baseline allocators used in the NBBS paper's evaluation (§IV).
+//!
+//! The paper compares its non-blocking buddy system against blocking
+//! alternatives that cover the two dominant buddy-system layouts found in
+//! practice:
+//!
+//! * [`cloudwu::CloudwuBuddy`] (`buddy-sl`) — a *tree-based* buddy allocator
+//!   in the style of the widely used `cloudwu/buddy.c` single-file allocator
+//!   (the paper's reference \[21\]), serialized by one global spin lock;
+//! * [`linux_buddy::LinuxBuddy`] (`linux-buddy`) — a user-space
+//!   reimplementation of the Linux kernel's *free-list based* zoned buddy
+//!   allocator (per-order free areas, buddy merging on free, one lock per
+//!   zone), standing in for the kernel-module experiment of Figure 12;
+//! * [`reference::ReferenceBuddy`] — a deliberately simple *sequential* buddy
+//!   used purely as a test oracle for differential and property-based
+//!   testing (it is not part of the paper's evaluation).
+//!
+//! All concurrent baselines implement [`nbbs::BuddyBackend`], so the
+//! workload harness in `nbbs-workloads` can drive them interchangeably with
+//! the non-blocking variants.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cloudwu;
+pub mod linux_buddy;
+pub mod reference;
+
+pub use cloudwu::CloudwuBuddy;
+pub use linux_buddy::LinuxBuddy;
+pub use reference::ReferenceBuddy;

@@ -1,0 +1,310 @@
+//! A sequential reference buddy allocator used as a test oracle.
+//!
+//! The oracle mirrors the *placement policy* of the non-blocking buddy with
+//! the [`nbbs::ScanPolicy::FirstFit`] scan: an allocation of target level `L`
+//! is served by the left-most node of level `L` whose chunk neither contains
+//! nor is contained in a live allocation.  Because both implementations are
+//! deterministic under this policy, a differential test can feed the same
+//! request sequence to the oracle and to `1lvl-nb`/`4lvl-nb` and require
+//! byte-identical offsets — any divergence pinpoints a metadata bug in the
+//! concurrent implementations.
+//!
+//! The oracle is intentionally simple (explicit per-node state, no bit
+//! tricks, `&mut self` everywhere) so that its own correctness is evident by
+//! inspection, and it additionally tracks external fragmentation statistics
+//! used by the fragmentation example and the ablation benches.
+
+use nbbs::{BuddyConfig, Geometry};
+use std::collections::BTreeMap;
+
+/// Per-node bookkeeping state of the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum NodeState {
+    /// No allocation in this subtree.
+    #[default]
+    Free,
+    /// An allocation was served by exactly this node.
+    Allocated,
+    /// Some descendant holds an allocation.
+    Split,
+}
+
+/// Sequential buddy-system oracle.
+#[derive(Debug, Clone)]
+pub struct ReferenceBuddy {
+    geo: Geometry,
+    state: Vec<NodeState>,
+    /// offset -> node, for frees and iteration.
+    live: BTreeMap<usize, usize>,
+    allocated_bytes: usize,
+}
+
+impl ReferenceBuddy {
+    /// Creates an oracle for the given configuration.
+    pub fn new(config: BuddyConfig) -> Self {
+        let geo = Geometry::new(&config);
+        ReferenceBuddy {
+            geo,
+            state: vec![NodeState::Free; geo.tree_len()],
+            live: BTreeMap::new(),
+            allocated_bytes: 0,
+        }
+    }
+
+    /// The oracle's geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Allocates at least `size` bytes, returning the chunk's byte offset.
+    pub fn alloc(&mut self, size: usize) -> Option<usize> {
+        let level = self.geo.target_level(size)?;
+        let first = self.geo.first_node_of_level(level);
+        let count = self.geo.nodes_at_level(level);
+        for n in first..first + count {
+            if self.state[n] == NodeState::Free && !self.has_allocated_ancestor(n) {
+                return Some(self.commit(n));
+            }
+        }
+        None
+    }
+
+    /// Releases the chunk starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not the start of a live allocation — the oracle
+    /// is strict so that test bugs surface immediately.
+    pub fn dealloc(&mut self, offset: usize) {
+        let node = self
+            .live
+            .remove(&offset)
+            .unwrap_or_else(|| panic!("dealloc of non-live offset {offset}"));
+        self.allocated_bytes -= self.geo.size_of(node);
+        self.state[node] = NodeState::Free;
+        // Walk up: a parent stays Split while either child subtree is in use.
+        let mut cur = node;
+        while cur > 1 {
+            cur >>= 1;
+            let left = self.subtree_in_use(self.geo.left_child(cur));
+            let right = self.subtree_in_use(self.geo.right_child(cur));
+            self.state[cur] = if left || right {
+                NodeState::Split
+            } else {
+                NodeState::Free
+            };
+        }
+    }
+
+    /// Whether an allocation of `size` bytes would currently succeed.
+    pub fn can_alloc(&self, size: usize) -> bool {
+        let Some(level) = self.geo.target_level(size) else {
+            return false;
+        };
+        let first = self.geo.first_node_of_level(level);
+        (first..first + self.geo.nodes_at_level(level))
+            .any(|n| self.state[n] == NodeState::Free && !self.has_allocated_ancestor(n))
+    }
+
+    /// Bytes currently handed out (sum of granted chunk sizes).
+    pub fn allocated_bytes(&self) -> usize {
+        self.allocated_bytes
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The live set as `(offset, granted size)` pairs, ordered by offset.
+    pub fn live_chunks(&self) -> Vec<(usize, usize)> {
+        self.live
+            .iter()
+            .map(|(&off, &node)| (off, self.geo.size_of(node)))
+            .collect()
+    }
+
+    /// Size of the largest chunk that could currently be allocated, in bytes
+    /// (0 when completely full).  This is the classic external-fragmentation
+    /// observable: `1 - largest_free / total_free`.
+    pub fn largest_free_chunk(&self) -> usize {
+        for level in self.geo.max_level()..=self.geo.depth() {
+            let first = self.geo.first_node_of_level(level);
+            let count = self.geo.nodes_at_level(level);
+            if (first..first + count)
+                .any(|n| self.state[n] == NodeState::Free && !self.has_allocated_ancestor(n))
+            {
+                return self.geo.size_of_level(level);
+            }
+        }
+        0
+    }
+
+    /// External fragmentation in `[0, 1]`: fraction of the free memory that
+    /// cannot be served as one maximal chunk.
+    pub fn external_fragmentation(&self) -> f64 {
+        let free = self.geo.total_memory() - self.allocated_bytes;
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_chunk().min(free) as f64 / free as f64
+    }
+
+    fn commit(&mut self, node: usize) -> usize {
+        self.state[node] = NodeState::Allocated;
+        let mut cur = node;
+        while cur > 1 {
+            cur >>= 1;
+            if self.state[cur] == NodeState::Free {
+                self.state[cur] = NodeState::Split;
+            }
+        }
+        let offset = self.geo.offset_of(node);
+        self.live.insert(offset, node);
+        self.allocated_bytes += self.geo.size_of(node);
+        offset
+    }
+
+    fn has_allocated_ancestor(&self, node: usize) -> bool {
+        let mut cur = node;
+        while cur > 1 {
+            cur >>= 1;
+            if self.state[cur] == NodeState::Allocated {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn subtree_in_use(&self, node: usize) -> bool {
+        if node >= self.state.len() {
+            return false;
+        }
+        self.state[node] != NodeState::Free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbbs::ScanPolicy;
+
+    fn oracle(total: usize, min: usize, max: usize) -> ReferenceBuddy {
+        ReferenceBuddy::new(
+            BuddyConfig::new(total, min, max)
+                .unwrap()
+                .with_scan_policy(ScanPolicy::FirstFit),
+        )
+    }
+
+    #[test]
+    fn packs_left_to_right() {
+        let mut b = oracle(1024, 64, 1024);
+        assert_eq!(b.alloc(64), Some(0));
+        assert_eq!(b.alloc(64), Some(64));
+        assert_eq!(b.alloc(128), Some(128));
+        assert_eq!(b.alloc(512), Some(512));
+        assert_eq!(b.alloc(512), None);
+        assert_eq!(b.allocated_bytes(), 64 + 64 + 128 + 512);
+        assert_eq!(b.live_count(), 4);
+    }
+
+    #[test]
+    fn dealloc_coalesces_back_to_whole_region() {
+        let mut b = oracle(1024, 64, 1024);
+        let offs: Vec<usize> = (0..16).map(|_| b.alloc(64).unwrap()).collect();
+        assert!(!b.can_alloc(64));
+        for off in offs {
+            b.dealloc(off);
+        }
+        assert_eq!(b.allocated_bytes(), 0);
+        assert_eq!(b.alloc(1024), Some(0));
+    }
+
+    #[test]
+    fn parent_and_children_exclusion() {
+        let mut b = oracle(1024, 64, 1024);
+        let whole = b.alloc(1024).unwrap();
+        assert!(!b.can_alloc(64));
+        b.dealloc(whole);
+        let leaf = b.alloc(64).unwrap();
+        assert!(!b.can_alloc(1024));
+        assert!(b.can_alloc(512));
+        b.dealloc(leaf);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live offset")]
+    fn double_free_panics() {
+        let mut b = oracle(1024, 64, 1024);
+        let off = b.alloc(64).unwrap();
+        b.dealloc(off);
+        b.dealloc(off);
+    }
+
+    #[test]
+    fn fragmentation_metrics() {
+        let mut b = oracle(1024, 64, 1024);
+        assert_eq!(b.largest_free_chunk(), 1024);
+        assert_eq!(b.external_fragmentation(), 0.0);
+        // Allocate every other leaf: half the memory is free but no chunk
+        // larger than a leaf survives.
+        let offs: Vec<usize> = (0..16).map(|_| b.alloc(64).unwrap()).collect();
+        for (i, off) in offs.iter().enumerate() {
+            if i % 2 == 0 {
+                b.dealloc(*off);
+            }
+        }
+        assert_eq!(b.allocated_bytes(), 512);
+        assert_eq!(b.largest_free_chunk(), 64);
+        let frag = b.external_fragmentation();
+        assert!(frag > 0.8, "expected high fragmentation, got {frag}");
+        for (i, off) in offs.iter().enumerate() {
+            if i % 2 == 1 {
+                b.dealloc(*off);
+            }
+        }
+        assert_eq!(b.external_fragmentation(), 0.0);
+    }
+
+    #[test]
+    fn live_chunks_are_sorted_and_disjoint() {
+        let mut b = oracle(1 << 14, 8, 1 << 10);
+        for &s in &[8usize, 100, 512, 8, 1024, 64] {
+            b.alloc(s).unwrap();
+        }
+        let chunks = b.live_chunks();
+        for w in chunks.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn matches_nbbs_one_level_first_fit() {
+        use nbbs::NbbsOneLevel;
+        let cfg = BuddyConfig::new(1 << 13, 8, 1 << 11)
+            .unwrap()
+            .with_scan_policy(ScanPolicy::FirstFit);
+        let mut oracle = ReferenceBuddy::new(cfg);
+        let nb = NbbsOneLevel::new(cfg);
+        let mut rng: u64 = 7;
+        let mut live: Vec<usize> = Vec::new();
+        for _ in 0..3_000 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if live.is_empty() || rng & 3 != 0 {
+                let size = 8usize << ((rng >> 32) % 9);
+                let expected = oracle.alloc(size);
+                let got = nb.alloc(size);
+                assert_eq!(expected, got, "divergence on alloc({size})");
+                if let Some(off) = got {
+                    live.push(off);
+                }
+            } else {
+                let off = live.swap_remove((rng >> 16) as usize % live.len());
+                oracle.dealloc(off);
+                nb.dealloc(off);
+            }
+        }
+        assert_eq!(oracle.allocated_bytes(), nb.allocated_bytes());
+    }
+}

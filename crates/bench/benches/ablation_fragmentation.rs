@@ -1,0 +1,42 @@
+//! Ablation A3 (DESIGN.md) — resilience to fragmentation / occupancy.
+//!
+//! The introduction claims the non-blocking design is *“resilient to
+//! performance degradation — in face of concurrent accesses — independently
+//! of the current level of fragmentation of the handled memory blocks.”*
+//! This bench runs the Constant Occupancy workload at three occupancy levels
+//! (small, medium, large per-thread pools) for the non-blocking 1-level
+//! allocator and the spin-locked tree baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs_bench::user_space_config;
+use nbbs_workloads::constant_occupancy::{run, ConstantOccupancyParams};
+use nbbs_workloads::factory::{build, AllocatorKind};
+
+fn ablation_fragmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fragmentation/bytes=8");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+
+    for pool in [32usize, 128, 512] {
+        for kind in [AllocatorKind::OneLevelNb, AllocatorKind::BuddySl] {
+            let alloc = build(kind, user_space_config());
+            let params = ConstantOccupancyParams {
+                threads: 4,
+                min_block: 8,
+                size_ratio: 16,
+                base_pool_count: pool,
+                total_steps: 4_000,
+            };
+            group.bench_function(
+                BenchmarkId::new(kind.name(), format!("pool={pool}")),
+                |b| b.iter(|| run(&alloc, params)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_fragmentation);
+criterion_main!(benches);

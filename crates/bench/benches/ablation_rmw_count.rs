@@ -1,0 +1,42 @@
+//! Ablation A2 (DESIGN.md) — effect of the 4-level optimization.
+//!
+//! §III-D claims a ~4× reduction of the atomic RMW instructions on the
+//! critical path.  This bench measures the *latency* effect of that reduction
+//! for single alloc/free pairs at increasing tree depths (deeper trees mean
+//! longer climbs, so the 4-level packing should pay off more).  The exact
+//! CAS-per-operation counts are reported by `nbbs-bench ablation-rmw` when
+//! the crate is built with `--features nbbs/op-stats`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs::{BuddyConfig, NbbsFourLevel, NbbsOneLevel};
+
+fn alloc_free_pair_depth_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_rmw_count/alloc_free_pair");
+    group.sample_size(30);
+
+    // total_memory = 8 B * 2^depth: depth grows with the arena size.
+    for depth in [8u32, 12, 16, 20] {
+        let total = 8usize << depth;
+        let cfg = BuddyConfig::whole_region(total, 8).unwrap();
+
+        let one = NbbsOneLevel::new(cfg);
+        group.bench_function(BenchmarkId::new("1lvl-nb", format!("depth={depth}")), |b| {
+            b.iter(|| {
+                let off = one.alloc(8).unwrap();
+                one.dealloc(off);
+            })
+        });
+
+        let four = NbbsFourLevel::new(cfg);
+        group.bench_function(BenchmarkId::new("4lvl-nb", format!("depth={depth}")), |b| {
+            b.iter(|| {
+                let off = four.alloc(8).unwrap();
+                four.dealloc(off);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, alloc_free_pair_depth_sweep);
+criterion_main!(benches);

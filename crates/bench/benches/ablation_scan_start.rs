@@ -1,0 +1,51 @@
+//! Ablation A1 (DESIGN.md) — scan-start policy.
+//!
+//! §III-B of the paper recommends starting the level scan from scattered
+//! per-thread positions so that concurrent allocations of the same size hit
+//! different free nodes.  This bench compares the `Scattered` policy against
+//! a naive `FirstFit` scan on the most contended workload (Linux Scalability
+//! with 8-byte requests), for both non-blocking variants.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs::{NbbsFourLevel, NbbsOneLevel, ScanPolicy};
+use nbbs_bench::{user_space_config, BENCH_THREADS};
+use nbbs_workloads::factory::SharedBackend;
+use nbbs_workloads::linux_scalability::{run, LinuxScalabilityParams};
+
+fn ablation_scan_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_scan_start/bytes=8");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200));
+
+    for &threads in &BENCH_THREADS {
+        for policy in [ScanPolicy::Scattered, ScanPolicy::FirstFit] {
+            let cfg = user_space_config().with_scan_policy(policy);
+            let variants: Vec<(&str, SharedBackend)> = vec![
+                ("1lvl-nb", Arc::new(NbbsOneLevel::new(cfg))),
+                ("4lvl-nb", Arc::new(NbbsFourLevel::new(cfg))),
+            ];
+            for (name, alloc) in variants {
+                let params = LinuxScalabilityParams {
+                    threads,
+                    size: 8,
+                    total_pairs: 10_000,
+                };
+                group.bench_function(
+                    BenchmarkId::new(
+                        format!("{name}/{policy:?}"),
+                        format!("threads={threads}"),
+                    ),
+                    |b| b.iter(|| run(&alloc, params)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_scan_start);
+criterion_main!(benches);

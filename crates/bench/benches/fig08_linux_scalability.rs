@@ -1,0 +1,33 @@
+//! Figure 8 — *Linux Scalability* benchmark: execution time of a tight
+//! alloc/free loop, one Criterion group per request size, one entry per
+//! allocator and thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs_bench::{user_space_config, BENCH_SCALE, BENCH_THREADS, PAPER_SIZES};
+use nbbs_workloads::factory::{build, AllocatorKind};
+use nbbs_workloads::linux_scalability::{run, LinuxScalabilityParams};
+
+fn fig08(c: &mut Criterion) {
+    for &size in &PAPER_SIZES {
+        let mut group = c.benchmark_group(format!("fig08_linux_scalability/bytes={size}"));
+        group
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(300))
+            .measurement_time(std::time::Duration::from_millis(1200));
+        for &threads in &BENCH_THREADS {
+            for &kind in AllocatorKind::user_space() {
+                let alloc = build(kind, user_space_config());
+                let params = LinuxScalabilityParams::paper(threads, size).scaled(BENCH_SCALE);
+                group.bench_with_input(
+                    BenchmarkId::new(kind.name(), format!("threads={threads}")),
+                    &params,
+                    |b, params| b.iter(|| run(&alloc, *params)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig08);
+criterion_main!(benches);

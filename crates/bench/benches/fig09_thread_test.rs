@@ -1,0 +1,39 @@
+//! Figure 9 — *Thread Test* benchmark: batches of allocations followed by
+//! batches of releases, per request size and allocator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs_bench::{user_space_config, BENCH_THREADS, PAPER_SIZES};
+use nbbs_workloads::factory::{build, AllocatorKind};
+use nbbs_workloads::thread_test::{run, ThreadTestParams};
+
+fn fig09(c: &mut Criterion) {
+    for &size in &PAPER_SIZES {
+        let mut group = c.benchmark_group(format!("fig09_thread_test/bytes={size}"));
+        group
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(300))
+            .measurement_time(std::time::Duration::from_millis(1200));
+        for &threads in &BENCH_THREADS {
+            for &kind in AllocatorKind::user_space() {
+                let alloc = build(kind, user_space_config());
+                // 2 rounds of 1000 objects keeps one Criterion sample short
+                // while still exercising the batch fragment/coalesce pattern.
+                let params = ThreadTestParams {
+                    threads,
+                    size,
+                    total_objects: 1_000,
+                    rounds: 2,
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(kind.name(), format!("threads={threads}")),
+                    &params,
+                    |b, params| b.iter(|| run(&alloc, *params)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig09);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 10 — *Larson* server benchmark: throughput of a slot-recycling
+//! workload with cross-thread frees.
+//!
+//! Because Larson is time-windowed (the paper measures a 10 s window), the
+//! Criterion measurement here is the average time per completed operation in
+//! a fixed 40 ms window — lower time/op corresponds to higher KOps/s in the
+//! paper's plot.  The full windowed throughput numbers are produced by
+//! `nbbs-bench fig10`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs_bench::{user_space_config, BENCH_THREADS, PAPER_SIZES};
+use nbbs_workloads::factory::{build, AllocatorKind};
+use nbbs_workloads::larson::{run, LarsonParams};
+
+fn fig10(c: &mut Criterion) {
+    for &size in &PAPER_SIZES {
+        let mut group = c.benchmark_group(format!("fig10_larson/bytes={size}"));
+        group
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(200))
+            .measurement_time(std::time::Duration::from_millis(1500));
+        for &threads in &BENCH_THREADS {
+            for &kind in AllocatorKind::user_space() {
+                let alloc = build(kind, user_space_config());
+                let params = LarsonParams {
+                    threads,
+                    min_block: size,
+                    max_block: size * 2,
+                    slots_per_thread: 128,
+                    remote_free_percent: 30,
+                    window_secs: 0.04,
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(kind.name(), format!("threads={threads}")),
+                    &params,
+                    |b, params| {
+                        b.iter_custom(|iters| {
+                            let mut total = std::time::Duration::ZERO;
+                            for _ in 0..iters {
+                                let result = run(&alloc, *params);
+                                let per_op = if result.operations > 0 {
+                                    result.seconds / result.operations as f64
+                                } else {
+                                    result.seconds
+                                };
+                                total += std::time::Duration::from_secs_f64(per_op);
+                            }
+                            total
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

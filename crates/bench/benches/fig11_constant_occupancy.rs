@@ -1,0 +1,38 @@
+//! Figure 11 — *Constant Occupancy* benchmark: random free-then-realloc of
+//! mixed-size chunks at a fixed occupancy level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs_bench::{user_space_config, BENCH_THREADS, PAPER_SIZES};
+use nbbs_workloads::constant_occupancy::{run, ConstantOccupancyParams};
+use nbbs_workloads::factory::{build, AllocatorKind};
+
+fn fig11(c: &mut Criterion) {
+    for &size in &PAPER_SIZES {
+        let mut group = c.benchmark_group(format!("fig11_constant_occupancy/bytes={size}"));
+        group
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(300))
+            .measurement_time(std::time::Duration::from_millis(1500));
+        for &threads in &BENCH_THREADS {
+            for &kind in AllocatorKind::user_space() {
+                let alloc = build(kind, user_space_config());
+                let params = ConstantOccupancyParams {
+                    threads,
+                    min_block: size,
+                    size_ratio: 16,
+                    base_pool_count: 64,
+                    total_steps: 4_000,
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(kind.name(), format!("threads={threads}")),
+                    &params,
+                    |b, params| b.iter(|| run(&alloc, *params)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

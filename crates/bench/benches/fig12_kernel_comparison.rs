@@ -1,0 +1,66 @@
+//! Figure 12 — comparison against the Linux-kernel-style buddy allocator at
+//! page granularity (128 KiB blocks, the paper's kernel-module experiment).
+//!
+//! The paper reports total clock cycles at 32 threads; the Criterion version
+//! measures wall time of the same three workloads (Linux Scalability, Thread
+//! Test, Constant Occupancy) over the four allocators of the figure.  The
+//! cycle-accurate numbers are produced by `nbbs-bench fig12`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs_bench::kernel_config;
+use nbbs_workloads::constant_occupancy::{self, ConstantOccupancyParams};
+use nbbs_workloads::factory::{build, AllocatorKind};
+use nbbs_workloads::linux_scalability::{self, LinuxScalabilityParams};
+use nbbs_workloads::thread_test::{self, ThreadTestParams};
+
+const THREADS: usize = 4;
+const SIZE: usize = 128 << 10;
+
+fn fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_kernel_comparison/bytes=131072");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+
+    for &kind in AllocatorKind::kernel_comparison() {
+        let alloc = build(kind, kernel_config());
+        group.bench_function(BenchmarkId::new("linux-scalability", kind.name()), |b| {
+            let params = LinuxScalabilityParams {
+                threads: THREADS,
+                size: SIZE,
+                total_pairs: 10_000,
+            };
+            b.iter(|| linux_scalability::run(&alloc, params))
+        });
+
+        let alloc = build(kind, kernel_config());
+        group.bench_function(BenchmarkId::new("thread-test", kind.name()), |b| {
+            let params = ThreadTestParams {
+                threads: THREADS,
+                size: SIZE,
+                total_objects: 512,
+                rounds: 2,
+            };
+            b.iter(|| thread_test::run(&alloc, params))
+        });
+
+        let alloc = build(kind, kernel_config());
+        group.bench_function(BenchmarkId::new("constant-occupancy", kind.name()), |b| {
+            let params = ConstantOccupancyParams {
+                threads: THREADS,
+                size_ratio: 16,
+                // For the kernel experiment the figure's size is the
+                // *maximum* chunk; the pool spans 8 KiB .. 128 KiB.
+                min_block: SIZE / 16,
+                base_pool_count: 32,
+                total_steps: 2_000,
+            };
+            b.iter(|| constant_occupancy::run(&alloc, params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation A4 (DESIGN.md) — single-thread alloc/free latency baseline.
+//!
+//! Uncontended latency is the floor every allocator pays before concurrency
+//! effects kick in; the paper's scalability argument is about what happens
+//! *above* that floor.  This bench measures a single alloc/free pair and a
+//! small batch (64 allocations then 64 frees) for every allocator in the
+//! evaluation, at a representative 128-byte request size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs::BuddyBackend as _;
+use nbbs_bench::{kernel_config, user_space_config};
+use nbbs_workloads::factory::{build, AllocatorKind};
+
+fn single_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_thread_latency/alloc_free_pair");
+    group.sample_size(50);
+    for &kind in AllocatorKind::all() {
+        let config = if kind == AllocatorKind::LinuxBuddy {
+            kernel_config()
+        } else {
+            user_space_config()
+        };
+        let size = if kind == AllocatorKind::LinuxBuddy { 4096 } else { 128 };
+        let alloc = build(kind, config);
+        group.bench_function(BenchmarkId::new(kind.name(), size), |b| {
+            b.iter(|| {
+                let off = alloc.alloc(size).unwrap();
+                alloc.dealloc(off);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn small_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_thread_latency/batch_64");
+    group.sample_size(30);
+    for &kind in AllocatorKind::all() {
+        let config = if kind == AllocatorKind::LinuxBuddy {
+            kernel_config()
+        } else {
+            user_space_config()
+        };
+        let size = if kind == AllocatorKind::LinuxBuddy { 4096 } else { 128 };
+        let alloc = build(kind, config);
+        group.bench_function(BenchmarkId::new(kind.name(), size), |b| {
+            let mut batch = Vec::with_capacity(64);
+            b.iter(|| {
+                for _ in 0..64 {
+                    batch.push(alloc.alloc(size).unwrap());
+                }
+                for off in batch.drain(..) {
+                    alloc.dealloc(off);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_pair, small_batch);
+criterion_main!(benches);

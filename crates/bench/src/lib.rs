@@ -1,0 +1,58 @@
+//! Shared helpers for the Criterion benchmarks that regenerate the paper's
+//! figures.
+//!
+//! Each benchmark file under `benches/` corresponds to one figure (or one
+//! ablation from DESIGN.md).  The Criterion benches are deliberately small —
+//! they exist to track *relative* regressions between the allocator variants
+//! on every `cargo bench` run; the full-size figure regeneration (paper-scale
+//! operation counts, 4–32 thread sweeps) is performed by the `nbbs-bench`
+//! CLI in the `nbbs-workloads` crate.
+
+use nbbs::BuddyConfig;
+
+/// The paper's user-space configuration (Figures 8–11), scaled to a 64 MiB
+/// arena: 8-byte allocation units, 16 KiB maximum request.
+pub fn user_space_config() -> BuddyConfig {
+    BuddyConfig::new(64 << 20, 8, 16 << 10).expect("valid user-space configuration")
+}
+
+/// The paper's kernel-level configuration (Figure 12): page-granular memory
+/// with 128 KiB maximum blocks.
+pub fn kernel_config() -> BuddyConfig {
+    BuddyConfig::new(256 << 20, 4096, 128 << 10).expect("valid kernel configuration")
+}
+
+/// Request sizes used by Figures 8–11.
+pub const PAPER_SIZES: [usize; 3] = [8, 128, 1024];
+
+/// Thread counts exercised by the Criterion benches.
+///
+/// The paper sweeps 4–32 threads on a 32-core machine; the benches keep the
+/// counts small so a full `cargo bench` stays tractable on small CI hosts —
+/// the CLI performs the full sweep.
+pub const BENCH_THREADS: [usize; 2] = [2, 4];
+
+/// Scale factor applied to the paper's operation counts inside Criterion
+/// iterations (the paper's 20 M-operation runs would make a single Criterion
+/// sample take minutes).
+pub const BENCH_SCALE: f64 = 0.0005;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configurations_are_valid_and_match_paper_granularity() {
+        let u = user_space_config();
+        assert_eq!(u.min_size(), 8);
+        assert_eq!(u.max_size(), 16 << 10);
+        let k = kernel_config();
+        assert_eq!(k.min_size(), 4096);
+        assert_eq!(k.max_size(), 128 << 10);
+    }
+
+    #[test]
+    fn bench_scale_is_small_enough_for_ci() {
+        assert!(BENCH_SCALE * 20_000_000.0 <= 20_000.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! A [`GlobalAlloc`] adapter: use the non-blocking buddy as the program's
+//! memory allocator.
+//!
+//! The paper positions the NBBS as a *back-end* allocator on top of which
+//! front-end layers (arenas, caches) can be built.  This adapter is the
+//! thinnest possible front end: it routes every heap request that fits within
+//! the buddy's `max_size` to a lazily-created [`BuddyRegion`] backed by a
+//! [`NbbsFourLevel`], and everything else (oversized or over-aligned
+//! requests, plus the metadata allocations performed while the region itself
+//! is being initialized) to the system allocator.
+//!
+//! # Usage
+//!
+//! ```no_run
+//! use nbbs::NbbsGlobalAlloc;
+//!
+//! // 64 MiB arena, 32-byte units, 64 KiB largest buddy-served request.
+//! #[global_allocator]
+//! static ALLOC: NbbsGlobalAlloc = NbbsGlobalAlloc::new(64 << 20, 32, 64 << 10);
+//!
+//! fn main() {
+//!     let v: Vec<u64> = (0..1024).collect();   // served by the buddy
+//!     println!("{}", v.len());
+//! }
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use crate::config::BuddyConfig;
+use crate::fourlvl::NbbsFourLevel;
+use crate::region::BuddyRegion;
+
+/// Global-allocator adapter over a non-blocking buddy region.
+///
+/// Construction is `const` so the adapter can be used in a
+/// `#[global_allocator]` static; the backing region is created on first use.
+pub struct NbbsGlobalAlloc {
+    total_memory: usize,
+    min_size: usize,
+    max_size: usize,
+    region: OnceLock<BuddyRegion<NbbsFourLevel>>,
+    initializing: AtomicBool,
+}
+
+impl NbbsGlobalAlloc {
+    /// Creates the adapter.  The three sizes follow [`BuddyConfig::new`];
+    /// invalid combinations cause every request to fall back to the system
+    /// allocator instead of panicking (a global allocator must not panic).
+    pub const fn new(total_memory: usize, min_size: usize, max_size: usize) -> Self {
+        NbbsGlobalAlloc {
+            total_memory,
+            min_size,
+            max_size,
+            region: OnceLock::new(),
+            initializing: AtomicBool::new(false),
+        }
+    }
+
+    /// The buddy region, creating it on first call.
+    ///
+    /// Returns `None` while the region is being initialized (which includes
+    /// re-entrant calls triggered by the metadata allocations of the region
+    /// itself) or if the configuration is invalid.
+    fn region(&self) -> Option<&BuddyRegion<NbbsFourLevel>> {
+        if let Some(r) = self.region.get() {
+            return Some(r);
+        }
+        if self.initializing.swap(true, Ordering::Acquire) {
+            // Either another thread is initializing or we recursed into
+            // ourselves from the initialization path: serve from the system
+            // allocator for now.
+            return self.region.get();
+        }
+        let result = BuddyConfig::new(self.total_memory, self.min_size, self.max_size)
+            .map(|cfg| BuddyRegion::new(NbbsFourLevel::new(cfg)));
+        if let Ok(region) = result {
+            let _ = self.region.set(region);
+        }
+        self.initializing.store(false, Ordering::Release);
+        self.region.get()
+    }
+
+    /// Bytes currently served by the buddy region (excludes system fallback).
+    pub fn buddy_allocated_bytes(&self) -> usize {
+        self.region.get().map_or(0, |r| r.allocated_bytes())
+    }
+
+    /// Whether `ptr` was served by the buddy region.
+    pub fn owns(&self, ptr: *mut u8) -> bool {
+        match (self.region.get(), NonNull::new(ptr)) {
+            (Some(region), Some(nn)) => region.contains(nn),
+            _ => false,
+        }
+    }
+
+    /// The buddy request size needed to satisfy `layout` (size and alignment),
+    /// if it is servable by the buddy at all.
+    fn buddy_request(&self, layout: Layout) -> Option<usize> {
+        let want = layout.size().max(layout.align()).max(1);
+        if want <= self.max_size {
+            Some(want)
+        } else {
+            None
+        }
+    }
+}
+
+// SAFETY: `alloc`/`dealloc` hand out blocks that are either obtained from the
+// system allocator (and released to it) or from the buddy region (released to
+// it, matched by address range).  Buddy blocks are at least `layout.size()`
+// bytes and aligned to `max(size, align)` rounded to a power of two, which
+// satisfies the layout's alignment.
+unsafe impl GlobalAlloc for NbbsGlobalAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if let Some(want) = self.buddy_request(layout) {
+            if let Some(region) = self.region() {
+                if let Some(ptr) = region.alloc_bytes(want) {
+                    return ptr.as_ptr();
+                }
+                // Buddy exhausted: fall through to the system allocator so the
+                // program keeps running (the paper's back-end would report
+                // OOM to its front end, which is exactly what we do here).
+            }
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if let (Some(region), Some(nn)) = (self.region.get(), NonNull::new(ptr)) {
+            if region.contains(nn) {
+                region.dealloc_bytes(nn);
+                return;
+            }
+        }
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = self.alloc(layout);
+        if !ptr.is_null() && self.owns(ptr) {
+            // Buddy memory is recycled without scrubbing; zero it here.
+            std::ptr::write_bytes(ptr, 0, layout.size());
+        } else if !ptr.is_null() {
+            // System alloc path: `System.alloc` does not zero either, but we
+            // reached it through `alloc`, so zero explicitly as well.
+            std::ptr::write_bytes(ptr, 0, layout.size());
+        }
+        ptr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_small_requests_from_the_buddy() {
+        let a = NbbsGlobalAlloc::new(1 << 20, 64, 1 << 16);
+        let layout = Layout::from_size_align(512, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert!(a.owns(p));
+            assert_eq!(a.buddy_allocated_bytes(), 512);
+            p.write_bytes(0xCD, 512);
+            a.dealloc(p, layout);
+        }
+        assert_eq!(a.buddy_allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_requests_fall_back_to_system() {
+        let a = NbbsGlobalAlloc::new(1 << 20, 64, 1 << 12);
+        let layout = Layout::from_size_align(1 << 16, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert!(!a.owns(p));
+            a.dealloc(p, layout);
+        }
+        assert_eq!(a.buddy_allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn over_aligned_requests_are_handled() {
+        let a = NbbsGlobalAlloc::new(1 << 20, 64, 1 << 16);
+        // 64-byte payload with 4096-byte alignment: the buddy serves it by
+        // rounding the request up to the alignment.
+        let layout = Layout::from_size_align(64, 4096).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert_eq!(p as usize % 4096, 0);
+            a.dealloc(p, layout);
+        }
+        assert_eq!(a.buddy_allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn alloc_zeroed_scrubs_recycled_memory() {
+        let a = NbbsGlobalAlloc::new(1 << 16, 64, 1 << 12);
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            p.write_bytes(0xFF, 256);
+            a.dealloc(p, layout);
+            let q = a.alloc_zeroed(layout);
+            for i in 0..256 {
+                assert_eq!(*q.add(i), 0, "byte {i} not zeroed");
+            }
+            a.dealloc(q, layout);
+        }
+    }
+
+    #[test]
+    fn exhaustion_falls_back_to_system_instead_of_failing() {
+        let a = NbbsGlobalAlloc::new(1024, 64, 1024);
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        unsafe {
+            let p1 = a.alloc(layout);
+            let p2 = a.alloc(layout);
+            assert!(!p1.is_null() && !p2.is_null());
+            assert!(a.owns(p1));
+            assert!(!a.owns(p2), "second request must come from the system");
+            a.dealloc(p1, layout);
+            a.dealloc(p2, layout);
+        }
+    }
+
+    #[test]
+    fn invalid_configuration_degrades_to_system_allocator() {
+        // 1000 is not a power of two: the region can never be built, but the
+        // adapter must keep serving requests.
+        let a = NbbsGlobalAlloc::new(1000, 64, 512);
+        let layout = Layout::from_size_align(128, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert!(!a.owns(p));
+            a.dealloc(p, layout);
+        }
+    }
+
+    #[test]
+    fn concurrent_usage_through_the_adapter() {
+        use std::sync::Arc;
+        let a = Arc::new(NbbsGlobalAlloc::new(1 << 20, 64, 1 << 14));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    let layout = Layout::from_size_align(128, 16).unwrap();
+                    for _ in 0..1_000 {
+                        unsafe {
+                            let p = a.alloc(layout);
+                            assert!(!p.is_null());
+                            p.write_bytes(0xAB, 128);
+                            a.dealloc(p, layout);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.buddy_allocated_bytes(), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! # nbbs — a Non-Blocking Buddy System
+//!
+//! Rust reproduction of *“A Non-blocking Buddy System for Scalable Memory
+//! Allocation on Multi-core Machines”* (R. Marotta, M. Ianni, A. Scarselli,
+//! A. Pellegrini, F. Quaglia — IEEE CLUSTER 2018, arXiv:1804.03436).
+//!
+//! A buddy system manages a contiguous memory region by recursively halving
+//! it; every chunk has a power-of-two size and merging two *buddies* (the two
+//! halves of the same parent) reconstitutes the parent chunk.  The paper's
+//! contribution is a buddy system whose allocation, release **and coalescing**
+//! paths are all *lock-free*: concurrent threads never take a lock, they only
+//! race on single-word Compare-And-Swap (CAS) operations over the allocator's
+//! metadata and retry (or move to another chunk) when a conflict materializes.
+//!
+//! ## What is in this crate
+//!
+//! * [`NbbsOneLevel`] — the baseline non-blocking buddy (`1lvl-nb` in the
+//!   paper): one status byte per tree node, Algorithms 1–4 of the paper.
+//! * [`NbbsFourLevel`] — the 4-level optimized variant (`4lvl-nb`, §III-D):
+//!   four tree levels packed per 64-bit word so that one CAS updates four
+//!   levels at a time.
+//! * [`LockedBuddy`] — the same data structures behind a single global spin
+//!   lock (`1lvl-sl` / `4lvl-sl`), used by the paper as blocking yardsticks.
+//! * [`BuddyBackend`] — the common back-end allocator interface implemented by
+//!   every variant (and by the baselines in `nbbs-baselines`), expressed in
+//!   terms of byte *offsets* into the managed region so the core state machine
+//!   contains no `unsafe`.
+//! * [`BuddyRegion`] / [`NbbsGlobalAlloc`] — wrappers that attach real backing
+//!   memory and expose a pointer-returning API / a [`core::alloc::GlobalAlloc`]
+//!   implementation.
+//! * [`MultiInstance`] — a NUMA-style multi-instance router, mirroring how the
+//!   Linux kernel deploys one buddy instance per NUMA node.
+//! * [`verify`] — runtime checkers for the paper's safety properties (no two
+//!   live allocations overlap; a free releases exactly what was allocated).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nbbs::{BuddyBackend, BuddyConfig, NbbsOneLevel};
+//!
+//! // 1 MiB arena, 64-byte allocation units, largest single request 64 KiB.
+//! let config = BuddyConfig::new(1 << 20, 64, 1 << 16).unwrap();
+//! let buddy = NbbsOneLevel::new(config);
+//!
+//! let a = buddy.alloc(100).expect("plenty of room");   // rounded up to 128
+//! let b = buddy.alloc(4096).expect("plenty of room");
+//! assert_ne!(a, b);
+//! buddy.dealloc(a);
+//! buddy.dealloc(b);
+//! assert_eq!(buddy.allocated_bytes(), 0);
+//! ```
+//!
+//! To hand out real pointers instead of offsets, wrap any backend in a
+//! [`BuddyRegion`]:
+//!
+//! ```
+//! use nbbs::{BuddyConfig, BuddyRegion, NbbsFourLevel};
+//!
+//! let config = BuddyConfig::new(1 << 20, 64, 1 << 16).unwrap();
+//! let region = BuddyRegion::new(NbbsFourLevel::new(config));
+//! let ptr = region.alloc_bytes(256).unwrap();
+//! unsafe { ptr.as_ptr().write_bytes(0xAB, 256) };
+//! region.dealloc_bytes(ptr);
+//! ```
+//!
+//! ## Relationship to the paper's terminology
+//!
+//! | Paper | This crate |
+//! |---|---|
+//! | `NBALLOC` | [`BuddyBackend::alloc`] / [`NbbsOneLevel::try_alloc_size`] |
+//! | `TRYALLOC` | `onelvl::NbbsOneLevel::try_alloc_node` (private) |
+//! | `NBFREE` | [`BuddyBackend::dealloc`] |
+//! | `FREENODE` / `UNMARK` | private helpers of each variant |
+//! | `tree[]`, `index[]` | `tree`/`index` fields (one `AtomicU8`/`AtomicU32` per entry) |
+//! | status bits (Fig. 1) | [`status`] module |
+//! | bunch (§III-D) | [`fourlvl::BunchGeometry`] |
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod error;
+pub mod fourlvl;
+pub mod geometry;
+pub mod global;
+pub mod locked;
+pub mod multi;
+pub mod onelvl;
+pub mod region;
+pub mod stats;
+pub mod status;
+pub mod traits;
+pub mod verify;
+
+pub use config::{BuddyConfig, ScanPolicy};
+pub use error::{AllocError, ConfigError, FreeError};
+pub use fourlvl::NbbsFourLevel;
+pub use geometry::Geometry;
+pub use global::NbbsGlobalAlloc;
+pub use locked::{LockedBuddy, LockedFourLevel, LockedOneLevel};
+pub use multi::MultiInstance;
+pub use onelvl::NbbsOneLevel;
+pub use region::BuddyRegion;
+pub use stats::OpStats;
+pub use traits::{BuddyBackend, TreeInspect};

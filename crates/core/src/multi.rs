@@ -1,0 +1,306 @@
+//! Multi-instance (NUMA-style) deployment of buddy backends.
+//!
+//! The paper's introduction recalls that large NUMA machines deploy *multiple
+//! disjoint instances of the buddy system*, one per NUMA node, to create data
+//! separation and reduce contention — and that this technique is orthogonal
+//! to (and composable with) making each instance non-blocking.  Figure 12's
+//! kernel experiment deliberately binds all threads to *one* instance to
+//! expose the contention; [`MultiInstance`] lets the examples and benchmarks
+//! explore the opposite end of the spectrum: route each thread to a home
+//! instance and fall back to the other instances only when the home one is
+//! exhausted (mirroring the kernel's zone fallback order).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::{AllocError, FreeError};
+use crate::geometry::Geometry;
+use crate::stats::OpStatsSnapshot;
+use crate::traits::BuddyBackend;
+
+/// A set of buddy instances with per-thread home routing and fallback.
+///
+/// Offsets returned by [`MultiInstance::alloc`] are *global*: instance `i`
+/// owns the range `[i * total, (i+1) * total)`, so a single `usize` still
+/// identifies both the instance and the chunk, and `dealloc` needs no extra
+/// bookkeeping — exactly how physical frame numbers identify their NUMA node.
+pub struct MultiInstance<A> {
+    instances: Vec<A>,
+    next_home: AtomicUsize,
+}
+
+impl<A: BuddyBackend> MultiInstance<A> {
+    /// Builds a multi-instance allocator from identically-configured
+    /// instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is empty or the instances disagree on their
+    /// total size (the global-offset arithmetic requires a uniform size).
+    pub fn new(instances: Vec<A>) -> Self {
+        assert!(!instances.is_empty(), "need at least one instance");
+        let total = instances[0].total_memory();
+        assert!(
+            instances.iter().all(|i| i.total_memory() == total),
+            "all instances must manage the same amount of memory"
+        );
+        MultiInstance {
+            instances,
+            next_home: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Access to a specific instance (e.g. for per-node statistics).
+    pub fn instance(&self, i: usize) -> &A {
+        &self.instances[i]
+    }
+
+    /// Size managed by each single instance.
+    pub fn instance_memory(&self) -> usize {
+        self.instances[0].total_memory()
+    }
+
+    /// Total memory managed across all instances.
+    pub fn total_memory(&self) -> usize {
+        self.instance_memory() * self.instances.len()
+    }
+
+    /// The home instance of the calling thread (round-robin assignment on
+    /// first use, akin to binding threads to NUMA nodes).
+    pub fn home_instance(&self) -> usize {
+        use std::cell::Cell;
+        thread_local! {
+            static HOME: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        HOME.with(|h| {
+            let mut v = h.get();
+            if v == usize::MAX {
+                v = self.next_home.fetch_add(1, Ordering::Relaxed);
+                h.set(v);
+            }
+            v % self.instances.len()
+        })
+    }
+
+    /// Allocates from the calling thread's home instance, falling back to the
+    /// other instances in order when the home instance cannot satisfy the
+    /// request.  Returns a *global* offset.
+    pub fn alloc(&self, size: usize) -> Option<usize> {
+        let n = self.instances.len();
+        let home = self.home_instance();
+        for k in 0..n {
+            let i = (home + k) % n;
+            if let Some(off) = self.instances[i].alloc(size) {
+                return Some(i * self.instance_memory() + off);
+            }
+        }
+        None
+    }
+
+    /// Allocates explicitly from instance `i` (no fallback), like a
+    /// `__GFP_THISNODE` kernel allocation.
+    pub fn alloc_on(&self, i: usize, size: usize) -> Option<usize> {
+        self.instances[i]
+            .alloc(size)
+            .map(|off| i * self.instance_memory() + off)
+    }
+
+    /// Fallible allocation with fallback.
+    pub fn try_alloc(&self, size: usize) -> Result<usize, AllocError> {
+        if size > self.instances[0].max_size() {
+            return Err(AllocError::TooLarge {
+                requested: size,
+                max_size: self.instances[0].max_size(),
+            });
+        }
+        self.alloc(size)
+            .ok_or(AllocError::OutOfMemory { requested: size })
+    }
+
+    /// Releases a global offset to the instance that owns it.
+    pub fn dealloc(&self, global_offset: usize) {
+        let (i, off) = self.split(global_offset);
+        self.instances[i].dealloc(off);
+    }
+
+    /// Fallible release of a global offset.
+    pub fn try_dealloc(&self, global_offset: usize) -> Result<(), FreeError> {
+        if global_offset >= self.total_memory() {
+            return Err(FreeError::OutOfRange {
+                offset: global_offset,
+                total_memory: self.total_memory(),
+            });
+        }
+        let (i, off) = self.split(global_offset);
+        self.instances[i].try_dealloc(off)
+    }
+
+    /// Splits a global offset into `(instance, local offset)`.
+    pub fn split(&self, global_offset: usize) -> (usize, usize) {
+        let per = self.instance_memory();
+        (global_offset / per, global_offset % per)
+    }
+
+    /// Which instance owns a given global offset.
+    pub fn owner_of(&self, global_offset: usize) -> usize {
+        self.split(global_offset).0
+    }
+
+    /// Bytes currently handed out across all instances.
+    pub fn allocated_bytes(&self) -> usize {
+        self.instances.iter().map(|i| i.allocated_bytes()).sum()
+    }
+
+    /// Per-instance allocated-byte counters (to observe skew).
+    pub fn allocated_bytes_per_instance(&self) -> Vec<usize> {
+        self.instances.iter().map(|i| i.allocated_bytes()).collect()
+    }
+
+    /// Geometry shared by the instances.
+    pub fn geometry(&self) -> &Geometry {
+        self.instances[0].geometry()
+    }
+
+    /// Aggregated operation statistics.
+    pub fn stats(&self) -> OpStatsSnapshot {
+        let mut acc = OpStatsSnapshot::default();
+        for i in &self.instances {
+            let s = i.stats();
+            acc.allocs += s.allocs;
+            acc.frees += s.frees;
+            acc.failed_allocs += s.failed_allocs;
+            acc.cas_ops += s.cas_ops;
+            acc.cas_failures += s.cas_failures;
+            acc.nodes_skipped += s.nodes_skipped;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BuddyConfig, NbbsFourLevel, NbbsOneLevel};
+    use std::sync::Arc;
+
+    fn instances(n: usize, total: usize) -> MultiInstance<NbbsOneLevel> {
+        MultiInstance::new(
+            (0..n)
+                .map(|_| NbbsOneLevel::new(BuddyConfig::new(total, 64, total).unwrap()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn global_offsets_round_trip() {
+        let m = instances(4, 4096);
+        assert_eq!(m.total_memory(), 4 * 4096);
+        let off = m.alloc_on(2, 64).unwrap();
+        assert_eq!(m.owner_of(off), 2);
+        assert_eq!(m.split(off), (2, off - 2 * 4096));
+        m.dealloc(off);
+        assert_eq!(m.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn fallback_when_home_is_exhausted() {
+        let m = instances(2, 1024);
+        // Exhaust instance 0 explicitly.
+        let mut held = Vec::new();
+        while let Some(off) = m.alloc_on(0, 1024) {
+            held.push(off);
+        }
+        // A routed allocation still succeeds by falling back to instance 1.
+        let off = m.alloc(1024).expect("fallback instance has room");
+        assert_eq!(m.owner_of(off), 1);
+        m.dealloc(off);
+        for off in held {
+            m.dealloc(off);
+        }
+    }
+
+    #[test]
+    fn exhaustion_of_all_instances_reports_oom() {
+        let m = instances(2, 1024);
+        let a = m.alloc(1024).unwrap();
+        let b = m.alloc(1024).unwrap();
+        assert_ne!(m.owner_of(a), m.owner_of(b));
+        assert!(matches!(
+            m.try_alloc(64),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+        assert!(matches!(
+            m.try_alloc(4096),
+            Err(AllocError::TooLarge { .. })
+        ));
+        m.dealloc(a);
+        m.dealloc(b);
+    }
+
+    #[test]
+    fn try_dealloc_validates_global_range() {
+        let m = instances(2, 1024);
+        assert!(matches!(
+            m.try_dealloc(10_000),
+            Err(FreeError::OutOfRange { .. })
+        ));
+        let off = m.alloc(64).unwrap();
+        assert!(m.try_dealloc(off).is_ok());
+    }
+
+    #[test]
+    fn threads_spread_across_instances() {
+        let m = Arc::new(MultiInstance::new(
+            (0..4)
+                .map(|_| NbbsFourLevel::new(BuddyConfig::new(1 << 14, 64, 1 << 12).unwrap()))
+                .collect::<Vec<_>>(),
+        ));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut live = Vec::new();
+                    for _ in 0..500 {
+                        if let Some(off) = m.alloc(128) {
+                            live.push(off);
+                        }
+                        if live.len() > 16 {
+                            m.dealloc(live.swap_remove(0));
+                        }
+                    }
+                    for off in live {
+                        m.dealloc(off);
+                    }
+                    m.home_instance()
+                })
+            })
+            .collect();
+        let homes: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(m.allocated_bytes(), 0);
+        // With 8 threads round-robined over 4 instances, at least two
+        // distinct homes must have been assigned.
+        let distinct: std::collections::HashSet<_> = homes.into_iter().collect();
+        assert!(distinct.len() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn empty_instance_list_panics() {
+        let _ = MultiInstance::<NbbsOneLevel>::new(Vec::new());
+    }
+
+    #[test]
+    fn per_instance_counters_expose_skew() {
+        let m = instances(2, 4096);
+        let a = m.alloc_on(0, 1024).unwrap();
+        let b = m.alloc_on(0, 512).unwrap();
+        let per = m.allocated_bytes_per_instance();
+        assert_eq!(per, vec![1536, 0]);
+        m.dealloc(a);
+        m.dealloc(b);
+    }
+}

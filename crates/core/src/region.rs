@@ -1,0 +1,217 @@
+//! Backing memory for a buddy backend: turns offsets into real pointers.
+//!
+//! The allocator state machines in this crate are expressed over byte
+//! offsets.  [`BuddyRegion`] owns an actual heap region of `total_memory`
+//! bytes, aligned to the maximum chunk size (so that every chunk handed out
+//! is naturally aligned to its own size, like physical page frames under the
+//! kernel buddy allocator), and converts offsets to [`NonNull<u8>`] pointers
+//! and back.  This is the only place (together with [`crate::global`]) where
+//! the crate touches raw memory.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+
+use crate::error::{AllocError, FreeError};
+use crate::traits::BuddyBackend;
+
+/// A buddy backend plus the contiguous memory region it manages.
+///
+/// See the [crate docs](crate) for an example.
+pub struct BuddyRegion<A: BuddyBackend> {
+    backend: A,
+    base: NonNull<u8>,
+    layout: Layout,
+}
+
+// SAFETY: the region's base pointer is only used through offsets handed out
+// by the thread-safe backend; the region itself is immutable after
+// construction.
+unsafe impl<A: BuddyBackend> Send for BuddyRegion<A> {}
+unsafe impl<A: BuddyBackend> Sync for BuddyRegion<A> {}
+
+impl<A: BuddyBackend> BuddyRegion<A> {
+    /// Allocates a zeroed backing region for `backend` and wraps it.
+    ///
+    /// The region is aligned to the backend's `max_size`, so a chunk of size
+    /// `2^k` returned by [`BuddyRegion::alloc_bytes`] is always `2^k`-aligned.
+    pub fn new(backend: A) -> Self {
+        let total = backend.total_memory();
+        let align = backend.max_size().max(std::mem::align_of::<usize>());
+        let layout = Layout::from_size_align(total, align).expect("invalid region layout");
+        // SAFETY: layout has non-zero size (configs guarantee total >= 1).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let base = NonNull::new(raw).unwrap_or_else(|| handle_alloc_error(layout));
+        BuddyRegion {
+            backend,
+            base,
+            layout,
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &A {
+        &self.backend
+    }
+
+    /// Base address of the managed region.
+    pub fn base(&self) -> NonNull<u8> {
+        self.base
+    }
+
+    /// Total size of the managed region in bytes.
+    pub fn total_memory(&self) -> usize {
+        self.backend.total_memory()
+    }
+
+    /// Allocates at least `size` bytes and returns a pointer into the region.
+    pub fn alloc_bytes(&self, size: usize) -> Option<NonNull<u8>> {
+        let offset = self.backend.alloc(size)?;
+        // SAFETY: `offset < total_memory`, so the resulting pointer stays
+        // within the allocation backing this region.
+        Some(unsafe { NonNull::new_unchecked(self.base.as_ptr().add(offset)) })
+    }
+
+    /// Fallible variant of [`BuddyRegion::alloc_bytes`].
+    pub fn try_alloc_bytes(&self, size: usize) -> Result<NonNull<u8>, AllocError> {
+        let offset = self.backend.try_alloc(size)?;
+        // SAFETY: as above.
+        Ok(unsafe { NonNull::new_unchecked(self.base.as_ptr().add(offset)) })
+    }
+
+    /// Releases a pointer previously returned by [`BuddyRegion::alloc_bytes`].
+    pub fn dealloc_bytes(&self, ptr: NonNull<u8>) {
+        let offset = self.offset_of(ptr).expect("pointer outside the region");
+        self.backend.dealloc(offset);
+    }
+
+    /// Fallible release with validation of the pointer.
+    pub fn try_dealloc_bytes(&self, ptr: NonNull<u8>) -> Result<(), FreeError> {
+        match self.offset_of(ptr) {
+            Some(offset) => self.backend.try_dealloc(offset),
+            None => Err(FreeError::OutOfRange {
+                offset: ptr.as_ptr() as usize,
+                total_memory: self.total_memory(),
+            }),
+        }
+    }
+
+    /// Converts a pointer inside the region back to its byte offset.
+    pub fn offset_of(&self, ptr: NonNull<u8>) -> Option<usize> {
+        let base = self.base.as_ptr() as usize;
+        let addr = ptr.as_ptr() as usize;
+        if addr < base || addr >= base + self.total_memory() {
+            return None;
+        }
+        Some(addr - base)
+    }
+
+    /// Whether `ptr` points inside the managed region.
+    pub fn contains(&self, ptr: NonNull<u8>) -> bool {
+        self.offset_of(ptr).is_some()
+    }
+
+    /// Bytes currently handed out by the backend.
+    pub fn allocated_bytes(&self) -> usize {
+        self.backend.allocated_bytes()
+    }
+}
+
+impl<A: BuddyBackend> Drop for BuddyRegion<A> {
+    fn drop(&mut self) {
+        // SAFETY: `base` was allocated with exactly this layout in `new`.
+        unsafe { dealloc(self.base.as_ptr(), self.layout) };
+    }
+}
+
+impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for BuddyRegion<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuddyRegion")
+            .field("backend", &self.backend)
+            .field("base", &self.base)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BuddyConfig, NbbsFourLevel, NbbsOneLevel};
+
+    fn region(total: usize, min: usize, max: usize) -> BuddyRegion<NbbsOneLevel> {
+        BuddyRegion::new(NbbsOneLevel::new(BuddyConfig::new(total, min, max).unwrap()))
+    }
+
+    #[test]
+    fn pointers_are_inside_the_region_and_aligned() {
+        let r = region(1 << 16, 64, 1 << 12);
+        let p = r.alloc_bytes(100).unwrap();
+        assert!(r.contains(p));
+        assert_eq!(r.offset_of(p).unwrap() % 128, 0);
+        // Natural alignment: a 128-byte chunk is 128-byte aligned because the
+        // base itself is max_size-aligned.
+        assert_eq!(p.as_ptr() as usize % 128, 0);
+        r.dealloc_bytes(p);
+        assert_eq!(r.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn memory_is_actually_usable() {
+        let r = BuddyRegion::new(NbbsFourLevel::new(
+            BuddyConfig::new(1 << 16, 64, 1 << 12).unwrap(),
+        ));
+        let p = r.alloc_bytes(4096).unwrap();
+        // Write and read back through the pointer.
+        unsafe {
+            p.as_ptr().write_bytes(0x5A, 4096);
+            assert_eq!(*p.as_ptr(), 0x5A);
+            assert_eq!(*p.as_ptr().add(4095), 0x5A);
+        }
+        r.dealloc_bytes(p);
+    }
+
+    #[test]
+    fn distinct_allocations_get_distinct_memory() {
+        let r = region(1 << 14, 64, 1 << 10);
+        let a = r.alloc_bytes(256).unwrap();
+        let b = r.alloc_bytes(256).unwrap();
+        unsafe {
+            a.as_ptr().write_bytes(0x11, 256);
+            b.as_ptr().write_bytes(0x22, 256);
+            assert_eq!(*a.as_ptr(), 0x11);
+            assert_eq!(*b.as_ptr(), 0x22);
+        }
+        r.dealloc_bytes(a);
+        r.dealloc_bytes(b);
+    }
+
+    #[test]
+    fn out_of_region_pointers_are_rejected() {
+        let r = region(4096, 64, 4096);
+        let mut outside = 0u8;
+        let stray = NonNull::new(&mut outside as *mut u8).unwrap();
+        assert!(!r.contains(stray));
+        assert!(matches!(
+            r.try_dealloc_bytes(stray),
+            Err(FreeError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn try_alloc_bytes_reports_exhaustion() {
+        let r = region(1024, 64, 1024);
+        let p = r.alloc_bytes(1024).unwrap();
+        assert!(matches!(
+            r.try_alloc_bytes(64),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+        r.dealloc_bytes(p);
+        assert!(r.try_alloc_bytes(64).is_ok());
+    }
+
+    #[test]
+    fn region_exposes_backend() {
+        let r = region(4096, 64, 4096);
+        assert_eq!(r.backend().name(), "1lvl-nb");
+        assert_eq!(r.total_memory(), 4096);
+    }
+}

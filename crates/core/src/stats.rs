@@ -1,0 +1,201 @@
+//! Operation statistics.
+//!
+//! The 4-level optimization exists to *reduce the number of RMW instructions
+//! on the critical path* (§III-D).  To be able to demonstrate that reduction
+//! directly (ablation A2 in DESIGN.md) the allocators can count, per
+//! instance:
+//!
+//! * successful allocations and releases,
+//! * failed allocations (no free chunk found),
+//! * CAS instructions issued and CAS failures (retries),
+//! * nodes skipped during the level scan because they were busy.
+//!
+//! Counting on the hot path costs one relaxed `fetch_add` per event; to keep
+//! the headline benchmarks honest the increments are compiled in only when
+//! the `op-stats` feature is enabled.  Without the feature every recording
+//! method is an empty `#[inline]` stub and [`OpStats::snapshot`] returns
+//! zeros.
+
+use std::fmt;
+use std::sync::atomic::AtomicU64;
+#[cfg(feature = "op-stats")]
+use std::sync::atomic::Ordering;
+
+/// Cumulative operation counters for one allocator instance.
+#[derive(Debug, Default)]
+#[cfg_attr(not(feature = "op-stats"), allow(dead_code))]
+pub struct OpStats {
+    allocs: AtomicU64,
+    frees: AtomicU64,
+    failed_allocs: AtomicU64,
+    cas_ops: AtomicU64,
+    cas_failures: AtomicU64,
+    nodes_skipped: AtomicU64,
+}
+
+/// A point-in-time copy of [`OpStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStatsSnapshot {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Successful releases.
+    pub frees: u64,
+    /// Allocations that failed because no suitable free chunk was found.
+    pub failed_allocs: u64,
+    /// CAS (RMW) instructions issued on the metadata.
+    pub cas_ops: u64,
+    /// CAS instructions that failed and forced a retry or an abort.
+    pub cas_failures: u64,
+    /// Candidate nodes skipped during level scans because they were busy.
+    pub nodes_skipped: u64,
+}
+
+impl OpStatsSnapshot {
+    /// Average number of CAS instructions per completed operation
+    /// (allocation or release), or 0 if nothing completed.
+    pub fn cas_per_op(&self) -> f64 {
+        let ops = self.allocs + self.frees;
+        if ops == 0 {
+            0.0
+        } else {
+            self.cas_ops as f64 / ops as f64
+        }
+    }
+
+    /// Fraction of CAS instructions that failed.
+    pub fn cas_failure_rate(&self) -> f64 {
+        if self.cas_ops == 0 {
+            0.0
+        } else {
+            self.cas_failures as f64 / self.cas_ops as f64
+        }
+    }
+}
+
+impl fmt::Display for OpStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "allocs={} frees={} failed={} cas={} cas_failed={} skipped={} cas/op={:.2}",
+            self.allocs,
+            self.frees,
+            self.failed_allocs,
+            self.cas_ops,
+            self.cas_failures,
+            self.nodes_skipped,
+            self.cas_per_op()
+        )
+    }
+}
+
+macro_rules! recorder {
+    ($(#[$doc:meta])* $name:ident, $field:ident) => {
+        $(#[$doc])*
+        #[inline(always)]
+        pub fn $name(&self, _n: u64) {
+            #[cfg(feature = "op-stats")]
+            self.$field.fetch_add(_n, Ordering::Relaxed);
+        }
+    };
+}
+
+impl OpStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether counting is compiled in (the `op-stats` feature).
+    pub const fn enabled() -> bool {
+        cfg!(feature = "op-stats")
+    }
+
+    recorder!(
+        /// Records `n` successful allocations.
+        record_alloc, allocs);
+    recorder!(
+        /// Records `n` successful releases.
+        record_free, frees);
+    recorder!(
+        /// Records `n` failed allocations.
+        record_failed_alloc, failed_allocs);
+    recorder!(
+        /// Records `n` CAS instructions issued.
+        record_cas, cas_ops);
+    recorder!(
+        /// Records `n` CAS failures.
+        record_cas_failure, cas_failures);
+    recorder!(
+        /// Records `n` nodes skipped by the level scan.
+        record_skip, nodes_skipped);
+
+    /// Returns a copy of the current counter values.
+    pub fn snapshot(&self) -> OpStatsSnapshot {
+        #[cfg(feature = "op-stats")]
+        {
+            OpStatsSnapshot {
+                allocs: self.allocs.load(Ordering::Relaxed),
+                frees: self.frees.load(Ordering::Relaxed),
+                failed_allocs: self.failed_allocs.load(Ordering::Relaxed),
+                cas_ops: self.cas_ops.load(Ordering::Relaxed),
+                cas_failures: self.cas_failures.load(Ordering::Relaxed),
+                nodes_skipped: self.nodes_skipped.load(Ordering::Relaxed),
+            }
+        }
+        #[cfg(not(feature = "op-stats"))]
+        {
+            OpStatsSnapshot::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_recording_when_enabled() {
+        let stats = OpStats::new();
+        stats.record_alloc(2);
+        stats.record_free(1);
+        stats.record_cas(10);
+        stats.record_cas_failure(3);
+        stats.record_failed_alloc(1);
+        stats.record_skip(5);
+        let snap = stats.snapshot();
+        if OpStats::enabled() {
+            assert_eq!(snap.allocs, 2);
+            assert_eq!(snap.frees, 1);
+            assert_eq!(snap.cas_ops, 10);
+            assert_eq!(snap.cas_failures, 3);
+            assert_eq!(snap.failed_allocs, 1);
+            assert_eq!(snap.nodes_skipped, 5);
+            assert!((snap.cas_per_op() - 10.0 / 3.0).abs() < 1e-9);
+            assert!((snap.cas_failure_rate() - 0.3).abs() < 1e-9);
+        } else {
+            assert_eq!(snap, OpStatsSnapshot::default());
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_rates_are_zero() {
+        let snap = OpStatsSnapshot::default();
+        assert_eq!(snap.cas_per_op(), 0.0);
+        assert_eq!(snap.cas_failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let snap = OpStatsSnapshot {
+            allocs: 1,
+            frees: 1,
+            failed_allocs: 0,
+            cas_ops: 4,
+            cas_failures: 0,
+            nodes_skipped: 0,
+        };
+        let s = snap.to_string();
+        assert!(s.contains("allocs=1"));
+        assert!(s.contains("cas=4"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Common interfaces implemented by every back-end allocator in the
+//! reproduction (the non-blocking variants, their spin-locked counterparts
+//! and the baselines in `nbbs-baselines`).
+//!
+//! The interface is expressed in terms of **byte offsets** into the managed
+//! region rather than raw pointers.  This keeps the allocator state machines
+//! free of `unsafe`, makes them trivially testable (no backing memory is
+//! required) and mirrors how the paper's kernel-level experiment treats the
+//! buddy system: as a service that hands out page-frame numbers, with the
+//! mapping to addresses applied by a thin outer layer
+//! ([`crate::BuddyRegion`] here).
+
+use crate::error::{AllocError, FreeError};
+use crate::geometry::Geometry;
+use crate::stats::OpStatsSnapshot;
+
+/// A concurrent back-end buddy allocator over a contiguous region.
+///
+/// All methods take `&self`: implementations must be safe to call from any
+/// number of threads concurrently.  The *non-blocking* implementations in
+/// this crate additionally guarantee lock-freedom (some thread always makes
+/// progress); the `-sl` variants and baselines serialize internally.
+pub trait BuddyBackend: Send + Sync {
+    /// Short, stable identifier used in benchmark reports
+    /// (e.g. `"1lvl-nb"`, `"4lvl-nb"`, `"buddy-sl"`, `"linux-buddy"`).
+    fn name(&self) -> &'static str;
+
+    /// Geometry of the managed region (sizes, depth, level math).
+    fn geometry(&self) -> &Geometry;
+
+    /// Allocates a chunk of at least `size` bytes.
+    ///
+    /// Returns the byte offset of the chunk within the managed region, or
+    /// `None` if the request exceeds the per-request maximum or no suitable
+    /// free chunk is currently available.  The chunk actually reserved is the
+    /// smallest power-of-two size able to hold `size`
+    /// (see [`Geometry::granted_size`]).
+    fn alloc(&self, size: usize) -> Option<usize>;
+
+    /// Releases the chunk starting at `offset`.
+    ///
+    /// `offset` must be a value previously returned by [`BuddyBackend::alloc`]
+    /// on this instance and not released since; passing anything else is a
+    /// logic error (checked variants are available via
+    /// [`BuddyBackend::try_dealloc`]).
+    fn dealloc(&self, offset: usize);
+
+    /// Fallible allocation reporting *why* the request could not be served.
+    fn try_alloc(&self, size: usize) -> Result<usize, AllocError> {
+        if size > self.geometry().max_size() {
+            return Err(AllocError::TooLarge {
+                requested: size,
+                max_size: self.geometry().max_size(),
+            });
+        }
+        self.alloc(size)
+            .ok_or(AllocError::OutOfMemory { requested: size })
+    }
+
+    /// Fallible release that validates the offset before acting.
+    ///
+    /// Implementations reject offsets that are out of range, misaligned, or
+    /// do not correspond to a live allocation *when that can be detected
+    /// cheaply*; a full double-free detector is not required (nor provided by
+    /// the paper's design).
+    fn try_dealloc(&self, offset: usize) -> Result<(), FreeError>;
+
+    /// Total managed memory in bytes.
+    fn total_memory(&self) -> usize {
+        self.geometry().total_memory()
+    }
+
+    /// Allocation-unit size in bytes.
+    fn min_size(&self) -> usize {
+        self.geometry().min_size()
+    }
+
+    /// Largest size a single request may obtain.
+    fn max_size(&self) -> usize {
+        self.geometry().max_size()
+    }
+
+    /// Bytes currently handed out (sum of granted chunk sizes).
+    ///
+    /// Maintained with relaxed atomic counters; exact once the allocator is
+    /// quiescent, approximate while operations are in flight.
+    fn allocated_bytes(&self) -> usize;
+
+    /// Operation counters (all zeros unless the `op-stats` feature is on).
+    fn stats(&self) -> OpStatsSnapshot {
+        OpStatsSnapshot::default()
+    }
+}
+
+/// Read-only access to the logical status of every tree node.
+///
+/// Implemented by the tree-based allocators so that [`crate::verify`] can
+/// audit the paper's safety properties over a quiescent instance.  For the
+/// 4-level variant the returned status is the *derived* one (Figure 6).
+pub trait TreeInspect {
+    /// Geometry of the underlying tree.
+    fn inspect_geometry(&self) -> &Geometry;
+
+    /// Logical 5-bit status of node `n` (1-based index, root = 1).
+    fn node_status(&self, n: usize) -> u8;
+
+    /// The node recorded in `index[]` for the allocation unit `unit`, if any
+    /// entry was ever written there.  Entries are not cleared on release, so
+    /// a `Some` value may be stale; callers must cross-check with
+    /// [`TreeInspect::node_status`].
+    fn recorded_node_of_unit(&self, unit: usize) -> Option<usize>;
+}
+
+impl<T: BuddyBackend + ?Sized> BuddyBackend for std::sync::Arc<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn geometry(&self) -> &Geometry {
+        (**self).geometry()
+    }
+    fn alloc(&self, size: usize) -> Option<usize> {
+        (**self).alloc(size)
+    }
+    fn dealloc(&self, offset: usize) {
+        (**self).dealloc(offset)
+    }
+    fn try_alloc(&self, size: usize) -> Result<usize, AllocError> {
+        (**self).try_alloc(size)
+    }
+    fn try_dealloc(&self, offset: usize) -> Result<(), FreeError> {
+        (**self).try_dealloc(offset)
+    }
+    fn allocated_bytes(&self) -> usize {
+        (**self).allocated_bytes()
+    }
+    fn stats(&self) -> OpStatsSnapshot {
+        (**self).stats()
+    }
+}
+
+impl<T: BuddyBackend + ?Sized> BuddyBackend for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn geometry(&self) -> &Geometry {
+        (**self).geometry()
+    }
+    fn alloc(&self, size: usize) -> Option<usize> {
+        (**self).alloc(size)
+    }
+    fn dealloc(&self, offset: usize) {
+        (**self).dealloc(offset)
+    }
+    fn try_alloc(&self, size: usize) -> Result<usize, AllocError> {
+        (**self).try_alloc(size)
+    }
+    fn try_dealloc(&self, offset: usize) -> Result<(), FreeError> {
+        (**self).try_dealloc(offset)
+    }
+    fn allocated_bytes(&self) -> usize {
+        (**self).allocated_bytes()
+    }
+    fn stats(&self) -> OpStatsSnapshot {
+        (**self).stats()
+    }
+}

@@ -1,0 +1,137 @@
+//! Clock-cycle measurement.
+//!
+//! Figure 12 of the paper reports *total clock cycles* consumed by each
+//! allocator across a whole benchmark run.  On x86_64 we read the processor
+//! time-stamp counter (`rdtsc`) — constant-rate on every CPU from the last
+//! decade, so it behaves as a wall-clock measured in (nominal) cycles.  On
+//! other architectures we fall back to `std::time::Instant` scaled by an
+//! assumed 1 GHz so that the numbers remain comparable order-of-magnitude
+//! quantities and the harness code stays portable.
+
+use std::time::Instant;
+
+/// Reads the current value of the cycle counter.
+///
+/// Monotonic within a thread; on x86_64 it is also globally consistent on
+/// systems with an invariant TSC (all systems this reproduction targets).
+#[inline]
+pub fn cycles_now() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `_rdtsc` has no memory-safety preconditions; it merely
+        // reads the time-stamp counter.
+        unsafe { std::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        let epoch = EPOCH.get_or_init(Instant::now);
+        epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A stopwatch measuring both elapsed wall time and elapsed cycles.
+///
+/// # Examples
+///
+/// ```
+/// use nbbs_sync::CycleTimer;
+///
+/// let timer = CycleTimer::start();
+/// let mut acc = 0u64;
+/// for i in 0..10_000u64 {
+///     acc = acc.wrapping_add(i);
+/// }
+/// let (secs, cycles) = timer.stop();
+/// assert!(acc > 0);
+/// assert!(secs >= 0.0);
+/// assert!(cycles > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CycleTimer {
+    start_cycles: u64,
+    start_instant: Instant,
+}
+
+impl CycleTimer {
+    /// Starts a new timer.
+    #[inline]
+    pub fn start() -> Self {
+        CycleTimer {
+            start_cycles: cycles_now(),
+            start_instant: Instant::now(),
+        }
+    }
+
+    /// Elapsed cycles since [`CycleTimer::start`].
+    #[inline]
+    pub fn elapsed_cycles(&self) -> u64 {
+        cycles_now().wrapping_sub(self.start_cycles)
+    }
+
+    /// Elapsed wall-clock seconds since [`CycleTimer::start`].
+    #[inline]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start_instant.elapsed().as_secs_f64()
+    }
+
+    /// Stops the timer, returning `(seconds, cycles)`.
+    #[inline]
+    pub fn stop(&self) -> (f64, u64) {
+        (self.elapsed_secs(), self.elapsed_cycles())
+    }
+
+    /// Estimates the TSC frequency in Hz by comparing both clocks.
+    ///
+    /// Useful for converting cycle counts into time when reporting.  The
+    /// estimate improves with the measurement window; callers should time at
+    /// least a few milliseconds of work.
+    pub fn estimated_frequency_hz(&self) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.elapsed_cycles() as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_are_monotonic_within_thread() {
+        let a = cycles_now();
+        let mut x = 0u64;
+        for i in 0..100_000u64 {
+            x = x.wrapping_mul(3).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let b = cycles_now();
+        assert!(b >= a, "tsc went backwards: {a} -> {b}");
+    }
+
+    #[test]
+    fn timer_reports_nonzero_for_real_work() {
+        let t = CycleTimer::start();
+        let mut acc: u64 = 1;
+        for i in 1..200_000u64 {
+            acc = acc.wrapping_mul(i | 1);
+        }
+        std::hint::black_box(acc);
+        let (secs, cycles) = t.stop();
+        assert!(cycles > 0);
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn frequency_estimate_is_plausible() {
+        let t = CycleTimer::start();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let hz = t.estimated_frequency_hz();
+        // Anything between 100 MHz and 10 GHz is "plausible" for either the
+        // real TSC or the nanosecond fallback.
+        assert!(hz > 1e8 && hz < 1e10, "estimated frequency {hz} Hz");
+    }
+}

@@ -1,0 +1,33 @@
+//! Synchronization substrate for the NBBS reproduction.
+//!
+//! The paper compares a *non-blocking* buddy system against several
+//! *spin-lock based* allocators (`buddy-sl`, `1lvl-sl`, `4lvl-sl`, and the
+//! Linux kernel buddy, whose zones are protected by spin locks).  This crate
+//! provides the blocking primitives those baselines are built on, plus a few
+//! low-level utilities shared by the allocators and the benchmark harness:
+//!
+//! * [`SpinLock`] — a test-and-test-and-set spin lock with exponential
+//!   backoff, the synchronization primitive used by every `-sl` baseline.
+//! * [`TicketLock`] — a FIFO ticket spin lock, used to study the effect of
+//!   fairness on the blocking baselines.
+//! * [`Backoff`] — bounded exponential backoff used both inside the locks and
+//!   by retry loops in benchmarks.
+//! * [`CachePadded`] — aligns a value to a cache line to avoid false sharing
+//!   between per-thread counters in the benchmark harness.
+//! * [`cycles`] — a serializing time-stamp-counter reader used to reproduce
+//!   the clock-cycle metric of Figure 12.
+//!
+//! Everything here is dependency-free and `#![forbid(unsafe_code)]`-clean
+//! except for the `rdtsc` intrinsic (behind `cfg(target_arch = "x86_64")`).
+
+pub mod backoff;
+pub mod cycles;
+pub mod pad;
+pub mod spinlock;
+pub mod ticket;
+
+pub use backoff::Backoff;
+pub use cycles::{cycles_now, CycleTimer};
+pub use pad::CachePadded;
+pub use spinlock::{SpinLock, SpinLockGuard};
+pub use ticket::{TicketLock, TicketLockGuard};

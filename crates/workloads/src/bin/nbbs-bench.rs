@@ -1,0 +1,346 @@
+//! `nbbs-bench`: regenerate the figures of the NBBS paper from the command
+//! line.
+//!
+//! ```text
+//! nbbs-bench <command> [options]
+//!
+//! Commands:
+//!   fig8            Linux Scalability execution times   (Figure 8)
+//!   fig9            Thread Test execution times         (Figure 9)
+//!   fig10           Larson throughput                   (Figure 10)
+//!   fig11           Constant Occupancy execution times  (Figure 11)
+//!   fig12           Kernel-buddy comparison, cycles     (Figure 12)
+//!   all             All of the above
+//!   ablation-scan   Scan-start policy ablation (first-fit vs scattered)
+//!   ablation-rmw    RMW-per-operation ablation (1lvl vs 4lvl)
+//!   ablation-frag   Fragmentation-resilience ablation
+//!   list            List allocators, workloads and figures
+//!
+//! Options:
+//!   --scale <f>       Scale factor on the paper's operation counts (default 0.002)
+//!   --paper           Full paper-scale runs (equivalent to --scale 1.0)
+//!   --quick           Very small smoke-test runs (scale 0.0002, threads 1,2,4)
+//!   --threads <list>  Comma-separated thread counts (default 4,8,16,24,32)
+//!   --sizes <list>    Comma-separated request sizes in bytes
+//!   --allocators <l>  Comma-separated allocator names
+//!   --csv <path>      Also write raw measurements as CSV
+//!   --series <path>   Also write gnuplot-style series
+//!   --quiet           Suppress progress output
+//! ```
+
+use std::process::ExitCode;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel, ScanPolicy};
+use nbbs_workloads::factory::{AllocatorKind, SharedBackend};
+use nbbs_workloads::harness::{FigureSpec, Harness, Metric, SweepConfig, Workload};
+use nbbs_workloads::linux_scalability::{self, LinuxScalabilityParams};
+use nbbs_workloads::measure::Measurement;
+use nbbs_workloads::{constant_occupancy, report};
+
+#[derive(Debug, Clone)]
+struct Options {
+    scale: f64,
+    threads: Option<Vec<usize>>,
+    sizes: Option<Vec<usize>>,
+    allocators: Option<Vec<AllocatorKind>>,
+    csv_path: Option<String>,
+    series_path: Option<String>,
+    verbose: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 0.002,
+            threads: None,
+            sizes: None,
+            allocators: None,
+            csv_path: None,
+            series_path: None,
+            verbose: true,
+        }
+    }
+}
+
+fn parse_list<T: FromStr>(s: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.trim().parse::<T>().map_err(|e| format!("bad value '{p}': {e}")))
+        .collect()
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Options), String> {
+    if args.is_empty() {
+        return Err("missing command; try `nbbs-bench list`".into());
+    }
+    let command = args[0].clone();
+    let mut opts = Options::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = args
+                    .get(i)
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--paper" => opts.scale = 1.0,
+            "--quick" => {
+                opts.scale = 0.0002;
+                opts.threads.get_or_insert(vec![1, 2, 4]);
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = Some(parse_list(args.get(i).ok_or("--threads needs a value")?)?);
+            }
+            "--sizes" => {
+                i += 1;
+                opts.sizes = Some(parse_list(args.get(i).ok_or("--sizes needs a value")?)?);
+            }
+            "--allocators" => {
+                i += 1;
+                opts.allocators =
+                    Some(parse_list(args.get(i).ok_or("--allocators needs a value")?)?);
+            }
+            "--csv" => {
+                i += 1;
+                opts.csv_path = Some(args.get(i).ok_or("--csv needs a path")?.clone());
+            }
+            "--series" => {
+                i += 1;
+                opts.series_path = Some(args.get(i).ok_or("--series needs a path")?.clone());
+            }
+            "--quiet" => opts.verbose = false,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok((command, opts))
+}
+
+fn apply_overrides(mut sweep: SweepConfig, opts: &Options) -> SweepConfig {
+    if let Some(threads) = &opts.threads {
+        sweep = sweep.with_threads(threads.clone());
+    }
+    if let Some(sizes) = &opts.sizes {
+        sweep = sweep.with_sizes(sizes.clone());
+    }
+    if let Some(allocators) = &opts.allocators {
+        sweep = sweep.with_allocators(allocators.clone());
+    }
+    sweep.scale = opts.scale;
+    sweep
+}
+
+fn run_figure(figure: FigureSpec, opts: &Options) -> Vec<Measurement> {
+    let harness = Harness::new(opts.verbose);
+    let mut measurements = Vec::new();
+    println!("\n=== {} ===", figure.title());
+    for sweep in figure.sweeps(opts.scale) {
+        let sweep = apply_overrides(sweep, opts);
+        measurements.extend(harness.run_sweep(&sweep));
+    }
+    print!("{}", report::text_table(&measurements, figure.metric()));
+    let gains = report::speedup_summary(&measurements, figure.metric());
+    if !gains.is_empty() {
+        println!("Non-blocking gain over the best blocking allocator:");
+        print!("{}", report::gain_table(&gains));
+    }
+    measurements
+}
+
+fn write_outputs(measurements: &[Measurement], opts: &Options, metric: Metric) -> Result<(), String> {
+    if let Some(path) = &opts.csv_path {
+        std::fs::write(path, report::csv(measurements))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote CSV to {path}");
+    }
+    if let Some(path) = &opts.series_path {
+        std::fs::write(path, report::figure_series(measurements, metric))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote series to {path}");
+    }
+    Ok(())
+}
+
+/// Scan-start policy ablation: the same non-blocking tree with first-fit vs
+/// scattered scan starts, on the most contended workload.
+fn ablation_scan(opts: &Options) -> Vec<Measurement> {
+    println!("\n=== Ablation: scan-start policy (1lvl-nb, Linux Scalability, Bytes=8) ===");
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![4, 8, 16, 24, 32]);
+    let mut measurements = Vec::new();
+    for &t in &threads {
+        for (label, policy) in [
+            ("scattered", ScanPolicy::Scattered),
+            ("first-fit", ScanPolicy::FirstFit),
+        ] {
+            let cfg = BuddyConfig::new(64 << 20, 8, 16 << 10)
+                .unwrap()
+                .with_scan_policy(policy);
+            let alloc: SharedBackend = Arc::new(NbbsOneLevel::new(cfg));
+            let result = linux_scalability::run(
+                &alloc,
+                LinuxScalabilityParams::paper(t, 8).scaled(opts.scale),
+            );
+            let m = Measurement::new("scan-ablation", label, 8, result);
+            if opts.verbose {
+                eprintln!("[nbbs-bench]   -> {m}");
+            }
+            measurements.push(m);
+        }
+    }
+    print!("{}", report::text_table(&measurements, Metric::Seconds));
+    measurements
+}
+
+/// RMW-count ablation: CAS instructions per operation for 1lvl vs 4lvl.
+fn ablation_rmw(opts: &Options) -> Vec<Measurement> {
+    println!("\n=== Ablation: RMW instructions per operation (1lvl vs 4lvl) ===");
+    if !nbbs::OpStats::enabled() {
+        println!(
+            "note: rebuild with `--features nbbs/op-stats` to obtain CAS counts; \
+             timing comparison is still reported below."
+        );
+    }
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![1, 8, 32]);
+    let cfg = BuddyConfig::new(64 << 20, 8, 16 << 10).unwrap();
+    let mut measurements = Vec::new();
+    for &t in &threads {
+        for (name, alloc) in [
+            (
+                "1lvl-nb",
+                Arc::new(NbbsOneLevel::new(cfg)) as SharedBackend,
+            ),
+            (
+                "4lvl-nb",
+                Arc::new(NbbsFourLevel::new(cfg)) as SharedBackend,
+            ),
+        ] {
+            let result = linux_scalability::run(
+                &alloc,
+                LinuxScalabilityParams::paper(t, 8).scaled(opts.scale),
+            );
+            let stats = alloc.stats();
+            if stats.cas_ops > 0 {
+                println!(
+                    "  threads={t:<3} {name:<8} cas/op={:.2} cas-failure-rate={:.4}",
+                    stats.cas_per_op(),
+                    stats.cas_failure_rate()
+                );
+            }
+            measurements.push(Measurement::new("rmw-ablation", name, 8, result));
+        }
+    }
+    print!("{}", report::text_table(&measurements, Metric::Seconds));
+    measurements
+}
+
+/// Fragmentation-resilience ablation: Constant Occupancy at increasing
+/// occupancy levels (pool sizes), non-blocking vs spin-locked tree.
+fn ablation_frag(opts: &Options) -> Vec<Measurement> {
+    println!("\n=== Ablation: resilience to fragmentation/occupancy (Constant Occupancy) ===");
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![8]);
+    let cfg = BuddyConfig::new(64 << 20, 8, 16 << 10).unwrap();
+    let mut measurements = Vec::new();
+    for &t in &threads {
+        for pool in [64usize, 256, 1024] {
+            for kind in [AllocatorKind::OneLevelNb, AllocatorKind::BuddySl] {
+                let alloc = nbbs_workloads::factory::build(kind, cfg);
+                let params = constant_occupancy::ConstantOccupancyParams {
+                    threads: t,
+                    min_block: 8,
+                    size_ratio: 16,
+                    base_pool_count: pool,
+                    total_steps: (20_000_000f64 * opts.scale) as u64,
+                };
+                let result = constant_occupancy::run(&alloc, params);
+                let m = Measurement::new(format!("frag-pool-{pool}"), kind.name(), 8, result);
+                if opts.verbose {
+                    eprintln!("[nbbs-bench]   -> {m}");
+                }
+                measurements.push(m);
+            }
+        }
+    }
+    print!("{}", report::text_table(&measurements, Metric::Seconds));
+    measurements
+}
+
+fn list() {
+    println!("Allocators:");
+    for &kind in AllocatorKind::all() {
+        println!(
+            "  {:<12} {}",
+            kind.name(),
+            if kind.is_non_blocking() {
+                "non-blocking (lock-free)"
+            } else {
+                "blocking (spin lock)"
+            }
+        );
+    }
+    println!("\nWorkloads:");
+    for w in [
+        Workload::LinuxScalability,
+        Workload::ThreadTest,
+        Workload::Larson,
+        Workload::ConstantOccupancy,
+    ] {
+        println!("  {:<20} metric: {}", w.name(), w.primary_metric().label());
+    }
+    println!("\nFigures:");
+    for &f in FigureSpec::all() {
+        println!("  {}", f.title());
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, opts) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|all|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (measurements, metric) = match command.as_str() {
+        "fig8" => (run_figure(FigureSpec::Fig8, &opts), FigureSpec::Fig8.metric()),
+        "fig9" => (run_figure(FigureSpec::Fig9, &opts), FigureSpec::Fig9.metric()),
+        "fig10" => (run_figure(FigureSpec::Fig10, &opts), FigureSpec::Fig10.metric()),
+        "fig11" => (run_figure(FigureSpec::Fig11, &opts), FigureSpec::Fig11.metric()),
+        "fig12" => (run_figure(FigureSpec::Fig12, &opts), FigureSpec::Fig12.metric()),
+        "all" => {
+            let mut all = Vec::new();
+            for &figure in FigureSpec::all() {
+                all.extend(run_figure(figure, &opts));
+            }
+            (all, Metric::Seconds)
+        }
+        "ablation-scan" => (ablation_scan(&opts), Metric::Seconds),
+        "ablation-rmw" => (ablation_rmw(&opts), Metric::Seconds),
+        "ablation-frag" => (ablation_frag(&opts), Metric::Seconds),
+        "list" => {
+            list();
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("error: unknown command '{other}'");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Err(e) = write_outputs(&measurements, &opts, metric) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

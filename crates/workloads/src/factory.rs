@@ -1,0 +1,176 @@
+//! Construction of every allocator configuration evaluated in the paper.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use nbbs::{
+    BuddyBackend, BuddyConfig, LockedFourLevel, LockedOneLevel, NbbsFourLevel, NbbsOneLevel,
+};
+use nbbs_baselines::{CloudwuBuddy, LinuxBuddy};
+
+/// A shareable, dynamically-typed back-end allocator.
+pub type SharedBackend = Arc<dyn BuddyBackend>;
+
+/// The allocator configurations compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocatorKind {
+    /// The paper's 4-level optimized non-blocking buddy (`4lvl-nb`).
+    FourLevelNb,
+    /// The paper's 1-level non-blocking buddy (`1lvl-nb`).
+    OneLevelNb,
+    /// The 4-level structure behind a global spin lock (`4lvl-sl`).
+    FourLevelSl,
+    /// The 1-level structure behind a global spin lock (`1lvl-sl`).
+    OneLevelSl,
+    /// The cloudwu-style tree buddy behind a spin lock (`buddy-sl`).
+    BuddySl,
+    /// The Linux-kernel-style free-list buddy behind a zone lock
+    /// (`linux-buddy`, Figure 12 only).
+    LinuxBuddy,
+}
+
+impl AllocatorKind {
+    /// The five user-space allocators of Figures 8–11, in the paper's legend
+    /// order.
+    pub fn user_space() -> &'static [AllocatorKind] {
+        &[
+            AllocatorKind::FourLevelNb,
+            AllocatorKind::OneLevelNb,
+            AllocatorKind::FourLevelSl,
+            AllocatorKind::OneLevelSl,
+            AllocatorKind::BuddySl,
+        ]
+    }
+
+    /// The allocators of the kernel-level comparison (Figure 12).
+    pub fn kernel_comparison() -> &'static [AllocatorKind] {
+        &[
+            AllocatorKind::FourLevelNb,
+            AllocatorKind::OneLevelNb,
+            AllocatorKind::BuddySl,
+            AllocatorKind::LinuxBuddy,
+        ]
+    }
+
+    /// Every configuration known to the factory.
+    pub fn all() -> &'static [AllocatorKind] {
+        &[
+            AllocatorKind::FourLevelNb,
+            AllocatorKind::OneLevelNb,
+            AllocatorKind::FourLevelSl,
+            AllocatorKind::OneLevelSl,
+            AllocatorKind::BuddySl,
+            AllocatorKind::LinuxBuddy,
+        ]
+    }
+
+    /// The short name used in the paper's plots and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocatorKind::FourLevelNb => "4lvl-nb",
+            AllocatorKind::OneLevelNb => "1lvl-nb",
+            AllocatorKind::FourLevelSl => "4lvl-sl",
+            AllocatorKind::OneLevelSl => "1lvl-sl",
+            AllocatorKind::BuddySl => "buddy-sl",
+            AllocatorKind::LinuxBuddy => "linux-buddy",
+        }
+    }
+
+    /// Whether the configuration is non-blocking (lock-free).
+    pub fn is_non_blocking(self) -> bool {
+        matches!(self, AllocatorKind::FourLevelNb | AllocatorKind::OneLevelNb)
+    }
+}
+
+impl fmt::Display for AllocatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AllocatorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "4lvl-nb" => Ok(AllocatorKind::FourLevelNb),
+            "1lvl-nb" => Ok(AllocatorKind::OneLevelNb),
+            "4lvl-sl" => Ok(AllocatorKind::FourLevelSl),
+            "1lvl-sl" => Ok(AllocatorKind::OneLevelSl),
+            "buddy-sl" => Ok(AllocatorKind::BuddySl),
+            "linux-buddy" => Ok(AllocatorKind::LinuxBuddy),
+            other => Err(format!(
+                "unknown allocator '{other}' (expected one of: 4lvl-nb, 1lvl-nb, 4lvl-sl, 1lvl-sl, buddy-sl, linux-buddy)"
+            )),
+        }
+    }
+}
+
+/// Builds a fresh allocator instance of the given kind.
+pub fn build(kind: AllocatorKind, config: BuddyConfig) -> SharedBackend {
+    match kind {
+        AllocatorKind::FourLevelNb => Arc::new(NbbsFourLevel::new(config)),
+        AllocatorKind::OneLevelNb => Arc::new(NbbsOneLevel::new(config)),
+        AllocatorKind::FourLevelSl => Arc::new(LockedFourLevel::new(NbbsFourLevel::new(config))),
+        AllocatorKind::OneLevelSl => Arc::new(LockedOneLevel::new(NbbsOneLevel::new(config))),
+        AllocatorKind::BuddySl => Arc::new(CloudwuBuddy::new(config)),
+        AllocatorKind::LinuxBuddy => Arc::new(LinuxBuddy::new(config)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BuddyConfig {
+        BuddyConfig::new(1 << 16, 8, 1 << 14).unwrap()
+    }
+
+    #[test]
+    fn every_kind_builds_and_reports_its_name() {
+        for &kind in AllocatorKind::all() {
+            // linux-buddy wants page-like min sizes; use a dedicated config.
+            let config = if kind == AllocatorKind::LinuxBuddy {
+                BuddyConfig::new(1 << 20, 4096, 1 << 17).unwrap()
+            } else {
+                cfg()
+            };
+            let alloc = build(kind, config);
+            assert_eq!(alloc.name(), kind.name());
+            let off = alloc.alloc(alloc.min_size()).unwrap();
+            alloc.dealloc(off);
+            assert_eq!(alloc.allocated_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn kind_sets_match_paper() {
+        assert_eq!(AllocatorKind::user_space().len(), 5);
+        assert_eq!(AllocatorKind::kernel_comparison().len(), 4);
+        assert!(AllocatorKind::user_space()
+            .iter()
+            .all(|k| *k != AllocatorKind::LinuxBuddy));
+        assert!(AllocatorKind::kernel_comparison()
+            .iter()
+            .any(|k| *k == AllocatorKind::LinuxBuddy));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for &kind in AllocatorKind::all() {
+            assert_eq!(kind.name().parse::<AllocatorKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("bogus".parse::<AllocatorKind>().is_err());
+    }
+
+    #[test]
+    fn non_blocking_classification() {
+        assert!(AllocatorKind::FourLevelNb.is_non_blocking());
+        assert!(AllocatorKind::OneLevelNb.is_non_blocking());
+        assert!(!AllocatorKind::BuddySl.is_non_blocking());
+        assert!(!AllocatorKind::LinuxBuddy.is_non_blocking());
+        assert!(!AllocatorKind::OneLevelSl.is_non_blocking());
+    }
+}

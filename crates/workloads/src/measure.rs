@@ -1,0 +1,162 @@
+//! Measurement records produced by the workload drivers.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Raw result of running one workload on one allocator configuration.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WorkloadResult {
+    /// Number of threads that participated.
+    pub threads: usize,
+    /// Completed allocator operations (one alloc or one free counts as one).
+    pub operations: u64,
+    /// Wall-clock duration of the measured section, in seconds.
+    pub seconds: f64,
+    /// Clock cycles elapsed over the measured section (TSC-based; the metric
+    /// of the paper's Figure 12).
+    pub cycles: u64,
+    /// Allocation attempts that failed (out of memory / transient conflicts
+    /// that exhausted the scan); the paper's workloads are sized so that this
+    /// stays at zero.
+    pub failed_allocs: u64,
+}
+
+impl WorkloadResult {
+    /// Throughput in thousands of operations per second (Figure 10's unit).
+    pub fn kops_per_sec(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.operations as f64 / self.seconds / 1_000.0
+    }
+
+    /// Average nanoseconds per operation.
+    pub fn ns_per_op(&self) -> f64 {
+        if self.operations == 0 {
+            return 0.0;
+        }
+        self.seconds * 1e9 / self.operations as f64
+    }
+}
+
+/// One cell of a paper figure: a workload result annotated with the
+/// allocator, workload and request size it belongs to.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Workload name (e.g. `"linux-scalability"`).
+    pub workload: String,
+    /// Allocator name (e.g. `"4lvl-nb"`).
+    pub allocator: String,
+    /// Request size in bytes the workload was parameterized with.
+    pub size: usize,
+    /// The underlying result.
+    pub result: WorkloadResult,
+}
+
+impl Measurement {
+    /// Creates a measurement record.
+    pub fn new(
+        workload: impl Into<String>,
+        allocator: impl Into<String>,
+        size: usize,
+        result: WorkloadResult,
+    ) -> Self {
+        Measurement {
+            workload: workload.into(),
+            allocator: allocator.into(),
+            size,
+            result,
+        }
+    }
+
+    /// CSV header matching [`Measurement::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "workload,allocator,size,threads,operations,seconds,kops_per_sec,cycles,failed_allocs"
+    }
+
+    /// Renders the measurement as one CSV row.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.6},{:.3},{},{}",
+            self.workload,
+            self.allocator,
+            self.size,
+            self.result.threads,
+            self.result.operations,
+            self.result.seconds,
+            self.result.kops_per_sec(),
+            self.result.cycles,
+            self.result.failed_allocs
+        )
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<20} {:<12} size={:<7} threads={:<3} {:>10.4}s {:>12.1} KOps/s",
+            self.workload,
+            self.allocator,
+            self.size,
+            self.result.threads,
+            self.result.seconds,
+            self.result.kops_per_sec()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkloadResult {
+        WorkloadResult {
+            threads: 4,
+            operations: 2_000_000,
+            seconds: 2.0,
+            cycles: 5_400_000_000,
+            failed_allocs: 0,
+        }
+    }
+
+    #[test]
+    fn throughput_and_latency_derivations() {
+        let r = sample();
+        assert!((r.kops_per_sec() - 1_000.0).abs() < 1e-9);
+        assert!((r.ns_per_op() - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_is_guarded() {
+        let r = WorkloadResult {
+            threads: 1,
+            operations: 0,
+            seconds: 0.0,
+            cycles: 0,
+            failed_allocs: 0,
+        };
+        assert_eq!(r.kops_per_sec(), 0.0);
+        assert_eq!(r.ns_per_op(), 0.0);
+    }
+
+    #[test]
+    fn csv_rows_are_well_formed() {
+        let m = Measurement::new("larson", "4lvl-nb", 128, sample());
+        let row = m.to_csv_row();
+        assert_eq!(
+            row.split(',').count(),
+            Measurement::csv_header().split(',').count()
+        );
+        assert!(row.starts_with("larson,4lvl-nb,128,4,"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Measurement::new("thread-test", "buddy-sl", 1024, sample());
+        let s = m.to_string();
+        assert!(s.contains("thread-test"));
+        assert!(s.contains("buddy-sl"));
+        assert!(s.contains("1024"));
+    }
+}

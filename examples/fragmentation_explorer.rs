@@ -1,0 +1,99 @@
+//! Fragmentation explorer: how buddy coalescing keeps external fragmentation
+//! in check, and how the non-blocking design behaves as occupancy grows.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example fragmentation_explorer
+//! ```
+//!
+//! The example drives a random allocate/free workload through the sequential
+//! reference buddy (which tracks fragmentation metrics exactly) while
+//! mirroring every operation on the non-blocking allocator, verifying that
+//! the two agree at every step; it then reports how the largest allocatable
+//! chunk and the external-fragmentation ratio evolve with occupancy, and how
+//! occupancy affects the latency of the non-blocking allocator (the paper's
+//! "resilience to fragmentation" claim, ablation A3 in DESIGN.md).
+
+use nbbs::{BuddyConfig, NbbsOneLevel, ScanPolicy};
+use nbbs_baselines::ReferenceBuddy;
+use nbbs_workloads::rng::SplitMix64;
+use std::time::Instant;
+
+fn main() {
+    let config = BuddyConfig::new(1 << 20, 64, 1 << 20)
+        .unwrap()
+        .with_scan_policy(ScanPolicy::FirstFit);
+    let mut oracle = ReferenceBuddy::new(config);
+    let nb = NbbsOneLevel::new(config);
+    let mut rng = SplitMix64::new(2024);
+
+    println!(
+        "{:>10} {:>14} {:>20} {:>16}",
+        "live", "occupancy %", "largest free chunk", "fragmentation %"
+    );
+
+    let mut live: Vec<usize> = Vec::new();
+    let mut next_report = 0usize;
+    for step in 0..60_000usize {
+        // Bias towards allocation until ~75% occupancy, then towards frees.
+        let occupancy = oracle.allocated_bytes() as f64 / (1 << 20) as f64;
+        let do_alloc = live.is_empty() || (rng.next_below(100) as f64) < 100.0 * (0.9 - occupancy);
+        if do_alloc {
+            let size = 64usize << rng.next_below(8);
+            let expected = oracle.alloc(size);
+            let got = nb.alloc(size);
+            assert_eq!(expected, got, "oracle and 1lvl-nb diverged at step {step}");
+            if let Some(off) = got {
+                live.push(off);
+            }
+        } else {
+            let off = live.swap_remove(rng.next_below(live.len()));
+            oracle.dealloc(off);
+            nb.dealloc(off);
+        }
+
+        if step >= next_report {
+            println!(
+                "{:>10} {:>13.1}% {:>20} {:>15.1}%",
+                oracle.live_count(),
+                100.0 * oracle.allocated_bytes() as f64 / (1 << 20) as f64,
+                oracle.largest_free_chunk(),
+                100.0 * oracle.external_fragmentation()
+            );
+            next_report += 10_000;
+        }
+    }
+
+    // Latency vs occupancy on the non-blocking allocator: time a burst of
+    // alloc/free pairs at the current (high) occupancy, then drain and time
+    // the same burst on the empty allocator.
+    let time_pairs = |label: &str| {
+        let start = Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..100_000 {
+            if let Some(off) = nb.alloc(64) {
+                acc ^= off;
+                nb.dealloc(off);
+            }
+        }
+        std::hint::black_box(acc);
+        println!(
+            "{label:<28} 100k alloc/free pairs took {:>8.2} ms",
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    };
+    println!();
+    time_pairs(&format!(
+        "at {:.0}% occupancy:",
+        100.0 * nb.allocated_bytes() as f64 / (1 << 20) as f64
+    ));
+    for off in live.drain(..) {
+        oracle.dealloc(off);
+        nb.dealloc(off);
+    }
+    time_pairs("on the empty allocator:");
+
+    assert_eq!(nb.allocated_bytes(), 0);
+    assert_eq!(oracle.allocated_bytes(), 0);
+    println!("\noracle and non-blocking allocator stayed in lock-step for 60k operations");
+}

@@ -1,0 +1,65 @@
+//! Using the non-blocking buddy as the program's global allocator.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example global_allocator
+//! ```
+//!
+//! The paper positions the NBBS as a back-end allocator; the thinnest
+//! possible front end is Rust's `#[global_allocator]` hook.  Requests that
+//! fit within the configured `max_size` are served from the buddy region;
+//! larger or over-aligned requests (and the allocations made while the
+//! region itself is being initialized) fall back to the system allocator.
+
+use nbbs::NbbsGlobalAlloc;
+use std::collections::HashMap;
+
+// 64 MiB arena, 32-byte allocation units, 64 KiB largest buddy-served chunk.
+#[global_allocator]
+static GLOBAL: NbbsGlobalAlloc = NbbsGlobalAlloc::new(64 << 20, 32, 64 << 10);
+
+fn main() {
+    // Ordinary collection work — every Vec/String/HashMap allocation below
+    // max_size is served by the buddy.
+    let mut map: HashMap<String, Vec<u64>> = HashMap::new();
+    for i in 0..10_000u64 {
+        map.entry(format!("bucket-{}", i % 64)).or_default().push(i);
+    }
+    let total: u64 = map.values().map(|v| v.iter().sum::<u64>()).sum();
+    println!("sum over 10k values in 64 buckets: {total}");
+    println!(
+        "bytes currently served by the buddy region: {}",
+        GLOBAL.buddy_allocated_bytes()
+    );
+
+    // Spawn threads that churn through short-lived allocations concurrently.
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut acc = 0usize;
+                for i in 0..20_000usize {
+                    let v: Vec<u8> = vec![t as u8; 16 + (i % 512)];
+                    acc += v.len();
+                }
+                acc
+            })
+        })
+        .collect();
+    let churned: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    println!("4 threads churned {churned} bytes of short-lived vectors");
+
+    // A deliberately huge allocation exceeds max_size and transparently goes
+    // to the system allocator.
+    let big: Vec<u8> = vec![0u8; 1 << 20];
+    println!(
+        "1 MiB vector at {:p}: served by the buddy? {}",
+        big.as_ptr(),
+        GLOBAL.owns(big.as_ptr() as *mut u8)
+    );
+
+    drop(map);
+    println!(
+        "after dropping the map, buddy-served bytes: {}",
+        GLOBAL.buddy_allocated_bytes()
+    );
+}

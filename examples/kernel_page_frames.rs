@@ -1,0 +1,97 @@
+//! Page-frame allocation scenario: the paper's kernel-level experiment
+//! (Figure 12) replayed in user space.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example kernel_page_frames [threads]
+//! ```
+//!
+//! The Linux kernel serves physical memory through one buddy-allocator
+//! instance per NUMA node, protected by the zone spin lock.  When the memory
+//! policy funnels the allocations of many threads towards a single node —
+//! the situation the paper reproduces with its kernel module — that lock
+//! becomes the bottleneck.  This example drives the same access pattern
+//! (page-granular allocations up to 128 KiB blocks, every thread bound to
+//! the same instance) against:
+//!
+//! * `linux-buddy`  — the free-list buddy with a zone lock (kernel-style),
+//! * `buddy-sl`     — the spin-locked tree buddy,
+//! * `1lvl-nb` / `4lvl-nb` — the paper's non-blocking buddy.
+//!
+//! It prints the total clock cycles consumed by each configuration, i.e. the
+//! metric of Figure 12, plus a `/proc/buddyinfo`-style view of the kernel
+//! baseline before and after the run to show that coalescing is preserved.
+
+use nbbs::BuddyBackend;
+use nbbs_baselines::LinuxBuddy;
+use nbbs_sync::CycleTimer;
+use nbbs_workloads::factory::{build, AllocatorKind};
+use nbbs_workloads::harness::Workload;
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
+
+    // 512 MiB of "physical memory", 4 KiB pages, 128 KiB maximum blocks —
+    // the granularity of the paper's kernel experiment.
+    let config = nbbs::BuddyConfig::new(512 << 20, 4096, 128 << 10).unwrap();
+    let scale = 0.002; // fraction of the paper's 20M operations
+    let size = 128 << 10;
+
+    // Show the buddyinfo view of the kernel-style baseline.
+    let kernel = LinuxBuddy::new(config);
+    println!("linux-buddy free-list population (per order), before:");
+    println!("  {:?}", kernel.buddyinfo());
+
+    println!(
+        "\npage-frame stress: {threads} threads, 128 KiB blocks, {} operations total\n",
+        (20_000_000f64 * scale) as u64 * 2
+    );
+    println!(
+        "{:<14} {:>16} {:>12} {:>14}",
+        "allocator", "clock cycles", "seconds", "KOps/sec"
+    );
+
+    let mut baseline_cycles = None;
+    for &kind in AllocatorKind::kernel_comparison() {
+        let alloc = build(kind, config);
+        let timer = CycleTimer::start();
+        let result = Workload::LinuxScalability.run(&alloc, threads, size, scale);
+        let _ = timer;
+        println!(
+            "{:<14} {:>16} {:>12.4} {:>14.1}",
+            kind.name(),
+            result.cycles,
+            result.seconds,
+            result.kops_per_sec()
+        );
+        if kind == AllocatorKind::LinuxBuddy {
+            baseline_cycles = Some(result.cycles);
+        } else if kind.is_non_blocking() {
+            if let Some(base) = baseline_cycles {
+                // Baseline printed first only if it ran first; handle both orders.
+                let gain = 1.0 - result.cycles as f64 / base as f64;
+                println!("{:<14} {:>16}", "", format!("(gain vs linux-buddy: {:.0}%)", gain * 100.0));
+            }
+        }
+        assert_eq!(alloc.allocated_bytes(), 0);
+    }
+
+    // Exercise the kernel baseline directly with the order-based API, the
+    // way __get_free_pages is called, and show coalescing is restored.
+    let mut held = Vec::new();
+    for order in [0usize, 1, 2, 3, 4, 5] {
+        if let Some(off) = kernel.alloc_order(order) {
+            held.push(off);
+        }
+    }
+    println!("\nlinux-buddy free-list population while 6 blocks are held:");
+    println!("  {:?}", kernel.buddyinfo());
+    for off in held {
+        kernel.dealloc(off);
+    }
+    println!("linux-buddy free-list population after releasing them (fully coalesced):");
+    println!("  {:?}", kernel.buddyinfo());
+}

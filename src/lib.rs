@@ -1,0 +1,10 @@
+//! Umbrella crate for the NBBS reproduction repository.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`).  It re-exports the public
+//! crates so examples can use a single dependency root.
+
+pub use nbbs;
+pub use nbbs_baselines;
+pub use nbbs_sync;
+pub use nbbs_workloads;

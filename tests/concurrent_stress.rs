@@ -1,0 +1,244 @@
+//! Concurrent stress tests across every allocator in the evaluation.
+//!
+//! These tests exercise the regimes the paper's benchmarks create —
+//! same-size contention, mixed sizes, producer/consumer (remote) frees, and
+//! oversubscription — and check the system-wide invariants that must hold no
+//! matter how operations interleave:
+//!
+//! * chunks handed to different threads never overlap while both are live,
+//! * the byte accounting returns to zero once everything is freed,
+//! * the full region coalesces back after the storm,
+//! * the non-blocking variants' metadata audits clean at quiescence.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nbbs::verify::audit_empty;
+use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel};
+use nbbs_workloads::factory::{build, AllocatorKind, SharedBackend};
+use nbbs_workloads::rng::SplitMix64;
+
+fn user_config() -> BuddyConfig {
+    BuddyConfig::new(1 << 20, 8, 1 << 14).unwrap()
+}
+
+fn kernel_config() -> BuddyConfig {
+    BuddyConfig::new(1 << 22, 4096, 1 << 17).unwrap()
+}
+
+fn config_for(kind: AllocatorKind) -> BuddyConfig {
+    if kind == AllocatorKind::LinuxBuddy {
+        kernel_config()
+    } else {
+        user_config()
+    }
+}
+
+/// Mixed-size storm: every thread allocates and frees random sizes; at the
+/// end everything must be back to a pristine state.
+fn mixed_size_storm(alloc: &SharedBackend, threads: usize, iters: usize) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let alloc = Arc::clone(alloc);
+            std::thread::spawn(move || {
+                let min = alloc.min_size();
+                let spread = (alloc.max_size() / min).trailing_zeros() as usize + 1;
+                let mut rng = SplitMix64::new(0x5EED ^ t as u64);
+                let mut live = Vec::new();
+                for _ in 0..iters {
+                    if live.is_empty() || rng.next_u64() & 1 == 0 {
+                        let size = min << rng.next_below(spread.min(8));
+                        if let Some(off) = alloc.alloc(size) {
+                            live.push(off);
+                        }
+                    } else {
+                        let off = live.swap_remove(rng.next_below(live.len()));
+                        alloc.dealloc(off);
+                    }
+                }
+                for off in live {
+                    alloc.dealloc(off);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(alloc.allocated_bytes(), 0, "{} leaked memory", alloc.name());
+    // The whole region must be recoverable as maximal chunks.
+    let max = alloc.max_size();
+    let mut maximal = Vec::new();
+    for _ in 0..alloc.total_memory() / max {
+        maximal.push(
+            alloc
+                .alloc(max)
+                .unwrap_or_else(|| panic!("{} lost capacity after the storm", alloc.name())),
+        );
+    }
+    for off in maximal {
+        alloc.dealloc(off);
+    }
+}
+
+#[test]
+fn mixed_size_storm_on_every_allocator() {
+    for &kind in AllocatorKind::all() {
+        let alloc = build(kind, config_for(kind));
+        mixed_size_storm(&alloc, 6, 3_000);
+    }
+}
+
+#[test]
+fn non_blocking_variants_audit_clean_after_storm() {
+    let one = Arc::new(NbbsOneLevel::new(user_config()));
+    let shared: SharedBackend = one.clone();
+    mixed_size_storm(&shared, 8, 4_000);
+    audit_empty(&*one).assert_clean();
+
+    let four = Arc::new(NbbsFourLevel::new(user_config()));
+    let shared: SharedBackend = four.clone();
+    mixed_size_storm(&shared, 8, 4_000);
+    audit_empty(&*four).assert_clean();
+}
+
+/// Global overlap detection: every thread records the chunks it held in a
+/// shared log with timestamps (a simple global epoch counter); afterwards we
+/// verify that no two chunks with overlapping lifetimes overlap in space.
+#[test]
+fn concurrent_chunks_never_overlap_in_space_and_time() {
+    for kind in [AllocatorKind::OneLevelNb, AllocatorKind::FourLevelNb] {
+        let alloc = build(kind, BuddyConfig::new(1 << 14, 8, 1 << 10).unwrap());
+        let epoch = Arc::new(AtomicUsize::new(0));
+        // (offset, granted, start_epoch, end_epoch)
+        let log: Arc<Mutex<Vec<(usize, usize, usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                let alloc = Arc::clone(&alloc);
+                let epoch = Arc::clone(&epoch);
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    let mut rng = SplitMix64::new(t as u64 + 100);
+                    let mut held: Vec<(usize, usize, usize)> = Vec::new();
+                    for _ in 0..2_000 {
+                        if held.is_empty() || rng.next_u64() & 1 == 0 {
+                            let size = 8usize << rng.next_below(8);
+                            if let Some(off) = alloc.alloc(size) {
+                                let granted = alloc.geometry().granted_size(size).unwrap();
+                                let start = epoch.fetch_add(1, Ordering::SeqCst);
+                                held.push((off, granted, start));
+                            }
+                        } else {
+                            let (off, granted, start) =
+                                held.swap_remove(rng.next_below(held.len()));
+                            let end = epoch.fetch_add(1, Ordering::SeqCst);
+                            alloc.dealloc(off);
+                            log.lock().unwrap().push((off, granted, start, end));
+                        }
+                    }
+                    let end = epoch.fetch_add(1, Ordering::SeqCst);
+                    let mut l = log.lock().unwrap();
+                    for (off, granted, start) in held {
+                        alloc.dealloc(off);
+                        l.push((off, granted, start, end));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let entries = log.lock().unwrap();
+        for a in entries.iter() {
+            for b in entries.iter() {
+                if std::ptr::eq(a, b) {
+                    continue;
+                }
+                let space_overlap = a.0 < b.0 + b.1 && b.0 < a.0 + a.1;
+                // Conservative lifetime overlap: allocation epoch strictly
+                // inside the other's [start, end) window.
+                let time_overlap = a.2 > b.2 && a.2 < b.3;
+                assert!(
+                    !(space_overlap && time_overlap),
+                    "{kind:?}: chunk {a:?} overlaps {b:?} in space and time"
+                );
+            }
+        }
+        assert_eq!(alloc.allocated_bytes(), 0);
+    }
+}
+
+/// Producer/consumer pattern (remote frees) on every allocator: allocating
+/// and freeing threads are disjoint.
+#[test]
+fn remote_frees_on_every_allocator() {
+    use std::sync::mpsc;
+    for &kind in AllocatorKind::all() {
+        let alloc = build(kind, config_for(kind));
+        let pairs = 3;
+        let iters = 1_500usize;
+        let mut handles = Vec::new();
+        for p in 0..pairs {
+            let (tx, rx) = mpsc::channel::<usize>();
+            let producer = {
+                let alloc = Arc::clone(&alloc);
+                std::thread::spawn(move || {
+                    let mut rng = SplitMix64::new(p as u64);
+                    for _ in 0..iters {
+                        let size = alloc.min_size() << rng.next_below(4);
+                        loop {
+                            if let Some(off) = alloc.alloc(size) {
+                                tx.send(off).unwrap();
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            };
+            let consumer = {
+                let alloc = Arc::clone(&alloc);
+                std::thread::spawn(move || {
+                    for _ in 0..iters {
+                        let off = rx.recv().unwrap();
+                        alloc.dealloc(off);
+                    }
+                })
+            };
+            handles.push(producer);
+            handles.push(consumer);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(alloc.allocated_bytes(), 0, "{} leaked", alloc.name());
+    }
+}
+
+/// Same-size contention at the smallest granularity, heavily oversubscribed
+/// relative to the single host core: the worst case for spin locks and the
+/// best showcase for lock-freedom; here we only assert correctness.
+#[test]
+fn same_size_contention_all_allocators() {
+    for &kind in AllocatorKind::all() {
+        let alloc = build(kind, config_for(kind));
+        let size = alloc.min_size();
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let alloc = Arc::clone(&alloc);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        if let Some(off) = alloc.alloc(size) {
+                            alloc.dealloc(off);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(alloc.allocated_bytes(), 0, "{} leaked", alloc.name());
+    }
+}

@@ -1,0 +1,218 @@
+//! Failure-path and edge-case integration tests: exhaustion, oversized and
+//! invalid requests, invalid frees, recovery after out-of-memory, and
+//! multi-instance fallback behaviour.
+
+use nbbs::error::{AllocError, FreeError};
+use nbbs::{BuddyBackend, BuddyConfig, MultiInstance, NbbsOneLevel};
+use nbbs_workloads::factory::{build, AllocatorKind};
+use nbbs_workloads::rng::SplitMix64;
+
+fn config_for(kind: AllocatorKind, total: usize) -> BuddyConfig {
+    if kind == AllocatorKind::LinuxBuddy {
+        BuddyConfig::new(total.max(1 << 16), 4096, 1 << 16).unwrap()
+    } else {
+        BuddyConfig::new(total, 8, total.min(1 << 14)).unwrap()
+    }
+}
+
+#[test]
+fn oversized_requests_fail_cleanly_everywhere() {
+    for &kind in AllocatorKind::all() {
+        let alloc = build(kind, config_for(kind, 1 << 16));
+        let max = alloc.max_size();
+        assert_eq!(alloc.alloc(max + 1), None, "{}", alloc.name());
+        assert!(matches!(
+            alloc.try_alloc(max * 2),
+            Err(AllocError::TooLarge { .. })
+        ));
+        assert_eq!(alloc.allocated_bytes(), 0);
+        // The failed attempts must not have perturbed the allocator.
+        let ok = alloc.alloc(max).unwrap();
+        alloc.dealloc(ok);
+    }
+}
+
+#[test]
+fn exhaustion_reports_oom_and_recovers_everywhere() {
+    for &kind in AllocatorKind::all() {
+        let alloc = build(kind, config_for(kind, 1 << 16));
+        let unit = alloc.min_size();
+        let mut held = Vec::new();
+        while let Some(off) = alloc.alloc(unit) {
+            held.push(off);
+            assert!(held.len() <= alloc.total_memory() / unit, "{} over-allocated", alloc.name());
+        }
+        assert_eq!(
+            held.len(),
+            alloc.total_memory() / unit,
+            "{} under-utilized its region",
+            alloc.name()
+        );
+        assert!(matches!(
+            alloc.try_alloc(unit),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+        // Free half, in a scattered order, and verify proportional recovery.
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..held.len() / 2 {
+            let off = held.swap_remove(rng.next_below(held.len()));
+            alloc.dealloc(off);
+        }
+        let mut reacquired = Vec::new();
+        for _ in 0..alloc.total_memory() / unit / 2 {
+            reacquired.push(alloc.alloc(unit).unwrap_or_else(|| {
+                panic!("{}: failed to reuse freed capacity", alloc.name())
+            }));
+        }
+        for off in held.into_iter().chain(reacquired) {
+            alloc.dealloc(off);
+        }
+        assert_eq!(alloc.allocated_bytes(), 0);
+    }
+}
+
+#[test]
+fn invalid_frees_are_rejected_without_corruption() {
+    for &kind in AllocatorKind::all() {
+        let alloc = build(kind, config_for(kind, 1 << 16));
+        let unit = alloc.min_size();
+        assert!(matches!(
+            alloc.try_dealloc(alloc.total_memory() + unit),
+            Err(FreeError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            alloc.try_dealloc(unit / 2 + 1),
+            Err(FreeError::Misaligned { .. })
+        ));
+        // A valid-looking offset that was never allocated.
+        assert!(
+            matches!(
+                alloc.try_dealloc(unit),
+                Err(FreeError::NotAllocated { .. })
+            ),
+            "{}",
+            alloc.name()
+        );
+        // The allocator still works normally afterwards.
+        let off = alloc.alloc(unit).unwrap();
+        assert!(alloc.try_dealloc(off).is_ok());
+        assert!(matches!(
+            alloc.try_dealloc(off),
+            Err(FreeError::NotAllocated { .. })
+        ));
+        assert_eq!(alloc.allocated_bytes(), 0);
+    }
+}
+
+#[test]
+fn fragmentation_induced_oom_is_transient_not_permanent() {
+    // Allocate every leaf, free every other leaf: half the memory is free but
+    // a max-size request cannot be served (external fragmentation).  Freeing
+    // the other half must restore full capacity (coalescing).
+    for kind in [AllocatorKind::OneLevelNb, AllocatorKind::FourLevelNb, AllocatorKind::BuddySl] {
+        let alloc = build(kind, BuddyConfig::new(1 << 12, 8, 1 << 12).unwrap());
+        let leaves: Vec<usize> = (0..(1 << 12) / 8).map(|_| alloc.alloc(8).unwrap()).collect();
+        // Partition by *address* parity so that every buddy pair keeps exactly
+        // one live unit (the scattered scan makes allocation order arbitrary).
+        let (even, odd): (Vec<usize>, Vec<usize>) =
+            leaves.into_iter().partition(|off| (off / 8) % 2 == 0);
+        for &off in &even {
+            alloc.dealloc(off);
+        }
+        assert_eq!(alloc.allocated_bytes(), (1 << 12) / 2);
+        assert_eq!(alloc.alloc(1 << 12), None, "{}: fragmented region served a maximal chunk", alloc.name());
+        assert_eq!(alloc.alloc(16), None, "{}: no two adjacent free units exist", alloc.name());
+        for &off in &odd {
+            alloc.dealloc(off);
+        }
+        let whole = alloc.alloc(1 << 12);
+        assert!(whole.is_some(), "{}: coalescing failed after drain", alloc.name());
+        alloc.dealloc(whole.unwrap());
+    }
+}
+
+#[test]
+fn multi_instance_falls_back_and_reports_exhaustion() {
+    let instances: Vec<NbbsOneLevel> = (0..3)
+        .map(|_| NbbsOneLevel::new(BuddyConfig::new(4096, 64, 4096).unwrap()))
+        .collect();
+    let multi = MultiInstance::new(instances);
+    assert_eq!(multi.total_memory(), 3 * 4096);
+
+    // Fill instance 0 explicitly; routed allocations must overflow to the
+    // other instances rather than failing.
+    let mut held = Vec::new();
+    while let Some(off) = multi.alloc_on(0, 4096) {
+        held.push(off);
+    }
+    for _ in 0..2 {
+        let off = multi.alloc(4096).expect("fallback must serve the request");
+        assert_ne!(multi.owner_of(off), 0);
+        held.push(off);
+    }
+    assert!(matches!(
+        multi.try_alloc(64),
+        Err(nbbs::AllocError::OutOfMemory { .. })
+    ));
+    assert!(matches!(
+        multi.try_alloc(1 << 20),
+        Err(nbbs::AllocError::TooLarge { .. })
+    ));
+    for off in held {
+        multi.dealloc(off);
+    }
+    assert_eq!(multi.allocated_bytes(), 0);
+}
+
+#[test]
+fn zero_sized_and_tiny_requests_round_up_to_the_unit() {
+    for kind in [AllocatorKind::OneLevelNb, AllocatorKind::FourLevelNb] {
+        let alloc = build(kind, BuddyConfig::new(1 << 12, 64, 1 << 12).unwrap());
+        let a = alloc.alloc(0).expect("zero-sized requests round up");
+        let b = alloc.alloc(1).unwrap();
+        let c = alloc.alloc(63).unwrap();
+        assert_eq!(alloc.allocated_bytes(), 3 * 64);
+        for off in [a, b, c] {
+            alloc.dealloc(off);
+        }
+        assert_eq!(alloc.allocated_bytes(), 0);
+    }
+}
+
+#[test]
+fn four_level_and_one_level_survive_pathological_interleaving() {
+    // Alternate parent/child-order allocations designed to maximize climb
+    // conflicts and rollbacks (TRYALLOC abort path, lines T11–T13).
+    for kind in [AllocatorKind::OneLevelNb, AllocatorKind::FourLevelNb] {
+        let alloc = build(kind, BuddyConfig::new(1 << 12, 8, 1 << 12).unwrap());
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..2_000 {
+            let big = alloc.alloc(1 << 11);
+            let mut smalls = Vec::new();
+            for _ in 0..rng.next_below(8) {
+                if let Some(off) = alloc.alloc(8 << rng.next_below(4)) {
+                    smalls.push(off);
+                }
+            }
+            // Freeing order alternates to exercise both coalescing directions.
+            if rng.next_u64() & 1 == 0 {
+                if let Some(off) = big {
+                    alloc.dealloc(off);
+                }
+                for off in smalls {
+                    alloc.dealloc(off);
+                }
+            } else {
+                for off in smalls {
+                    alloc.dealloc(off);
+                }
+                if let Some(off) = big {
+                    alloc.dealloc(off);
+                }
+            }
+        }
+        assert_eq!(alloc.allocated_bytes(), 0);
+        let whole = alloc.alloc(1 << 12).expect("full capacity must be restored");
+        alloc.dealloc(whole);
+    }
+}

@@ -1,0 +1,73 @@
+//! Capacity exactness at the kernel-experiment configuration (Figure 12):
+//! 512 MiB of page-granular memory must yield exactly 4096 blocks of 128 KiB
+//! from every allocator, with no duplicates and no overlap, under both
+//! sequential and concurrent allocation.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use nbbs::{BuddyBackend, BuddyConfig};
+use nbbs_workloads::factory::{build, AllocatorKind};
+
+const TOTAL: usize = 512 << 20;
+const PAGE: usize = 4096;
+const BLOCK: usize = 128 << 10;
+
+fn kernel_cfg() -> BuddyConfig {
+    BuddyConfig::new(TOTAL, PAGE, BLOCK).unwrap()
+}
+
+#[test]
+fn sequential_capacity_is_exact_for_every_allocator() {
+    for &kind in AllocatorKind::kernel_comparison() {
+        let alloc = build(kind, kernel_cfg());
+        let mut seen = HashSet::new();
+        while let Some(off) = alloc.alloc(BLOCK) {
+            assert_eq!(off % BLOCK, 0, "{kind}: misaligned offset {off}");
+            assert!(off + BLOCK <= TOTAL, "{kind}: offset {off} out of range");
+            assert!(seen.insert(off), "{kind}: duplicate offset {off}");
+            assert!(
+                seen.len() <= TOTAL / BLOCK,
+                "{kind}: more blocks than the region holds"
+            );
+        }
+        assert_eq!(seen.len(), TOTAL / BLOCK, "{kind}: under-utilized capacity");
+        for &off in &seen {
+            alloc.dealloc(off);
+        }
+        assert_eq!(alloc.allocated_bytes(), 0);
+    }
+}
+
+#[test]
+fn concurrent_capacity_is_exact_for_non_blocking_variants() {
+    for kind in [AllocatorKind::OneLevelNb, AllocatorKind::FourLevelNb] {
+        let alloc = build(kind, kernel_cfg());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let alloc = Arc::clone(&alloc);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(off) = alloc.alloc(BLOCK) {
+                        got.push(off);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        let mut all = Vec::new();
+        for h in handles {
+            for off in h.join().unwrap() {
+                assert!(seen.insert(off), "{kind:?}: duplicate offset {off}");
+                all.push(off);
+            }
+        }
+        assert_eq!(seen.len(), TOTAL / BLOCK, "{kind:?}: wrong total capacity");
+        assert_eq!(alloc.allocated_bytes(), TOTAL);
+        for off in all {
+            alloc.dealloc(off);
+        }
+        assert_eq!(alloc.allocated_bytes(), 0);
+    }
+}
