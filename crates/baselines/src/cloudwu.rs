@@ -44,8 +44,8 @@ impl CloudwuBuddy {
     pub fn new(config: BuddyConfig) -> Self {
         let geo = Geometry::new(&config);
         let mut longest = vec![0usize; geo.tree_len()];
-        for n in 1..geo.tree_len() {
-            longest[n] = geo.size_of(n);
+        for (n, slot) in longest.iter_mut().enumerate().skip(1) {
+            *slot = geo.size_of(n);
         }
         CloudwuBuddy {
             geo,
@@ -73,7 +73,11 @@ impl CloudwuBuddy {
         for _ in 0..level {
             let left = self.geo.left_child(node);
             let right = self.geo.right_child(node);
-            node = if st.longest[left] >= want { left } else { right };
+            node = if st.longest[left] >= want {
+                left
+            } else {
+                right
+            };
         }
         debug_assert_eq!(self.geo.level_of(node), level);
         debug_assert!(st.longest[node] >= want);
@@ -103,7 +107,7 @@ impl CloudwuBuddy {
     /// Releases `offset`, returning the size of the released chunk, or `None`
     /// if the offset does not correspond to a live allocation.
     fn release(&self, offset: usize) -> Option<usize> {
-        if offset >= self.geo.total_memory() || offset % self.geo.min_size() != 0 {
+        if offset >= self.geo.total_memory() || !offset.is_multiple_of(self.geo.min_size()) {
             return None;
         }
         let mut st = self.state.lock();
@@ -180,7 +184,7 @@ impl BuddyBackend for CloudwuBuddy {
                 total_memory: self.geo.total_memory(),
             });
         }
-        if offset % self.geo.min_size() != 0 {
+        if !offset.is_multiple_of(self.geo.min_size()) {
             return Err(FreeError::Misaligned {
                 offset,
                 min_size: self.geo.min_size(),
@@ -298,7 +302,10 @@ mod tests {
             b.try_dealloc(9999),
             Err(FreeError::OutOfRange { .. })
         ));
-        assert!(matches!(b.try_dealloc(7), Err(FreeError::Misaligned { .. })));
+        assert!(matches!(
+            b.try_dealloc(7),
+            Err(FreeError::Misaligned { .. })
+        ));
         assert!(matches!(
             b.try_dealloc(64),
             Err(FreeError::NotAllocated { .. })

@@ -220,7 +220,7 @@ impl LinuxBuddy {
     /// Releases the block starting at `offset` (the kernel's `free_pages`),
     /// merging it with free buddies as far as possible.
     pub fn free_offset(&self, offset: usize) -> Option<usize> {
-        if offset >= self.geo.total_memory() || offset % self.page_size != 0 {
+        if offset >= self.geo.total_memory() || !offset.is_multiple_of(self.page_size) {
             return None;
         }
         let mut pfn = offset / self.page_size;
@@ -301,7 +301,7 @@ impl BuddyBackend for LinuxBuddy {
                 total_memory: self.geo.total_memory(),
             });
         }
-        if offset % self.page_size != 0 {
+        if !offset.is_multiple_of(self.page_size) {
             return Err(FreeError::Misaligned {
                 offset,
                 min_size: self.page_size,
@@ -448,9 +448,9 @@ mod tests {
     fn interior_page_of_live_block_is_not_freeable() {
         let b = zone();
         let off = b.alloc_order(3).unwrap(); // 8 pages
-        // Freeing an interior page of a live block is a misuse that would
-        // corrupt a real kernel; our descriptor tracks block heads, so the
-        // misuse is detected and rejected.
+                                             // Freeing an interior page of a live block is a misuse that would
+                                             // corrupt a real kernel; our descriptor tracks block heads, so the
+                                             // misuse is detected and rejected.
         assert!(matches!(
             b.try_dealloc(off + 4096),
             Err(FreeError::NotAllocated { .. })

@@ -29,10 +29,9 @@ fn ablation_fragmentation(c: &mut Criterion) {
                 base_pool_count: pool,
                 total_steps: 4_000,
             };
-            group.bench_function(
-                BenchmarkId::new(kind.name(), format!("pool={pool}")),
-                |b| b.iter(|| run(&alloc, params)),
-            );
+            group.bench_function(BenchmarkId::new(kind.name(), format!("pool={pool}")), |b| {
+                b.iter(|| run(&alloc, params))
+            });
         }
     }
     group.finish();

@@ -35,10 +35,7 @@ fn ablation_scan_start(c: &mut Criterion) {
                     total_pairs: 10_000,
                 };
                 group.bench_function(
-                    BenchmarkId::new(
-                        format!("{name}/{policy:?}"),
-                        format!("threads={threads}"),
-                    ),
+                    BenchmarkId::new(format!("{name}/{policy:?}"), format!("threads={threads}")),
                     |b| b.iter(|| run(&alloc, params)),
                 );
             }

@@ -1,0 +1,102 @@
+//! Figure 13 (this reproduction's own) — magazine-cache ablation: the
+//! `cached-*` variants against their uncached backends, across thread counts
+//! on the workloads whose hot path the cache is designed to absorb.
+//!
+//! The acceptance bar is relative: the cached variant must not lose at one
+//! thread (the cache adds one uncontended spin lock per operation but removes
+//! the tree walk) and must issue strictly less backend traffic under
+//! multi-threaded runs (visible as a non-zero hit count in `nbbs-bench fig13
+//! --quick`, or in the op-stats CAS counters when built with `--features
+//! nbbs/op-stats`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs_bench::{user_space_config, PAPER_SIZES};
+use nbbs_workloads::factory::{build, AllocatorKind};
+use nbbs_workloads::larson::{self, LarsonParams};
+use nbbs_workloads::thread_test::{self, ThreadTestParams};
+
+/// One thread isolates per-op overhead; four exercises the contended regime.
+const ABLATION_THREADS: [usize; 2] = [1, 4];
+
+/// Operation count the Larson durations are normalized to (see
+/// `fig10_larson.rs`: returning raw per-op times would make the harness
+/// schedule ~10^6 windows per sample).
+const NORM_OPS: f64 = 1_000_000.0;
+
+fn fig13_thread_test(c: &mut Criterion) {
+    for &size in &PAPER_SIZES {
+        let mut group = c.benchmark_group(format!("fig13_cache_ablation/thread_test/bytes={size}"));
+        group
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(200))
+            .measurement_time(std::time::Duration::from_millis(1200));
+        for &threads in &ABLATION_THREADS {
+            for &kind in AllocatorKind::cache_ablation() {
+                let alloc = build(kind, user_space_config());
+                let params = ThreadTestParams {
+                    threads,
+                    size,
+                    total_objects: 1000,
+                    rounds: 2,
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(kind.name(), format!("threads={threads}")),
+                    &params,
+                    |b, params| {
+                        b.iter(|| thread_test::run(&alloc, *params));
+                    },
+                );
+                // Fresh epochs per configuration: chunks parked by this run
+                // must not warm the next configuration's magazines.
+                alloc.drain_cache();
+            }
+        }
+        group.finish();
+    }
+}
+
+fn fig13_larson(c: &mut Criterion) {
+    let size = 128;
+    let mut group = c.benchmark_group(format!("fig13_cache_ablation/larson/bytes={size}"));
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    for &threads in &ABLATION_THREADS {
+        for &kind in AllocatorKind::cache_ablation() {
+            let alloc = build(kind, user_space_config());
+            let params = LarsonParams {
+                threads,
+                min_block: size,
+                max_block: size * 2,
+                slots_per_thread: 128,
+                remote_free_percent: 30,
+                window_secs: 0.04,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("threads={threads}")),
+                &params,
+                |b, params| {
+                    b.iter_custom(|iters| {
+                        let mut total = std::time::Duration::ZERO;
+                        for _ in 0..iters {
+                            let result = larson::run(&alloc, *params);
+                            let per_norm_ops = if result.operations > 0 {
+                                result.seconds / result.operations as f64 * NORM_OPS
+                            } else {
+                                result.seconds
+                            };
+                            total += std::time::Duration::from_secs_f64(per_norm_ops);
+                        }
+                        total
+                    })
+                },
+            );
+            alloc.drain_cache();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13_thread_test, fig13_larson);
+criterion_main!(benches);

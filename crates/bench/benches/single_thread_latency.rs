@@ -20,7 +20,11 @@ fn single_pair(c: &mut Criterion) {
         } else {
             user_space_config()
         };
-        let size = if kind == AllocatorKind::LinuxBuddy { 4096 } else { 128 };
+        let size = if kind == AllocatorKind::LinuxBuddy {
+            4096
+        } else {
+            128
+        };
         let alloc = build(kind, config);
         group.bench_function(BenchmarkId::new(kind.name(), size), |b| {
             b.iter(|| {
@@ -41,7 +45,11 @@ fn small_batch(c: &mut Criterion) {
         } else {
             user_space_config()
         };
-        let size = if kind == AllocatorKind::LinuxBuddy { 4096 } else { 128 };
+        let size = if kind == AllocatorKind::LinuxBuddy {
+            4096
+        } else {
+            128
+        };
         let alloc = build(kind, config);
         group.bench_function(BenchmarkId::new(kind.name(), size), |b| {
             let mut batch = Vec::with_capacity(64);

@@ -53,6 +53,10 @@ mod tests {
 
     #[test]
     fn bench_scale_is_small_enough_for_ci() {
-        assert!(BENCH_SCALE * 20_000_000.0 <= 20_000.0);
+        let scaled_ops = BENCH_SCALE * 20_000_000.0;
+        assert!(
+            scaled_ops <= 20_000.0,
+            "scaled op count {scaled_ops} too big"
+        );
     }
 }

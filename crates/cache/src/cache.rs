@@ -1,0 +1,623 @@
+//! The magazine cache front-end.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use nbbs::error::{AllocError, FreeError};
+use nbbs::{BuddyBackend, CacheStatsSnapshot, Geometry, TreeInspect};
+use nbbs_sync::{CachePadded, SpinLock};
+
+use crate::config::{CacheConfig, FlushPolicy};
+use crate::magazine::{ClassMags, Magazine};
+
+/// Process-wide thread slot assignment shared by every cache instance:
+/// threads receive a monotone id on first use and map to a slot by masking,
+/// so with `slots >= thread count` every thread owns a private slot.
+fn thread_slot(slots: usize) -> usize {
+    use std::cell::Cell;
+    static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ID: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    ID.with(|c| {
+        let mut id = c.get();
+        if id == usize::MAX {
+            id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+            c.set(id);
+        }
+        // `slots` is a power of two.
+        id & (slots - 1)
+    })
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    cached_frees: AtomicU64,
+    flushed: AtomicU64,
+    refilled: AtomicU64,
+    depot_exchanges: AtomicU64,
+    drained: AtomicU64,
+}
+
+/// One size class's shared depot: full magazines parked for any thread.
+struct ClassDepot {
+    full: SpinLock<Vec<Magazine>>,
+}
+
+/// A per-thread, size-class-indexed magazine cache over any [`BuddyBackend`].
+///
+/// Threads are mapped to *slots*; each slot keeps, per cached buddy order, a
+/// pair of bounded LIFO magazines (Bonwick's loaded/previous scheme).  The
+/// hot path — allocation hit, release into a non-full magazine — touches only
+/// the slot's spin lock (uncontended when `slots >= threads`) and never the
+/// backend tree, so backend CAS traffic drops by roughly the magazine
+/// capacity.  Misses refill in batches from a shared per-class depot of full
+/// magazines, falling back to batched backend allocations; overflowing frees
+/// flush whole magazines to the depot, falling back to batched backend
+/// releases.
+///
+/// `MagazineCache` implements [`BuddyBackend`] itself, so it nests unchanged
+/// inside `BuddyRegion`, `NbbsGlobalAlloc`, `MultiInstance` and the workload
+/// factory.
+///
+/// # Consistency
+///
+/// Chunks parked in a magazine are still *live* from the backend's
+/// perspective; [`MagazineCache::allocated_bytes`] subtracts them so the
+/// user-visible accounting matches what callers actually hold.  The
+/// [`crate::verify_cached`] helper audits the backend's safety properties
+/// treating cached chunks as live.
+///
+/// # Double frees
+///
+/// Like the underlying allocators, the cache cannot detect a double free of
+/// an offset it has already absorbed (the backend still reports the chunk as
+/// live); such a bug would make the cache hand the same offset out twice.
+/// [`MagazineCache::try_dealloc`] therefore rejects offsets the *backend*
+/// can prove dead, which is exactly the level of checking the backends
+/// themselves provide.
+pub struct MagazineCache<A: BuddyBackend> {
+    backend: A,
+    name: &'static str,
+    config: CacheConfig,
+    /// Size classes: class `k` caches chunks of `min_size << k` bytes;
+    /// `class_count` classes are cached in total.
+    class_count: usize,
+    slots: Box<[CachePadded<SpinLock<Vec<ClassMags>>>]>,
+    depots: Box<[ClassDepot]>,
+    /// Bytes parked in magazines/depots (live to the backend, free to users).
+    cached_bytes: AtomicUsize,
+    counters: Counters,
+}
+
+impl<A: BuddyBackend> MagazineCache<A> {
+    /// Wraps `backend` with a default-configured cache.
+    pub fn new(backend: A) -> Self {
+        Self::with_config(backend, CacheConfig::default())
+    }
+
+    /// Wraps `backend` with an explicit configuration.
+    pub fn with_config(backend: A, config: CacheConfig) -> Self {
+        Self::with_config_and_name(backend, config, "cached")
+    }
+
+    /// Wraps `backend` under a custom report name (e.g. `"cached-4lvl-nb"`).
+    pub fn with_config_and_name(backend: A, config: CacheConfig, name: &'static str) -> Self {
+        let geo = *backend.geometry();
+        let min = geo.min_size();
+        let cutoff = config
+            .max_cached_size
+            .unwrap_or(geo.max_size())
+            .min(geo.max_size());
+        let class_count = if cutoff < min {
+            0
+        } else {
+            // Classes min << 0 ..= min << k with min << k <= cutoff.
+            (cutoff / min).ilog2() as usize + 1
+        };
+        let slot_count = config.resolved_slots();
+        let slots = (0..slot_count)
+            .map(|_| {
+                CachePadded::new(SpinLock::new(
+                    (0..class_count)
+                        .map(|c| ClassMags::new(config.capacity_for(min << c)))
+                        .collect(),
+                ))
+            })
+            .collect();
+        let depots = (0..class_count)
+            .map(|_| ClassDepot {
+                full: SpinLock::new(Vec::new()),
+            })
+            .collect();
+        MagazineCache {
+            backend,
+            name,
+            config,
+            class_count,
+            slots,
+            depots,
+            cached_bytes: AtomicUsize::new(0),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &A {
+        &self.backend
+    }
+
+    /// The cache configuration in effect.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of cached size classes (buddy orders).
+    pub fn class_count(&self) -> usize {
+        self.class_count
+    }
+
+    /// Number of thread slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Bytes currently parked in magazines and depots (allocated in the
+    /// backend, available for cache hits).
+    pub fn cached_bytes(&self) -> usize {
+        self.cached_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Size in bytes of class `class`.
+    #[inline]
+    fn class_size(&self, class: usize) -> usize {
+        self.backend.geometry().min_size() << class
+    }
+
+    /// Size class caching chunks of exactly `granted` bytes, if cached.
+    #[inline]
+    fn class_of_granted(&self, granted: usize) -> Option<usize> {
+        let min = self.backend.geometry().min_size();
+        debug_assert!(granted.is_power_of_two() && granted >= min);
+        let class = (granted / min).ilog2() as usize;
+        (class < self.class_count).then_some(class)
+    }
+
+    /// Serves one allocation of class `class`, preferring the magazines.
+    fn alloc_cached(&self, class: usize) -> Option<usize> {
+        let class_size = self.class_size(class);
+        let slot = &self.slots[thread_slot(self.slots.len())];
+        let mut mags = slot.lock();
+        let pair = &mut mags[class];
+
+        if let Some(off) = pair.loaded.pop() {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            self.cached_bytes.fetch_sub(class_size, Ordering::Relaxed);
+            return Some(off);
+        }
+        if !pair.previous.is_empty() {
+            std::mem::swap(&mut pair.loaded, &mut pair.previous);
+            let off = pair.loaded.pop().expect("swapped magazine is non-empty");
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
+            self.cached_bytes.fetch_sub(class_size, Ordering::Relaxed);
+            return Some(off);
+        }
+
+        // Both magazines empty: exchange with the depot (a full magazine in,
+        // our empty `loaded` out — recirculated as the spare for the next
+        // overflow rotation).
+        if self.config.flush_policy == FlushPolicy::Depot {
+            let full = self.depots[class].full.lock().pop();
+            if let Some(full) = full {
+                debug_assert_eq!(full.capacity(), pair.loaded.capacity());
+                let empty = std::mem::replace(&mut pair.loaded, full);
+                pair.spare.get_or_insert(empty);
+                self.counters
+                    .depot_exchanges
+                    .fetch_add(1, Ordering::Relaxed);
+                let off = pair.loaded.pop().expect("depot magazines are full");
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                self.cached_bytes.fetch_sub(class_size, Ordering::Relaxed);
+                return Some(off);
+            }
+        }
+
+        // Miss: batched refill from the backend, outside the slot lock so a
+        // co-located thread's magazine hit is not stalled behind our tree
+        // walks (mirror of the flush in `dealloc_cached`).
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        let batch = pair.loaded.capacity() / 2;
+        drop(mags);
+        let first = self.backend.alloc(class_size)?;
+        let mut chunks = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            match self.backend.alloc(class_size) {
+                Some(off) => chunks.push(off),
+                None => break,
+            }
+        }
+        if !chunks.is_empty() {
+            // The slot may have changed while the lock was released; load
+            // whatever fits and hand any surplus back to the backend.
+            let mut refilled = 0u64;
+            {
+                let mut mags = slot.lock();
+                let pair = &mut mags[class];
+                while let Some(&off) = chunks.last() {
+                    let target = if !pair.loaded.is_full() {
+                        &mut pair.loaded
+                    } else if !pair.previous.is_full() {
+                        &mut pair.previous
+                    } else {
+                        break;
+                    };
+                    target.push(off);
+                    chunks.pop();
+                    refilled += 1;
+                }
+            }
+            if refilled > 0 {
+                self.counters
+                    .refilled
+                    .fetch_add(refilled, Ordering::Relaxed);
+                self.cached_bytes
+                    .fetch_add(refilled as usize * class_size, Ordering::Relaxed);
+            }
+            for off in chunks {
+                self.backend.dealloc(off);
+            }
+        }
+        Some(first)
+    }
+
+    /// Absorbs one release of class `class`.
+    fn dealloc_cached(&self, class: usize, offset: usize) {
+        let class_size = self.class_size(class);
+        let slot = &self.slots[thread_slot(self.slots.len())];
+        let mut overflow = None;
+        {
+            let mut mags = slot.lock();
+            let pair = &mut mags[class];
+            if pair.loaded.is_full() {
+                if pair.previous.is_empty() {
+                    std::mem::swap(&mut pair.loaded, &mut pair.previous);
+                } else {
+                    // Both full: move `previous` out of the way (reusing the
+                    // spare empty from an earlier depot exchange when one is
+                    // around), then rotate.
+                    let empty = pair
+                        .spare
+                        .take()
+                        .unwrap_or_else(|| Magazine::new(pair.loaded.capacity()));
+                    debug_assert!(empty.is_empty());
+                    let full = std::mem::replace(&mut pair.previous, empty);
+                    std::mem::swap(&mut pair.loaded, &mut pair.previous);
+                    overflow = Some(full);
+                }
+            }
+            pair.loaded.push(offset);
+        }
+        self.counters.cached_frees.fetch_add(1, Ordering::Relaxed);
+        self.cached_bytes.fetch_add(class_size, Ordering::Relaxed);
+        if let Some(full) = overflow {
+            // Parking (and a possible backend flush of a whole magazine)
+            // happens outside the slot lock so co-located threads are not
+            // stalled behind it.
+            self.park_full_magazine(class, full);
+        }
+    }
+
+    /// Parks a full magazine in the depot, or returns its chunks to the
+    /// backend when the depot is at capacity (or bypassed).
+    fn park_full_magazine(&self, class: usize, mut full: Magazine) {
+        if self.config.flush_policy == FlushPolicy::Depot {
+            let mut depot = self.depots[class].full.lock();
+            if depot.len() < self.config.depot_magazines {
+                depot.push(full);
+                self.counters
+                    .depot_exchanges
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let class_size = self.class_size(class);
+        let chunks = full.take_all();
+        self.counters
+            .flushed
+            .fetch_add(chunks.len() as u64, Ordering::Relaxed);
+        self.cached_bytes
+            .fetch_sub(chunks.len() * class_size, Ordering::Relaxed);
+        for off in chunks {
+            self.backend.dealloc(off);
+        }
+    }
+
+    /// Returns every chunk cached by the calling thread's slot to the
+    /// backend.
+    ///
+    /// Call this before a thread exits (or use [`MagazineCache::thread_guard`]
+    /// for an RAII version) so chunks do not linger in a slot no live thread
+    /// maps to.  Draining is safe at any time; it only costs future hits.
+    /// Note that slots may be shared when threads outnumber slots, in which
+    /// case this also drains the co-located threads' magazines — still
+    /// correct, merely conservative.
+    pub fn drain_current_thread(&self) {
+        self.drain_slot(thread_slot(self.slots.len()));
+    }
+
+    fn drain_slot(&self, slot: usize) {
+        let mut drained = Vec::new();
+        {
+            let mut mags = self.slots[slot].lock();
+            for (class, pair) in mags.iter_mut().enumerate() {
+                let class_size = self.class_size(class);
+                for off in pair
+                    .loaded
+                    .take_all()
+                    .into_iter()
+                    .chain(pair.previous.take_all())
+                {
+                    drained.push((off, class_size));
+                }
+            }
+        }
+        self.release_drained(&drained);
+    }
+
+    /// Returns every cached chunk — all slots and the depot — to the backend.
+    ///
+    /// Intended for quiescent points (benchmark epochs, verification, final
+    /// teardown); also invoked by `Drop`.
+    pub fn drain_all(&self) {
+        for slot in 0..self.slots.len() {
+            self.drain_slot(slot);
+        }
+        let mut drained = Vec::new();
+        for (class, depot) in self.depots.iter().enumerate() {
+            let class_size = self.class_size(class);
+            let full_mags = std::mem::take(&mut *depot.full.lock());
+            for mut m in full_mags {
+                for off in m.take_all() {
+                    drained.push((off, class_size));
+                }
+            }
+        }
+        self.release_drained(&drained);
+    }
+
+    fn release_drained(&self, drained: &[(usize, usize)]) {
+        if drained.is_empty() {
+            return;
+        }
+        let bytes: usize = drained.iter().map(|&(_, s)| s).sum();
+        self.cached_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.counters
+            .drained
+            .fetch_add(drained.len() as u64, Ordering::Relaxed);
+        for &(off, _) in drained {
+            self.backend.dealloc(off);
+        }
+    }
+
+    /// RAII guard draining the calling thread's slot when dropped.
+    pub fn thread_guard(&self) -> ThreadDrainGuard<'_, A> {
+        ThreadDrainGuard { cache: self }
+    }
+
+    /// Every chunk currently parked in the cache, as `(offset, size)` pairs.
+    ///
+    /// Only meaningful at quiescence (no concurrent cache operations); used
+    /// by [`crate::verify_cached`] to audit the backend treating cached
+    /// chunks as live.
+    pub fn cached_chunks(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let mags = slot.lock();
+            for (class, pair) in mags.iter().enumerate() {
+                let class_size = self.class_size(class);
+                for &off in pair.loaded.entries().iter().chain(pair.previous.entries()) {
+                    out.push((off, class_size));
+                }
+            }
+        }
+        for (class, depot) in self.depots.iter().enumerate() {
+            let class_size = self.class_size(class);
+            for m in depot.full.lock().iter() {
+                for &off in m.entries() {
+                    out.push((off, class_size));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `offset` is currently parked in a magazine or the depot.
+    ///
+    /// Linear in the cache's contents — intended for the checked release
+    /// path and tests, not the hot path.  Only reliable for offsets that are
+    /// not concurrently moving through the cache.
+    pub fn contains_cached(&self, offset: usize) -> bool {
+        for slot in self.slots.iter() {
+            let mags = slot.lock();
+            for pair in mags.iter() {
+                if pair.loaded.entries().contains(&offset)
+                    || pair.previous.entries().contains(&offset)
+                {
+                    return true;
+                }
+            }
+        }
+        self.depots
+            .iter()
+            .any(|d| d.full.lock().iter().any(|m| m.entries().contains(&offset)))
+    }
+
+    /// Point-in-time copy of the cache counters.
+    pub fn snapshot(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            cached_frees: self.counters.cached_frees.load(Ordering::Relaxed),
+            flushed: self.counters.flushed.load(Ordering::Relaxed),
+            refilled: self.counters.refilled.load(Ordering::Relaxed),
+            depot_exchanges: self.counters.depot_exchanges.load(Ordering::Relaxed),
+            drained: self.counters.drained.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<A: BuddyBackend> BuddyBackend for MagazineCache<A> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn geometry(&self) -> &Geometry {
+        self.backend.geometry()
+    }
+
+    fn alloc(&self, size: usize) -> Option<usize> {
+        let geo = self.backend.geometry();
+        let level = geo.target_level(size)?;
+        let granted = geo.size_of_level(level);
+        match self.class_of_granted(granted) {
+            Some(class) => self.alloc_cached(class),
+            None => self.backend.alloc(size),
+        }
+    }
+
+    fn dealloc(&self, offset: usize) {
+        match self
+            .backend
+            .granted_size_of_live(offset)
+            .and_then(|granted| self.class_of_granted(granted))
+        {
+            Some(class) => self.dealloc_cached(class, offset),
+            // Unknown size class (backend without the lookup hook, or a
+            // class above the cutoff): pass straight through.
+            None => self.backend.dealloc(offset),
+        }
+    }
+
+    fn try_dealloc(&self, offset: usize) -> Result<(), FreeError> {
+        let geo = self.backend.geometry();
+        if offset >= geo.total_memory() {
+            return Err(FreeError::OutOfRange {
+                offset,
+                total_memory: geo.total_memory(),
+            });
+        }
+        if !offset.is_multiple_of(geo.min_size()) {
+            return Err(FreeError::Misaligned {
+                offset,
+                min_size: geo.min_size(),
+            });
+        }
+        match self
+            .backend
+            .granted_size_of_live(offset)
+            .and_then(|granted| self.class_of_granted(granted))
+        {
+            Some(class) => {
+                // The backend considers a parked chunk live, so a double
+                // free of a cached offset would be absorbed silently and the
+                // chunk handed out twice.  The checked path pays a cache
+                // scan to reject it.
+                if self.contains_cached(offset) {
+                    return Err(FreeError::NotAllocated { offset });
+                }
+                self.dealloc_cached(class, offset);
+                Ok(())
+            }
+            None => self.backend.try_dealloc(offset),
+        }
+    }
+
+    fn try_alloc(&self, size: usize) -> Result<usize, AllocError> {
+        if size > self.backend.max_size() {
+            return Err(AllocError::TooLarge {
+                requested: size,
+                max_size: self.backend.max_size(),
+            });
+        }
+        self.alloc(size)
+            .ok_or(AllocError::OutOfMemory { requested: size })
+    }
+
+    fn allocated_bytes(&self) -> usize {
+        // Chunks parked in magazines are allocated in the backend but free
+        // from the caller's perspective.  Loads race benignly with in-flight
+        // operations (same contract as the backends' own counter).
+        self.backend
+            .allocated_bytes()
+            .saturating_sub(self.cached_bytes())
+    }
+
+    fn stats(&self) -> nbbs::stats::OpStatsSnapshot {
+        self.backend.stats()
+    }
+
+    fn granted_size_of_live(&self, offset: usize) -> Option<usize> {
+        self.backend.granted_size_of_live(offset)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        Some(self.snapshot())
+    }
+
+    fn drain_cache(&self) {
+        // Our own chunks first: for nested caches, `drain_all` returns them
+        // via `backend.dealloc`, which an inner cache absorbs into its
+        // magazines — the inner drain below then pushes everything to the
+        // tree.  The opposite order would leave our chunks re-parked inside
+        // the freshly-drained inner cache.
+        self.drain_all();
+        self.backend.drain_cache();
+    }
+}
+
+impl<A: BuddyBackend> Drop for MagazineCache<A> {
+    fn drop(&mut self) {
+        // Return every parked chunk so the backend's accounting reaches zero
+        // when the cache (and everything above it) is done.
+        self.drain_all();
+    }
+}
+
+impl<A: BuddyBackend + TreeInspect> TreeInspect for MagazineCache<A> {
+    fn inspect_geometry(&self) -> &Geometry {
+        self.backend.inspect_geometry()
+    }
+
+    fn node_status(&self, n: usize) -> u8 {
+        self.backend.node_status(n)
+    }
+
+    fn recorded_node_of_unit(&self, unit: usize) -> Option<usize> {
+        self.backend.recorded_node_of_unit(unit)
+    }
+}
+
+impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for MagazineCache<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MagazineCache")
+            .field("name", &self.name)
+            .field("classes", &self.class_count)
+            .field("slots", &self.slots.len())
+            .field("cached_bytes", &self.cached_bytes())
+            .field("backend", &self.backend)
+            .finish()
+    }
+}
+
+/// Drains the owning thread's slot on drop; see
+/// [`MagazineCache::thread_guard`].
+pub struct ThreadDrainGuard<'a, A: BuddyBackend> {
+    cache: &'a MagazineCache<A>,
+}
+
+impl<A: BuddyBackend> Drop for ThreadDrainGuard<'_, A> {
+    fn drop(&mut self) {
+        self.cache.drain_current_thread();
+    }
+}

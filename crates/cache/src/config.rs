@@ -1,0 +1,106 @@
+//! Configuration of the magazine cache layer.
+
+/// What a magazine does with surplus chunks when both per-thread magazines of
+/// a size class are full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Exchange full magazines with the shared per-class depot (Bonwick's
+    /// scheme): a flush parks the full *previous* magazine in the depot where
+    /// any thread's refill can pick it up, falling back to the backend only
+    /// when the depot is at capacity.  This keeps chunks circulating between
+    /// threads without touching the backend tree.
+    #[default]
+    Depot,
+    /// Bypass the depot: overflow goes straight back to the backend and
+    /// refills always come from the backend.  Useful to isolate the benefit
+    /// of the depot in ablations, or to minimize memory held by the cache.
+    Direct,
+}
+
+/// Tuning knobs for [`crate::MagazineCache`].
+///
+/// The defaults cache every size class up to the backend's `max_size`, with
+/// magazine capacities scaled down for large classes so a single magazine
+/// never holds more than [`CacheConfig::magazine_bytes`] bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum entries in one magazine (applies to the smallest classes).
+    pub magazine_capacity: usize,
+    /// Per-magazine byte budget: the capacity of a class's magazines is
+    /// `clamp(magazine_bytes / class_size, 2, magazine_capacity)`.
+    pub magazine_bytes: usize,
+    /// Largest chunk size served from magazines; requests above it go
+    /// straight to the backend.  `None` caches every class up to the
+    /// backend's `max_size`.
+    pub max_cached_size: Option<usize>,
+    /// Maximum full magazines the depot retains per size class before
+    /// flushes start returning chunks to the backend.
+    ///
+    /// The default (64) lets bulk alloc-then-free bursts park entirely in the
+    /// depot instead of round-tripping through the backend; the memory it can
+    /// strand per class is bounded by `depot_magazines * magazine_bytes` and,
+    /// in practice, by the workload's own per-class peak footprint.
+    pub depot_magazines: usize,
+    /// Number of thread slots (each slot holds one pair of magazines per
+    /// class; threads map to slots by a per-thread id, so with at least as
+    /// many slots as threads every thread effectively owns a private slot).
+    /// `None` sizes the table from `std::thread::available_parallelism`.
+    pub slots: Option<usize>,
+    /// Overflow/refill policy.
+    pub flush_policy: FlushPolicy,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            magazine_capacity: 64,
+            magazine_bytes: 32 << 10,
+            max_cached_size: None,
+            depot_magazines: 64,
+            slots: None,
+            flush_policy: FlushPolicy::default(),
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Effective magazine capacity for a class of `class_size` bytes.
+    pub(crate) fn capacity_for(&self, class_size: usize) -> usize {
+        (self.magazine_bytes / class_size.max(1)).clamp(2, self.magazine_capacity.max(2))
+    }
+
+    /// Resolved slot count (a power of two for cheap modulo).
+    pub(crate) fn resolved_slots(&self) -> usize {
+        match self.slots {
+            Some(n) => n.max(1).next_power_of_two(),
+            None => std::thread::available_parallelism()
+                .map(|n| (n.get() * 2).next_power_of_two())
+                .unwrap_or(16),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_scales_down_with_class_size() {
+        let cfg = CacheConfig::default();
+        assert_eq!(cfg.capacity_for(8), 64);
+        assert_eq!(cfg.capacity_for(1024), 32);
+        assert_eq!(cfg.capacity_for(16 << 10), 2);
+    }
+
+    #[test]
+    fn explicit_slots_round_up_to_power_of_two() {
+        let cfg = CacheConfig {
+            slots: Some(3),
+            ..CacheConfig::default()
+        };
+        assert_eq!(cfg.resolved_slots(), 4);
+        let auto = CacheConfig::default().resolved_slots();
+        assert!(auto.is_power_of_two());
+        assert!(auto >= 1);
+    }
+}

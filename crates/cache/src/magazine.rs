@@ -1,0 +1,131 @@
+//! Magazines: bounded LIFO stacks of chunk offsets, one size class each.
+
+/// A bounded stack of chunk offsets belonging to one size class.
+///
+/// The LIFO order deliberately hands back the most recently freed chunk
+/// first, which is the one most likely to still be cache-hot — the same
+/// reasoning as Bonwick's magazine layer in the Solaris slab allocator.
+#[derive(Debug)]
+pub(crate) struct Magazine {
+    entries: Vec<usize>,
+    capacity: usize,
+}
+
+impl Magazine {
+    /// Creates an empty magazine holding at most `capacity` offsets.
+    pub(crate) fn new(capacity: usize) -> Self {
+        Magazine {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of offsets this magazine holds.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of cached offsets.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Pushes an offset; the caller must have checked [`Magazine::is_full`].
+    pub(crate) fn push(&mut self, offset: usize) {
+        debug_assert!(!self.is_full());
+        self.entries.push(offset);
+    }
+
+    /// Pops the most recently pushed offset.
+    pub(crate) fn pop(&mut self) -> Option<usize> {
+        self.entries.pop()
+    }
+
+    /// Removes and returns all cached offsets.
+    pub(crate) fn take_all(&mut self) -> Vec<usize> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Read-only view of the cached offsets.
+    pub(crate) fn entries(&self) -> &[usize] {
+        &self.entries
+    }
+}
+
+/// The pair of magazines a thread slot keeps per size class (Bonwick's
+/// two-magazine scheme: `loaded` serves the hot path, `previous` buffers a
+/// full/empty magazine so a burst of frees or allocations at the boundary
+/// does not thrash the depot).
+#[derive(Debug)]
+pub(crate) struct ClassMags {
+    pub(crate) loaded: Magazine,
+    pub(crate) previous: Magazine,
+    /// An empty magazine kept aside for the next overflow rotation, so a
+    /// depot round-trip (full magazine in, empty out) recirculates the
+    /// empty's buffer instead of freeing it and heap-allocating a fresh one.
+    pub(crate) spare: Option<Magazine>,
+}
+
+impl ClassMags {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ClassMags {
+            loaded: Magazine::new(capacity),
+            previous: Magazine::new(capacity),
+            spare: None,
+        }
+    }
+
+    /// Total offsets cached by this pair.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.loaded.len() + self.previous.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order_and_bounds() {
+        let mut m = Magazine::new(2);
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), 2);
+        m.push(8);
+        m.push(16);
+        assert!(m.is_full());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.pop(), Some(16));
+        assert_eq!(m.pop(), Some(8));
+        assert_eq!(m.pop(), None);
+    }
+
+    #[test]
+    fn take_all_empties_the_magazine() {
+        let mut m = Magazine::new(4);
+        m.push(0);
+        m.push(64);
+        assert_eq!(m.entries(), &[0, 64]);
+        let all = m.take_all();
+        assert_eq!(all, vec![0, 64]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn class_pair_counts_both_magazines() {
+        let mut pair = ClassMags::new(2);
+        pair.loaded.push(0);
+        pair.previous.push(8);
+        pair.previous.push(16);
+        assert_eq!(pair.len(), 3);
+    }
+}

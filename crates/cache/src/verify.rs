@@ -1,0 +1,59 @@
+//! Safety verification that sees *through* the cache.
+//!
+//! A chunk parked in a magazine is free from the caller's perspective but
+//! still live to the backend: its tree node stays occupied so that no
+//! concurrent backend allocation can hand the same bytes out twice.  The
+//! stock [`nbbs::verify::audit`] would therefore flag cached chunks as stray
+//! occupancy; [`verify_cached`] merges them into the live set first, so the
+//! paper's safety properties (S1/S2) are checked over the union of
+//! caller-live and cache-parked chunks.
+
+use std::collections::BTreeMap;
+
+use nbbs::verify::{audit, AuditReport, Violation};
+use nbbs::{BuddyBackend, TreeInspect};
+
+use crate::MagazineCache;
+
+/// Audits the backend underneath `cache`, treating cached chunks as live.
+///
+/// * `live` maps chunk offsets to requested sizes, exactly as for
+///   [`nbbs::verify::audit`], and must describe what *callers* currently
+///   hold.
+/// * `quiescent` must be `true` only when no allocator or cache operation is
+///   in flight.
+///
+/// Besides the backend audit, this checks the cache's own invariant: a
+/// parked chunk must never overlap a caller-live chunk (it would mean the
+/// cache handed the same bytes out twice), and no chunk may be parked twice.
+pub fn verify_cached<A: BuddyBackend + TreeInspect>(
+    cache: &MagazineCache<A>,
+    live: &BTreeMap<usize, usize>,
+    quiescent: bool,
+) -> AuditReport {
+    let mut merged = live.clone();
+    let mut report = AuditReport::default();
+    for (offset, size) in cache.cached_chunks() {
+        if merged.insert(offset, size).is_some() {
+            // Either parked twice or also claimed live by the caller: both
+            // mean the same offset reached two owners.
+            report.violations.push(Violation::Overlap {
+                first: (offset, size),
+                second: (offset, size),
+            });
+        }
+    }
+    let backend_report = audit(cache.backend(), &merged, quiescent);
+    report.violations.extend(backend_report.violations);
+    report
+}
+
+/// Audits a cache expected to hold nothing, over an idle backend.
+///
+/// Unlike [`nbbs::verify::audit_empty`] on a bare backend, this passes while
+/// chunks are parked in magazines — parked chunks are part of the expected
+/// state.  Drain first (e.g. [`MagazineCache::drain_all`]) to assert the
+/// backend is truly empty.
+pub fn verify_cached_empty<A: BuddyBackend + TreeInspect>(cache: &MagazineCache<A>) -> AuditReport {
+    verify_cached(cache, &BTreeMap::new(), true)
+}

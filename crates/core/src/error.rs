@@ -125,7 +125,10 @@ pub enum FreeError {
 impl fmt::Display for FreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            FreeError::OutOfRange { offset, total_memory } => write!(
+            FreeError::OutOfRange {
+                offset,
+                total_memory,
+            } => write!(
                 f,
                 "offset {offset} is outside the managed region of {total_memory} bytes"
             ),
@@ -134,7 +137,10 @@ impl fmt::Display for FreeError {
                 "offset {offset} is not aligned to the {min_size}-byte allocation unit"
             ),
             FreeError::NotAllocated { offset } => {
-                write!(f, "offset {offset} does not correspond to a live allocation")
+                write!(
+                    f,
+                    "offset {offset} does not correspond to a live allocation"
+                )
             }
         }
     }
@@ -151,7 +157,10 @@ mod tests {
         let e = ConfigError::MinAboveMax { min: 64, max: 32 };
         assert!(e.to_string().contains("64"));
         assert!(e.to_string().contains("32"));
-        let e = ConfigError::TooDeep { depth: 60, limit: 40 };
+        let e = ConfigError::TooDeep {
+            depth: 60,
+            limit: 40,
+        };
         assert!(e.to_string().contains("60"));
     }
 

@@ -154,7 +154,11 @@ impl BunchGeometry {
     #[inline]
     pub fn word_of_root(&self, root: usize) -> usize {
         let root_level = self.geo.level_of(root);
-        debug_assert_eq!(root_level % BUNCH_LEVELS, 0, "node {root} is not a bunch root");
+        debug_assert_eq!(
+            root_level % BUNCH_LEVELS,
+            0,
+            "node {root} is not a bunch root"
+        );
         self.word_offset[(root_level / BUNCH_LEVELS) as usize] + (root - (1usize << root_level))
     }
 
@@ -432,17 +436,25 @@ impl NbbsFourLevel {
         let geo = *self.geometry();
 
         // Phase 1: mark the coalescing bit of the traversed branch on the
-        // stored path node of every ancestor bunch, stopping early if the
-        // release cannot propagate further: either something else inside the
-        // bunch being left is still occupied (the aggregate of the per-level
-        // buddy checks folded into the bunch), or the buddy branch at the
-        // stored path node is occupied and not itself coalescing.
+        // stored path node of every ancestor bunch, stopping early only when
+        // the buddy branch at the stored path node is occupied and not itself
+        // coalescing (the 1-level algorithm's break condition).
+        //
+        // Unlike `unmark`, this climb must NOT break early when other slots
+        // of the bunch being left are busy: those slots may belong to a
+        // concurrent release that has not yet cleared them (phase 2 of that
+        // release is still in flight), and in-bunch slots carry no "being
+        // freed" marker the way stored parent slots carry coalescing bits.
+        // If both racing releases broke here, neither would ever set the
+        // coalescing bit on the shared ancestor boundary, and the last
+        // `unmark` to find the bunch empty would refuse to clear the
+        // ancestor's branch-occupancy bit (its `is_coal` gate fails) —
+        // permanently stranding capacity above the bunch.  The coalescing
+        // bits written by an over-long climb are cheap and self-healing: a
+        // racing allocation clears them with `clean_coal`, and the final
+        // release's `unmark` clears them together with the occupancy bits.
         let mut child_root = self.bgeo.bunch_root(n);
-        let mut exclude = n;
         while child_root > 1 && geo.level_of(child_root) > upper_level {
-            if self.other_slots_busy(child_root, exclude) {
-                break;
-            }
             let parent_node = child_root >> 1;
             let (pw, pslot, _) = self.bgeo.locate(parent_node);
             let coal_bit = COAL_LEFT >> ((child_root & 1) as u8);
@@ -464,7 +476,6 @@ impl NbbsFourLevel {
             if is_occ_buddy(old_status, child_root) && !is_coal_buddy(old_status, child_root) {
                 break;
             }
-            exclude = parent_node;
             child_root = self.bgeo.bunch_root(parent_node);
         }
 
@@ -627,7 +638,7 @@ impl BuddyBackend for NbbsFourLevel {
                 total_memory: geo.total_memory(),
             });
         }
-        if offset % geo.min_size() != 0 {
+        if !offset.is_multiple_of(geo.min_size()) {
             return Err(FreeError::Misaligned {
                 offset,
                 min_size: geo.min_size(),
@@ -648,6 +659,19 @@ impl BuddyBackend for NbbsFourLevel {
 
     fn stats(&self) -> OpStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    fn granted_size_of_live(&self, offset: usize) -> Option<usize> {
+        let geo = *self.geometry();
+        if offset >= geo.total_memory() || !offset.is_multiple_of(geo.min_size()) {
+            return None;
+        }
+        let unit = geo.unit_of_offset(offset);
+        let n = self.index[unit].load(Ordering::Acquire) as usize;
+        if n == 0 || geo.offset_of(n) != offset || self.node_status(n) & OCC == 0 {
+            return None;
+        }
+        Some(geo.size_of(n))
     }
 }
 
@@ -794,7 +818,7 @@ mod tests {
         #[test]
         fn locate_root_bunch_nodes() {
             let g = bg(256, 1); // depth 8
-            // Root bunch: root level 0, floor level 3 (8 stored nodes 8..15).
+                                // Root bunch: root level 0, floor level 3 (8 stored nodes 8..15).
             assert_eq!(g.locate(1), (0, 0, 8));
             assert_eq!(g.locate(2), (0, 0, 4));
             assert_eq!(g.locate(3), (0, 4, 4));
@@ -806,7 +830,7 @@ mod tests {
         #[test]
         fn locate_second_bunch_layer() {
             let g = bg(256, 1); // depth 8: bunch roots at levels 0, 4, 8
-            // Bunch rooted at node 16 (level 4): word 1, covers levels 4..=7.
+                                // Bunch rooted at node 16 (level 4): word 1, covers levels 4..=7.
             assert_eq!(g.bunch_root(16), 16);
             assert_eq!(g.locate(16), (1, 0, 8));
             assert_eq!(g.bunch_root(17 << 3), 17);
@@ -820,13 +844,13 @@ mod tests {
             // Level-8 nodes live in their own (partial) bunches below.
             let (w, slot, width) = g.locate(256);
             assert_eq!((slot, width), (0, 1));
-            assert!(w >= 1 + 16);
+            assert!(w > 16);
         }
 
         #[test]
         fn partial_bottom_bunches() {
             let g = bg(64, 1); // depth 6: bunch roots at 0 and 4; floor(4) = 6
-            // A bunch rooted at level 4 stores the level-6 nodes (4 of them).
+                               // A bunch rooted at level 4 stores the level-6 nodes (4 of them).
             assert_eq!(g.locate(16), (1, 0, 4));
             assert_eq!(g.locate(64), (1, 0, 1));
             assert_eq!(g.locate(67), (1, 3, 1));
@@ -959,8 +983,8 @@ mod tests {
     #[test]
     fn direct_allocation_of_mid_bunch_node_occupies_stored_slots() {
         let b = buddy_first_fit(1 << 10, 8, 1 << 10); // depth 7
-        // Allocate half the region: node 2 (level 1), inside the root bunch,
-        // covering stored slots 0..4 of word 0.
+                                                      // Allocate half the region: node 2 (level 1), inside the root bunch,
+                                                      // covering stored slots 0..4 of word 0.
         let off = b.alloc(1 << 9).unwrap();
         assert_eq!(off, 0);
         let word = b.words[0].load(Ordering::Acquire);
@@ -1115,7 +1139,10 @@ mod tests {
             b.try_dealloc(4096),
             Err(FreeError::OutOfRange { .. })
         ));
-        assert!(matches!(b.try_dealloc(3), Err(FreeError::Misaligned { .. })));
+        assert!(matches!(
+            b.try_dealloc(3),
+            Err(FreeError::Misaligned { .. })
+        ));
         assert!(matches!(
             b.try_dealloc(128),
             Err(FreeError::NotAllocated { .. })

@@ -33,6 +33,17 @@
 //! * [`verify`] — runtime checkers for the paper's safety properties (no two
 //!   live allocations overlap; a free releases exactly what was allocated).
 //!
+//! The paper positions the non-blocking buddy as a *backend*: real
+//! deployments interpose a per-CPU/per-thread front-end cache so the hot path
+//! rarely touches the shared tree.  That layer lives in the companion
+//! `nbbs-cache` crate (`MagazineCache<A: BuddyBackend>`, a Bonwick-style
+//! magazine/depot cache); this crate only provides the hooks it builds on —
+//! [`BuddyBackend::granted_size_of_live`] (size-class lookup on the release
+//! path) and [`BuddyBackend::cache_stats`] / [`CacheStatsSnapshot`]
+//! (hit/miss/flush reporting through `dyn BuddyBackend`).  Because the cache
+//! implements [`BuddyBackend`] itself, it nests unchanged inside
+//! [`BuddyRegion`], [`NbbsGlobalAlloc`] and [`MultiInstance`].
+//!
 //! ## Quick start
 //!
 //! ```
@@ -101,5 +112,5 @@ pub use locked::{LockedBuddy, LockedFourLevel, LockedOneLevel};
 pub use multi::MultiInstance;
 pub use onelvl::NbbsOneLevel;
 pub use region::BuddyRegion;
-pub use stats::OpStats;
+pub use stats::{CacheStatsSnapshot, OpStats};
 pub use traits::{BuddyBackend, TreeInspect};

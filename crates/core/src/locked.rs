@@ -102,6 +102,20 @@ impl<A: BuddyBackend> BuddyBackend for LockedBuddy<A> {
     fn stats(&self) -> OpStatsSnapshot {
         self.inner.stats()
     }
+
+    fn granted_size_of_live(&self, offset: usize) -> Option<usize> {
+        // Atomic metadata reads only; no need to serialize with mutators.
+        self.inner.granted_size_of_live(offset)
+    }
+
+    fn cache_stats(&self) -> Option<crate::stats::CacheStatsSnapshot> {
+        self.inner.cache_stats()
+    }
+
+    fn drain_cache(&self) {
+        let _guard = self.lock.lock();
+        self.inner.drain_cache();
+    }
 }
 
 impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for LockedBuddy<A> {

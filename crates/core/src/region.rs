@@ -138,7 +138,9 @@ mod tests {
     use crate::{BuddyConfig, NbbsFourLevel, NbbsOneLevel};
 
     fn region(total: usize, min: usize, max: usize) -> BuddyRegion<NbbsOneLevel> {
-        BuddyRegion::new(NbbsOneLevel::new(BuddyConfig::new(total, min, max).unwrap()))
+        BuddyRegion::new(NbbsOneLevel::new(
+            BuddyConfig::new(total, min, max).unwrap(),
+        ))
     }
 
     #[test]

@@ -88,6 +88,69 @@ impl fmt::Display for OpStatsSnapshot {
     }
 }
 
+/// A point-in-time copy of the counters of a caching front-end layered over
+/// a backend allocator (e.g. the per-thread magazine cache in `nbbs-cache`).
+///
+/// Defined here, next to [`OpStatsSnapshot`], so that the
+/// [`crate::BuddyBackend::cache_stats`] hook can expose cache behaviour
+/// through `dyn BuddyBackend` without the core crate depending on any cache
+/// implementation.  Plain backends return `None` from that hook; wrappers
+/// fill this in.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStatsSnapshot {
+    /// Allocations served from the cache without touching the backend.
+    pub hits: u64,
+    /// Allocations that had to fall through to the backend (including the
+    /// batched refill traffic they triggered).
+    pub misses: u64,
+    /// Releases absorbed by the cache without touching the backend.
+    pub cached_frees: u64,
+    /// Chunks returned to the backend by flushes (magazine overflow, depot
+    /// overflow, or drains).
+    pub flushed: u64,
+    /// Chunks fetched from the backend by batched refills.
+    pub refilled: u64,
+    /// Full magazines exchanged with the shared depot (gets + puts).
+    pub depot_exchanges: u64,
+    /// Chunks returned to the backend by explicit drain calls
+    /// (thread-exit drains and whole-cache drains).
+    pub drained: u64,
+}
+
+impl CacheStatsSnapshot {
+    /// Fraction of allocations served without touching the backend.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Total allocation requests observed by the cache.
+    pub fn alloc_requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl fmt::Display for CacheStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} hit-rate={:.3} cached-frees={} flushed={} refilled={} depot={} drained={}",
+            self.hits,
+            self.misses,
+            self.hit_rate(),
+            self.cached_frees,
+            self.flushed,
+            self.refilled,
+            self.depot_exchanges,
+            self.drained
+        )
+    }
+}
+
 macro_rules! recorder {
     ($(#[$doc:meta])* $name:ident, $field:ident) => {
         $(#[$doc])*
@@ -182,6 +245,23 @@ mod tests {
         let snap = OpStatsSnapshot::default();
         assert_eq!(snap.cas_per_op(), 0.0);
         assert_eq!(snap.cas_failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_snapshot_hit_rate() {
+        let snap = CacheStatsSnapshot::default();
+        assert_eq!(snap.hit_rate(), 0.0);
+        assert_eq!(snap.alloc_requests(), 0);
+        let snap = CacheStatsSnapshot {
+            hits: 3,
+            misses: 1,
+            ..CacheStatsSnapshot::default()
+        };
+        assert!((snap.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(snap.alloc_requests(), 4);
+        let s = snap.to_string();
+        assert!(s.contains("hits=3"));
+        assert!(s.contains("hit-rate=0.750"));
     }
 
     #[test]

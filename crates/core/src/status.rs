@@ -156,7 +156,10 @@ mod tests {
         assert_eq!(mark(0, LEFT_CHILD), OCC_LEFT);
         assert_eq!(mark(0, RIGHT_CHILD), OCC_RIGHT);
         // Marking is idempotent and preserves other bits.
-        assert_eq!(mark(OCC_LEFT | COAL_RIGHT, LEFT_CHILD), OCC_LEFT | COAL_RIGHT);
+        assert_eq!(
+            mark(OCC_LEFT | COAL_RIGHT, LEFT_CHILD),
+            OCC_LEFT | COAL_RIGHT
+        );
         assert_eq!(mark(OCC_LEFT, RIGHT_CHILD), OCC_LEFT | OCC_RIGHT);
     }
 

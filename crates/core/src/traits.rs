@@ -12,7 +12,7 @@
 
 use crate::error::{AllocError, FreeError};
 use crate::geometry::Geometry;
-use crate::stats::OpStatsSnapshot;
+use crate::stats::{CacheStatsSnapshot, OpStatsSnapshot};
 
 /// A concurrent back-end buddy allocator over a contiguous region.
 ///
@@ -90,6 +90,44 @@ pub trait BuddyBackend: Send + Sync {
     fn stats(&self) -> OpStatsSnapshot {
         OpStatsSnapshot::default()
     }
+
+    /// The granted (power-of-two) size of the live allocation starting at
+    /// `offset`, or `None` if the backend cannot cheaply tell or no live
+    /// allocation starts there.
+    ///
+    /// Caching front-ends use this on their release path to find the size
+    /// class of an offset they are handed: [`BuddyBackend::dealloc`] carries
+    /// no size, but a magazine can only absorb a chunk whose class it knows.
+    /// The tree-based allocators answer from `index[]` + the node status (the
+    /// same lookup their own `dealloc` performs); backends without such
+    /// metadata keep the default `None`, which makes caches pass their frees
+    /// straight through.
+    ///
+    /// Like `dealloc`, this is only meaningful for offsets owned by the
+    /// caller (returned by `alloc` and not yet released); concurrent
+    /// operations on *other* chunks never invalidate the answer.
+    fn granted_size_of_live(&self, _offset: usize) -> Option<usize> {
+        None
+    }
+
+    /// Counters of the caching layer wrapped around this backend, if any.
+    ///
+    /// Plain backends return `None`; cache front-ends (and wrappers that
+    /// contain one) override this so reports can surface hit rates through
+    /// `dyn BuddyBackend` without downcasting.
+    fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        None
+    }
+
+    /// Returns any chunks parked in caching layers to the backing allocator.
+    ///
+    /// A no-op for plain backends.  Cache front-ends override this to flush
+    /// every magazine and depot, making the full region available to
+    /// *backend*-level requests again — the analogue of the Linux kernel
+    /// draining its per-CPU page lists before falling back across zones.
+    /// Callers use it at quiescent points (between benchmark epochs, before
+    /// capacity assertions or metadata audits).
+    fn drain_cache(&self) {}
 }
 
 /// Read-only access to the logical status of every tree node.
@@ -136,6 +174,15 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for std::sync::Arc<T> {
     fn stats(&self) -> OpStatsSnapshot {
         (**self).stats()
     }
+    fn granted_size_of_live(&self, offset: usize) -> Option<usize> {
+        (**self).granted_size_of_live(offset)
+    }
+    fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        (**self).cache_stats()
+    }
+    fn drain_cache(&self) {
+        (**self).drain_cache()
+    }
 }
 
 impl<T: BuddyBackend + ?Sized> BuddyBackend for &T {
@@ -162,5 +209,14 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for &T {
     }
     fn stats(&self) -> OpStatsSnapshot {
         (**self).stats()
+    }
+    fn granted_size_of_live(&self, offset: usize) -> Option<usize> {
+        (**self).granted_size_of_live(offset)
+    }
+    fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        (**self).cache_stats()
+    }
+    fn drain_cache(&self) {
+        (**self).drain_cache()
     }
 }

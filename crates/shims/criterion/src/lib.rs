@@ -1,0 +1,352 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Each benchmark is warmed up briefly, then timed over a handful of samples
+//! bounded by the group's `sample_size` and `measurement_time`; the mean and
+//! minimum per-iteration times are printed to stdout in a stable, grep-able
+//! format:
+//!
+//! ```text
+//! bench  fig10_larson/bytes=8/4lvl-nb/threads=2 ... mean 12.3µs min 11.9µs (10 samples)
+//! ```
+//!
+//! The command-line arguments cargo passes to bench binaries (`--bench`) are
+//! accepted and ignored; a positional argument filters benchmarks by
+//! substring, mirroring the real harness's most-used feature.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            filter: self.filter.clone(),
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a function outside of any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        self.benchmark_group("").bench_function(id, f);
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl ToString) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (self.function.is_empty(), self.parameter.is_empty()) {
+            (false, false) => format!("{}/{}", self.function, self.parameter),
+            (false, true) => self.function.clone(),
+            (true, _) => self.parameter.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: String::new(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks `f` under this group's settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id.render()
+        } else {
+            format!("{}/{}", self.name, id.render())
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(r) => println!(
+                "bench  {full} ... mean {} min {} ({} samples)",
+                fmt_duration(r.mean),
+                fmt_duration(r.min),
+                r.samples
+            ),
+            None => println!("bench  {full} ... no measurement recorded"),
+        }
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (reports are already printed incrementally).
+    pub fn finish(&mut self) {}
+}
+
+struct SampleReport {
+    mean: Duration,
+    min: Duration,
+    samples: usize,
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    report: Option<SampleReport>,
+}
+
+impl Bencher {
+    /// Times repeated invocations of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine`, which receives an iteration count and returns the
+    /// total elapsed time for that many iterations.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        // Warm-up: run single iterations until the warm-up budget is spent,
+        // and use the observations to size measurement batches.
+        let warm_up_deadline = Instant::now() + self.warm_up_time.min(Duration::from_millis(500));
+        let mut per_iter = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        loop {
+            per_iter += routine(1);
+            warm_iters += 1;
+            if Instant::now() >= warm_up_deadline {
+                break;
+            }
+        }
+        let per_iter = per_iter / warm_iters.max(1) as u32;
+
+        let samples = self.sample_size.clamp(1, 100);
+        let budget_per_sample = self.measurement_time / samples as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut measured = 0usize;
+        let deadline = Instant::now() + self.measurement_time.min(Duration::from_secs(10)) * 2;
+        for _ in 0..samples {
+            let elapsed = routine(iters_per_sample);
+            let per = elapsed / iters_per_sample.max(1) as u32;
+            total += per;
+            min = min.min(per);
+            measured += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.report = Some(SampleReport {
+            mean: total / measured.max(1) as u32,
+            min,
+            samples: measured,
+        });
+    }
+}
+
+/// Hint to prevent the optimizer from eliding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim_test");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0, "routine never executed");
+    }
+
+    #[test]
+    fn iter_custom_receives_iteration_counts() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim_test_custom");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut seen = Vec::new();
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                seen.push(iters);
+                Duration::from_micros(iters)
+            })
+        });
+        assert!(!seen.is_empty());
+        assert!(seen.iter().all(|&i| i >= 1));
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("matching".into()),
+        };
+        let mut ran = false;
+        let mut group = c.benchmark_group("group");
+        group.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran, "filtered benchmark must not run");
+        group.bench_function("matching_name", |b| b.iter(|| 1));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.5ms");
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

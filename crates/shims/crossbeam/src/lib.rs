@@ -1,0 +1,153 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only the API surface this workspace actually uses is provided:
+//! [`queue::SegQueue`], an unbounded MPMC FIFO queue.  The real crossbeam
+//! implementation is lock-free; this shim trades that for a simple sharded
+//! mutex design so the workspace builds without registry access.  The
+//! *semantics* (unbounded, MPMC, FIFO per shard, `push`/`pop` never block
+//! indefinitely) are preserved, which is all the Larson workload and the web
+//! server example rely on.
+
+/// Concurrent queues (shim for `crossbeam::queue`).
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    const SHARDS: usize = 8;
+
+    /// An unbounded multi-producer multi-consumer queue.
+    ///
+    /// Shim for `crossbeam::queue::SegQueue`: the public API (`new`, `push`,
+    /// `pop`, `len`, `is_empty`) matches the real crate.  Internally the
+    /// queue is sharded over a few mutex-protected deques to keep
+    /// producer/consumer contention low; ordering is FIFO within a shard.
+    pub struct SegQueue<T> {
+        shards: [Mutex<VecDeque<T>>; SHARDS],
+        push_cursor: AtomicUsize,
+        pop_cursor: AtomicUsize,
+        len: AtomicUsize,
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                shards: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
+                push_cursor: AtomicUsize::new(0),
+                pop_cursor: AtomicUsize::new(0),
+                len: AtomicUsize::new(0),
+            }
+        }
+
+        /// Appends an element to the queue.
+        pub fn push(&self, value: T) {
+            let shard = self.push_cursor.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            self.shards[shard]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+            self.len.fetch_add(1, Ordering::Release);
+        }
+
+        /// Removes an element, or returns `None` if the queue is empty.
+        pub fn pop(&self) -> Option<T> {
+            if self.len.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            let start = self.pop_cursor.fetch_add(1, Ordering::Relaxed);
+            for k in 0..SHARDS {
+                let shard = (start + k) % SHARDS;
+                let popped = self.shards[shard]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_front();
+                if let Some(v) = popped {
+                    self.len.fetch_sub(1, Ordering::Release);
+                    return Some(v);
+                }
+            }
+            None
+        }
+
+        /// Number of elements currently in the queue (approximate under
+        /// concurrency, exact at quiescence).
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::Acquire)
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn push_pop_round_trip() {
+            let q = SegQueue::new();
+            assert!(q.is_empty());
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            let mut got = vec![q.pop().unwrap(), q.pop().unwrap()];
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 2]);
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn concurrent_producers_and_consumers_conserve_items() {
+            const PER_THREAD: usize = 5_000;
+            const PRODUCERS: usize = 4;
+            let q = Arc::new(SegQueue::new());
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        for i in 0..PER_THREAD {
+                            q.push(t * PER_THREAD + i);
+                        }
+                    })
+                })
+                .collect();
+            let consumers: Vec<_> = (0..PRODUCERS)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || {
+                        let mut got = Vec::new();
+                        while got.len() < PER_THREAD {
+                            if let Some(v) = q.pop() {
+                                got.push(v);
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            let mut all: Vec<usize> = consumers
+                .into_iter()
+                .flat_map(|c| c.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            let expected: Vec<usize> = (0..PRODUCERS * PER_THREAD).collect();
+            assert_eq!(all, expected);
+            assert!(q.is_empty());
+        }
+    }
+}

@@ -172,7 +172,10 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for SpinLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.try_lock() {
             Some(guard) => f.debug_struct("SpinLock").field("data", &&*guard).finish(),
-            None => f.debug_struct("SpinLock").field("data", &"<locked>").finish(),
+            None => f
+                .debug_struct("SpinLock")
+                .field("data", &"<locked>")
+                .finish(),
         }
     }
 }

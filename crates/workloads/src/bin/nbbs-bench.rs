@@ -10,6 +10,7 @@
 //!   fig10           Larson throughput                   (Figure 10)
 //!   fig11           Constant Occupancy execution times  (Figure 11)
 //!   fig12           Kernel-buddy comparison, cycles     (Figure 12)
+//!   fig13           Magazine-cache ablation: cached vs uncached backends
 //!   all             All of the above
 //!   ablation-scan   Scan-start policy ablation (first-fit vs scattered)
 //!   ablation-rmw    RMW-per-operation ablation (1lvl vs 4lvl)
@@ -70,7 +71,11 @@ where
 {
     s.split(',')
         .filter(|p| !p.is_empty())
-        .map(|p| p.trim().parse::<T>().map_err(|e| format!("bad value '{p}': {e}")))
+        .map(|p| {
+            p.trim()
+                .parse::<T>()
+                .map_err(|e| format!("bad value '{p}': {e}"))
+        })
         .collect()
 }
 
@@ -106,8 +111,9 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
             }
             "--allocators" => {
                 i += 1;
-                opts.allocators =
-                    Some(parse_list(args.get(i).ok_or("--allocators needs a value")?)?);
+                opts.allocators = Some(parse_list(
+                    args.get(i).ok_or("--allocators needs a value")?,
+                )?);
             }
             "--csv" => {
                 i += 1;
@@ -153,10 +159,48 @@ fn run_figure(figure: FigureSpec, opts: &Options) -> Vec<Measurement> {
         println!("Non-blocking gain over the best blocking allocator:");
         print!("{}", report::gain_table(&gains));
     }
+    let cache = report::cache_table(&measurements);
+    if !cache.is_empty() {
+        println!("Magazine-cache behaviour:");
+        print!("{cache}");
+    }
     measurements
 }
 
-fn write_outputs(measurements: &[Measurement], opts: &Options, metric: Metric) -> Result<(), String> {
+/// Figure 13 (this reproduction's own): the magazine-cache ablation.  Runs
+/// the contended user-space workloads over the cached variants and their
+/// uncached backends, reporting both the headline metric and the cache's
+/// hit/miss/flush behaviour.
+fn fig13_cache_ablation(opts: &Options) -> Vec<Measurement> {
+    println!("\n=== Figure 13: Per-thread magazine cache ablation (cached vs uncached) ===");
+    let harness = Harness::new(opts.verbose);
+    let mut measurements = Vec::new();
+    for workload in [
+        Workload::LinuxScalability,
+        Workload::ThreadTest,
+        Workload::Larson,
+    ] {
+        let sweep = apply_overrides(
+            SweepConfig::user_space(workload, opts.scale)
+                .with_allocators(AllocatorKind::cache_ablation().to_vec()),
+            opts,
+        );
+        measurements.extend(harness.run_sweep(&sweep));
+    }
+    print!("{}", report::text_table(&measurements, Metric::Seconds));
+    let cache = report::cache_table(&measurements);
+    if !cache.is_empty() {
+        println!("Magazine-cache behaviour:");
+        print!("{cache}");
+    }
+    measurements
+}
+
+fn write_outputs(
+    measurements: &[Measurement],
+    opts: &Options,
+    metric: Metric,
+) -> Result<(), String> {
     if let Some(path) = &opts.csv_path {
         std::fs::write(path, report::csv(measurements))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -174,7 +218,10 @@ fn write_outputs(measurements: &[Measurement], opts: &Options, metric: Metric) -
 /// scattered scan starts, on the most contended workload.
 fn ablation_scan(opts: &Options) -> Vec<Measurement> {
     println!("\n=== Ablation: scan-start policy (1lvl-nb, Linux Scalability, Bytes=8) ===");
-    let threads = opts.threads.clone().unwrap_or_else(|| vec![4, 8, 16, 24, 32]);
+    let threads = opts
+        .threads
+        .clone()
+        .unwrap_or_else(|| vec![4, 8, 16, 24, 32]);
     let mut measurements = Vec::new();
     for &t in &threads {
         for (label, policy) in [
@@ -214,10 +261,7 @@ fn ablation_rmw(opts: &Options) -> Vec<Measurement> {
     let mut measurements = Vec::new();
     for &t in &threads {
         for (name, alloc) in [
-            (
-                "1lvl-nb",
-                Arc::new(NbbsOneLevel::new(cfg)) as SharedBackend,
-            ),
+            ("1lvl-nb", Arc::new(NbbsOneLevel::new(cfg)) as SharedBackend),
             (
                 "4lvl-nb",
                 Arc::new(NbbsFourLevel::new(cfg)) as SharedBackend,
@@ -277,10 +321,12 @@ fn list() {
     println!("Allocators:");
     for &kind in AllocatorKind::all() {
         println!(
-            "  {:<12} {}",
+            "  {:<16} {}",
             kind.name(),
             if kind.is_non_blocking() {
                 "non-blocking (lock-free)"
+            } else if kind.is_cached() {
+                "magazine cache over a non-blocking backend"
             } else {
                 "blocking (spin lock)"
             }
@@ -299,6 +345,7 @@ fn list() {
     for &f in FigureSpec::all() {
         println!("  {}", f.title());
     }
+    println!("  Figure 13: Magazine-cache ablation - cached vs uncached backends (this reproduction's own)");
 }
 
 fn main() -> ExitCode {
@@ -307,22 +354,39 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|all|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
+            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|fig13|all|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
             return ExitCode::FAILURE;
         }
     };
 
     let (measurements, metric) = match command.as_str() {
-        "fig8" => (run_figure(FigureSpec::Fig8, &opts), FigureSpec::Fig8.metric()),
-        "fig9" => (run_figure(FigureSpec::Fig9, &opts), FigureSpec::Fig9.metric()),
-        "fig10" => (run_figure(FigureSpec::Fig10, &opts), FigureSpec::Fig10.metric()),
-        "fig11" => (run_figure(FigureSpec::Fig11, &opts), FigureSpec::Fig11.metric()),
-        "fig12" => (run_figure(FigureSpec::Fig12, &opts), FigureSpec::Fig12.metric()),
+        "fig8" => (
+            run_figure(FigureSpec::Fig8, &opts),
+            FigureSpec::Fig8.metric(),
+        ),
+        "fig9" => (
+            run_figure(FigureSpec::Fig9, &opts),
+            FigureSpec::Fig9.metric(),
+        ),
+        "fig10" => (
+            run_figure(FigureSpec::Fig10, &opts),
+            FigureSpec::Fig10.metric(),
+        ),
+        "fig11" => (
+            run_figure(FigureSpec::Fig11, &opts),
+            FigureSpec::Fig11.metric(),
+        ),
+        "fig12" => (
+            run_figure(FigureSpec::Fig12, &opts),
+            FigureSpec::Fig12.metric(),
+        ),
+        "fig13" => (fig13_cache_ablation(&opts), Metric::Seconds),
         "all" => {
             let mut all = Vec::new();
             for &figure in FigureSpec::all() {
                 all.extend(run_figure(figure, &opts));
             }
+            all.extend(fig13_cache_ablation(&opts));
             (all, Metric::Seconds)
         }
         "ablation-scan" => (ablation_scan(&opts), Metric::Seconds),

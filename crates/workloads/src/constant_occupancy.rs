@@ -263,9 +263,7 @@ mod tests {
         let expected: usize = params
             .pool_plan()
             .iter()
-            .map(|&(size, count)| {
-                count * alloc.geometry().granted_size(size).unwrap()
-            })
+            .map(|&(size, count)| count * alloc.geometry().granted_size(size).unwrap())
             .sum();
         assert!(expected > 0);
         let result = run(&alloc, params);

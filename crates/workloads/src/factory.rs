@@ -8,6 +8,7 @@ use nbbs::{
     BuddyBackend, BuddyConfig, LockedFourLevel, LockedOneLevel, NbbsFourLevel, NbbsOneLevel,
 };
 use nbbs_baselines::{CloudwuBuddy, LinuxBuddy};
+use nbbs_cache::{CacheConfig, MagazineCache};
 
 /// A shareable, dynamically-typed back-end allocator.
 pub type SharedBackend = Arc<dyn BuddyBackend>;
@@ -28,6 +29,12 @@ pub enum AllocatorKind {
     /// The Linux-kernel-style free-list buddy behind a zone lock
     /// (`linux-buddy`, Figure 12 only).
     LinuxBuddy,
+    /// The 4-level non-blocking buddy behind a per-thread magazine cache
+    /// (`cached-4lvl-nb`, the `nbbs-cache` front-end; not in the paper).
+    Cached4LvlNb,
+    /// The 1-level non-blocking buddy behind a per-thread magazine cache
+    /// (`cached-1lvl-nb`).
+    Cached1LvlNb,
 }
 
 impl AllocatorKind {
@@ -62,6 +69,19 @@ impl AllocatorKind {
             AllocatorKind::OneLevelSl,
             AllocatorKind::BuddySl,
             AllocatorKind::LinuxBuddy,
+            AllocatorKind::Cached4LvlNb,
+            AllocatorKind::Cached1LvlNb,
+        ]
+    }
+
+    /// The magazine-cached variants together with their uncached backends,
+    /// in ablation order (the `fig13_cache_ablation` comparison set).
+    pub fn cache_ablation() -> &'static [AllocatorKind] {
+        &[
+            AllocatorKind::Cached4LvlNb,
+            AllocatorKind::FourLevelNb,
+            AllocatorKind::Cached1LvlNb,
+            AllocatorKind::OneLevelNb,
         ]
     }
 
@@ -74,12 +94,26 @@ impl AllocatorKind {
             AllocatorKind::OneLevelSl => "1lvl-sl",
             AllocatorKind::BuddySl => "buddy-sl",
             AllocatorKind::LinuxBuddy => "linux-buddy",
+            AllocatorKind::Cached4LvlNb => "cached-4lvl-nb",
+            AllocatorKind::Cached1LvlNb => "cached-1lvl-nb",
         }
     }
 
     /// Whether the configuration is non-blocking (lock-free).
+    ///
+    /// The cached variants are *almost* non-blocking: the backend below them
+    /// is lock-free, but magazine hits briefly hold a per-thread-slot spin
+    /// lock, so they do not qualify.
     pub fn is_non_blocking(self) -> bool {
         matches!(self, AllocatorKind::FourLevelNb | AllocatorKind::OneLevelNb)
+    }
+
+    /// Whether the configuration layers a magazine cache over its backend.
+    pub fn is_cached(self) -> bool {
+        matches!(
+            self,
+            AllocatorKind::Cached4LvlNb | AllocatorKind::Cached1LvlNb
+        )
     }
 }
 
@@ -100,8 +134,10 @@ impl FromStr for AllocatorKind {
             "1lvl-sl" => Ok(AllocatorKind::OneLevelSl),
             "buddy-sl" => Ok(AllocatorKind::BuddySl),
             "linux-buddy" => Ok(AllocatorKind::LinuxBuddy),
+            "cached-4lvl-nb" => Ok(AllocatorKind::Cached4LvlNb),
+            "cached-1lvl-nb" => Ok(AllocatorKind::Cached1LvlNb),
             other => Err(format!(
-                "unknown allocator '{other}' (expected one of: 4lvl-nb, 1lvl-nb, 4lvl-sl, 1lvl-sl, buddy-sl, linux-buddy)"
+                "unknown allocator '{other}' (expected one of: 4lvl-nb, 1lvl-nb, 4lvl-sl, 1lvl-sl, buddy-sl, linux-buddy, cached-4lvl-nb, cached-1lvl-nb)"
             )),
         }
     }
@@ -109,6 +145,12 @@ impl FromStr for AllocatorKind {
 
 /// Builds a fresh allocator instance of the given kind.
 pub fn build(kind: AllocatorKind, config: BuddyConfig) -> SharedBackend {
+    build_cached(kind, config, CacheConfig::default())
+}
+
+/// Builds a fresh allocator instance, with an explicit cache configuration
+/// for the `cached-*` kinds (ignored by the uncached kinds).
+pub fn build_cached(kind: AllocatorKind, config: BuddyConfig, cache: CacheConfig) -> SharedBackend {
     match kind {
         AllocatorKind::FourLevelNb => Arc::new(NbbsFourLevel::new(config)),
         AllocatorKind::OneLevelNb => Arc::new(NbbsOneLevel::new(config)),
@@ -116,6 +158,16 @@ pub fn build(kind: AllocatorKind, config: BuddyConfig) -> SharedBackend {
         AllocatorKind::OneLevelSl => Arc::new(LockedOneLevel::new(NbbsOneLevel::new(config))),
         AllocatorKind::BuddySl => Arc::new(CloudwuBuddy::new(config)),
         AllocatorKind::LinuxBuddy => Arc::new(LinuxBuddy::new(config)),
+        AllocatorKind::Cached4LvlNb => Arc::new(MagazineCache::with_config_and_name(
+            NbbsFourLevel::new(config),
+            cache,
+            "cached-4lvl-nb",
+        )),
+        AllocatorKind::Cached1LvlNb => Arc::new(MagazineCache::with_config_and_name(
+            NbbsOneLevel::new(config),
+            cache,
+            "cached-1lvl-nb",
+        )),
     }
 }
 
@@ -151,9 +203,7 @@ mod tests {
         assert!(AllocatorKind::user_space()
             .iter()
             .all(|k| *k != AllocatorKind::LinuxBuddy));
-        assert!(AllocatorKind::kernel_comparison()
-            .iter()
-            .any(|k| *k == AllocatorKind::LinuxBuddy));
+        assert!(AllocatorKind::kernel_comparison().contains(&AllocatorKind::LinuxBuddy));
     }
 
     #[test]
@@ -172,5 +222,26 @@ mod tests {
         assert!(!AllocatorKind::BuddySl.is_non_blocking());
         assert!(!AllocatorKind::LinuxBuddy.is_non_blocking());
         assert!(!AllocatorKind::OneLevelSl.is_non_blocking());
+        assert!(!AllocatorKind::Cached4LvlNb.is_non_blocking());
+    }
+
+    #[test]
+    fn cached_kinds_wrap_their_backends() {
+        for kind in [AllocatorKind::Cached4LvlNb, AllocatorKind::Cached1LvlNb] {
+            assert!(kind.is_cached());
+            let alloc = build(kind, cfg());
+            assert_eq!(alloc.name(), kind.name());
+            // The cache layer is visible through the trait hook.
+            assert!(alloc.cache_stats().is_some());
+            let off = alloc.alloc(64).unwrap();
+            alloc.dealloc(off);
+            assert_eq!(alloc.allocated_bytes(), 0);
+            assert!(alloc.cache_stats().unwrap().alloc_requests() > 0);
+            // Draining empties the cache (chunks go back to the tree).
+            alloc.drain_cache();
+            assert!(alloc.cache_stats().unwrap().drained > 0);
+        }
+        assert!(!AllocatorKind::FourLevelNb.is_cached());
+        assert!(AllocatorKind::cache_ablation().len() == 4);
     }
 }

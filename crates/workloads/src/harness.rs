@@ -58,15 +58,16 @@ impl Workload {
             Workload::ThreadTest => {
                 thread_test::run(alloc, ThreadTestParams::paper(threads, size).scaled(scale))
             }
-            Workload::Larson => larson::run(alloc, LarsonParams::paper(threads, size).scaled(scale)),
+            Workload::Larson => {
+                larson::run(alloc, LarsonParams::paper(threads, size).scaled(scale))
+            }
             Workload::ConstantOccupancy => {
                 let mut params = ConstantOccupancyParams::paper(threads, size).scaled(scale);
                 // In the kernel-level experiment the figure's size denotes the
                 // *maximum* allocatable chunk (§IV); shift the pool's size mix
                 // down so its largest class still fits below max_size.
                 if params.min_block * params.size_ratio > alloc.max_size() {
-                    params.min_block =
-                        (alloc.max_size() / params.size_ratio).max(alloc.min_size());
+                    params.min_block = (alloc.max_size() / params.size_ratio).max(alloc.min_size());
                 }
                 constant_occupancy::run(alloc, params)
             }
@@ -283,9 +284,13 @@ impl Harness {
                         );
                     }
                     let result = sweep.workload.run(&alloc, threads, size, sweep.scale);
-                    let m = Measurement::new(sweep.workload.name(), kind.name(), size, result);
+                    let m = Measurement::new(sweep.workload.name(), kind.name(), size, result)
+                        .with_cache(alloc.cache_stats());
                     if self.verbose {
                         eprintln!("[nbbs-bench]   -> {m}");
+                        if let Some(cache) = &m.cache {
+                            eprintln!("[nbbs-bench]      cache: {cache}");
+                        }
                     }
                     out.push(m);
                 }

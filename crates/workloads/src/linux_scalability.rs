@@ -42,7 +42,8 @@ impl LinuxScalabilityParams {
     /// (e.g. `0.01` runs 200 000 pairs).
     #[must_use]
     pub fn scaled(mut self, scale: f64) -> Self {
-        self.total_pairs = ((self.total_pairs as f64 * scale).round() as u64).max(self.threads as u64);
+        self.total_pairs =
+            ((self.total_pairs as f64 * scale).round() as u64).max(self.threads as u64);
         self
     }
 }

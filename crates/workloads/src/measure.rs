@@ -1,10 +1,9 @@
 //! Measurement records produced by the workload drivers.
 
-use serde::Serialize;
 use std::fmt;
 
 /// Raw result of running one workload on one allocator configuration.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WorkloadResult {
     /// Number of threads that participated.
     pub threads: usize,
@@ -41,7 +40,7 @@ impl WorkloadResult {
 
 /// One cell of a paper figure: a workload result annotated with the
 /// allocator, workload and request size it belongs to.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Workload name (e.g. `"linux-scalability"`).
     pub workload: String,
@@ -51,6 +50,9 @@ pub struct Measurement {
     pub size: usize,
     /// The underlying result.
     pub result: WorkloadResult,
+    /// Counters of the allocator's magazine-cache layer, if it has one
+    /// (`cached-*` kinds); `None` for plain backends.
+    pub cache: Option<nbbs::CacheStatsSnapshot>,
 }
 
 impl Measurement {
@@ -66,7 +68,15 @@ impl Measurement {
             allocator: allocator.into(),
             size,
             result,
+            cache: None,
         }
+    }
+
+    /// Attaches cache-layer counters to this measurement.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Option<nbbs::CacheStatsSnapshot>) -> Self {
+        self.cache = cache;
+        self
     }
 
     /// CSV header matching [`Measurement::to_csv_row`].
@@ -149,6 +159,19 @@ mod tests {
             Measurement::csv_header().split(',').count()
         );
         assert!(row.starts_with("larson,4lvl-nb,128,4,"));
+    }
+
+    #[test]
+    fn cache_counters_attach_optionally() {
+        let m = Measurement::new("larson", "cached-4lvl-nb", 128, sample());
+        assert!(m.cache.is_none());
+        let snap = nbbs::CacheStatsSnapshot {
+            hits: 9,
+            misses: 1,
+            ..Default::default()
+        };
+        let m = m.with_cache(Some(snap));
+        assert_eq!(m.cache.unwrap().hits, 9);
     }
 
     #[test]

@@ -29,18 +29,18 @@ fn metric_value(metric: Metric, m: &Measurement) -> f64 {
 }
 
 fn sorted_unique<T: Ord + Clone, I: IntoIterator<Item = T>>(items: I) -> Vec<T> {
-    items.into_iter().collect::<BTreeSet<_>>().into_iter().collect()
+    items
+        .into_iter()
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect()
 }
 
 /// Renders one aligned table per (workload, size) pair: rows are thread
 /// counts, columns are allocators, cells carry `metric`.
 pub fn text_table(measurements: &[Measurement], metric: Metric) -> String {
     let mut out = String::new();
-    let panels = sorted_unique(
-        measurements
-            .iter()
-            .map(|m| (m.workload.clone(), m.size)),
-    );
+    let panels = sorted_unique(measurements.iter().map(|m| (m.workload.clone(), m.size)));
     for (workload, size) in panels {
         let panel: Vec<&Measurement> = measurements
             .iter()
@@ -114,6 +114,46 @@ pub fn figure_series(measurements: &[Measurement], metric: Metric) -> String {
             out.push_str(&format!("{threads} {value:.6}\n"));
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Renders the magazine-cache behaviour of every measurement that carries
+/// cache counters (the `cached-*` allocator kinds): hit rate and the backend
+/// traffic that remained.  Returns an empty string when no measurement has a
+/// cache layer.
+pub fn cache_table(measurements: &[Measurement]) -> String {
+    let cached: Vec<&Measurement> = measurements.iter().filter(|m| m.cache.is_some()).collect();
+    if cached.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<16} {:>8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10}\n",
+        "workload",
+        "allocator",
+        "bytes",
+        "threads",
+        "hit-rate",
+        "hits",
+        "misses",
+        "flushed",
+        "drained"
+    ));
+    for m in cached {
+        let c = m.cache.as_ref().expect("filtered to Some");
+        out.push_str(&format!(
+            "{:<22} {:<16} {:>8} {:>8} {:>8.1}% {:>12} {:>12} {:>10} {:>10}\n",
+            m.workload,
+            m.allocator,
+            m.size,
+            m.result.threads,
+            c.hit_rate() * 100.0,
+            c.hits,
+            c.misses,
+            c.flushed,
+            c.drained
+        ));
     }
     out
 }
@@ -275,6 +315,23 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert!(rows[0].starts_with("4 "));
         assert!(rows[1].starts_with("32 "));
+    }
+
+    #[test]
+    fn cache_table_reports_only_cached_measurements() {
+        let mut set = sample_set();
+        assert_eq!(cache_table(&set), "");
+        set[0].cache = Some(nbbs::CacheStatsSnapshot {
+            hits: 75,
+            misses: 25,
+            flushed: 10,
+            ..Default::default()
+        });
+        set[0].allocator = "cached-4lvl-nb".into();
+        let out = cache_table(&set);
+        assert_eq!(out.lines().count(), 2, "header + one cached row");
+        assert!(out.contains("cached-4lvl-nb"));
+        assert!(out.contains("75.0%"));
     }
 
     #[test]

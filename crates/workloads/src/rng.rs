@@ -69,6 +69,9 @@ mod tests {
             assert!(v < 8);
             seen[v] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all buckets should be hit: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all buckets should be hit: {seen:?}"
+        );
     }
 }

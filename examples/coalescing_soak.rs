@@ -1,0 +1,117 @@
+//! Coalescing soak: hammer a non-blocking buddy with concurrent mixed-size
+//! storms and, after every quiescent round, assert that the tree is
+//! completely clean (no stray occupancy or coalescing bits — i.e. full
+//! coalescing happened and no capacity was stranded).
+//!
+//! This is the tool that found (and now guards against) the 4-level
+//! release/release race where two frees racing in the same bunch could both
+//! skip setting the ancestor's coalescing bit, permanently stranding the
+//! ancestor's branch-occupancy bit.  A failing round prints the dirty nodes
+//! with decoded status bits and exits non-zero.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release --example coalescing_soak [variant] [threads] [iters] [depth]
+//! ```
+//! `variant` is `4lvl` (default) or `1lvl`; `depth` sizes the tree
+//! (`total = 8 << depth` bytes, 8-byte units, whole-region max requests, so
+//! the climb spans `depth / 4 + 1` bunch boundaries).  Runs up to 2M rounds;
+//! expect hours for a full soak, interrupt freely.
+
+use std::sync::Arc;
+
+use nbbs::status::describe;
+use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel};
+use nbbs_workloads::rng::SplitMix64;
+
+fn run<A: BuddyBackend + 'static>(
+    make: impl Fn() -> A,
+    node_status: impl Fn(&A, usize) -> u8,
+    threads: usize,
+    iters: usize,
+    max_order: usize,
+) {
+    for round in 0..2_000_000u64 {
+        let a = Arc::new(make());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let a = Arc::clone(&a);
+                let seed = round.wrapping_mul(0x9E37_79B9) ^ ((t as u64) << 32);
+                std::thread::spawn(move || {
+                    let mut rng = SplitMix64::new(seed);
+                    let mut live = Vec::new();
+                    for _ in 0..iters {
+                        if live.is_empty() || rng.next_u64() & 1 == 0 {
+                            let size = 8usize << rng.next_below(max_order);
+                            if let Some(off) = a.alloc(size) {
+                                live.push(off);
+                            }
+                        } else {
+                            let off = live.swap_remove(rng.next_below(live.len()));
+                            a.dealloc(off);
+                        }
+                    }
+                    for off in live {
+                        a.dealloc(off);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(a.allocated_bytes(), 0);
+        let geo = *a.geometry();
+        let dirty: Vec<(usize, u8)> = (1..geo.tree_len())
+            .map(|n| (n, node_status(&a, n)))
+            .filter(|&(_, s)| s != 0)
+            .collect();
+        if !dirty.is_empty() {
+            println!("round {round} threads={threads} iters={iters}:");
+            for (n, s) in dirty {
+                println!(
+                    "  node {n:4} level {} status {s:#04x} {}",
+                    geo.level_of(n),
+                    describe(s)
+                );
+            }
+            std::process::exit(1);
+        }
+        if round % 20000 == 0 {
+            eprintln!("round {round} clean");
+        }
+    }
+    println!("no repro");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let variant = args
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or("4lvl")
+        .to_string();
+    let threads: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(3);
+    let iters: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(300);
+    let depth: u32 = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(9);
+    let total = 8usize << depth;
+    let cfg = BuddyConfig::new(total, 8, total).unwrap();
+    let max_order = depth as usize + 1;
+    match variant.as_str() {
+        "4lvl" => run(
+            move || NbbsFourLevel::new(cfg),
+            |a, n| a.node_status(n),
+            threads,
+            iters,
+            max_order,
+        ),
+        "1lvl" => run(
+            move || NbbsOneLevel::new(cfg),
+            |a, n| a.node_status(n),
+            threads,
+            iters,
+            max_order,
+        ),
+        other => panic!("unknown variant {other}"),
+    }
+}

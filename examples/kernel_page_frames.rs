@@ -73,7 +73,11 @@ fn main() {
             if let Some(base) = baseline_cycles {
                 // Baseline printed first only if it ran first; handle both orders.
                 let gain = 1.0 - result.cycles as f64 / base as f64;
-                println!("{:<14} {:>16}", "", format!("(gain vs linux-buddy: {:.0}%)", gain * 100.0));
+                println!(
+                    "{:<14} {:>16}",
+                    "",
+                    format!("(gain vs linux-buddy: {:.0}%)", gain * 100.0)
+                );
             }
         }
         assert_eq!(alloc.allocated_bytes(), 0);

@@ -104,5 +104,8 @@ fn main() {
         numa.dealloc(off);
     }
     assert_eq!(numa.allocated_bytes(), 0);
-    println!("\nall memory returned; per-instance counters: {:?}", numa.allocated_bytes_per_instance());
+    println!(
+        "\nall memory returned; per-instance counters: {:?}",
+        numa.allocated_bytes_per_instance()
+    );
 }

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use nbbs::{BuddyBackend, BuddyConfig, BuddyRegion, NbbsFourLevel, NbbsOneLevel};
+use nbbs_cache::MagazineCache;
 
 fn main() {
     // ------------------------------------------------------------------
@@ -58,7 +59,7 @@ fn main() {
         "region handed out {} bytes at {:p} (1024-byte aligned: {})",
         region.allocated_bytes(),
         ptr.as_ptr(),
-        ptr.as_ptr() as usize % 1024 == 0
+        (ptr.as_ptr() as usize).is_multiple_of(1024)
     );
     region.dealloc_bytes(ptr);
 
@@ -110,4 +111,42 @@ fn main() {
         println!("{:<8} served 256 bytes at offset {off}", backend.name());
         backend.dealloc(off);
     }
+
+    // ------------------------------------------------------------------
+    // 6. Production deployments interpose a per-thread cache so the hot
+    //    path rarely touches the shared tree.  MagazineCache wraps any
+    //    backend — and is itself a BuddyBackend, so everything above
+    //    (BuddyRegion, MultiInstance, trait objects) nests unchanged.
+    // ------------------------------------------------------------------
+    let cached = Arc::new(MagazineCache::new(NbbsFourLevel::new(config)));
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let alloc = Arc::clone(&cached);
+            std::thread::spawn(move || {
+                // Drain this thread's magazines back to the tree on exit.
+                let _drain = alloc.thread_guard();
+                for i in 0..50_000usize {
+                    let size = 64 << ((i + t) % 5);
+                    if let Some(off) = alloc.alloc(size) {
+                        alloc.dealloc(off); // recycled by the magazine, not the tree
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let stats = cached.snapshot();
+    println!(
+        "cached 4lvl-nb: {:.1}% of {} allocations never touched the tree \
+         ({} refills, {} flushes)",
+        stats.hit_rate() * 100.0,
+        stats.alloc_requests(),
+        stats.refilled,
+        stats.flushed
+    );
+    assert_eq!(cached.allocated_bytes(), 0);
+    cached.drain_all();
+    assert_eq!(cached.backend().allocated_bytes(), 0);
 }

@@ -6,6 +6,10 @@
 //! cargo run --release --example web_server_sim [threads] [seconds]
 //! ```
 //!
+//! Three back-ends are compared: the 4-level non-blocking buddy, the same
+//! buddy behind a per-thread magazine cache (`nbbs-cache`, how a production
+//! server would deploy it), and the spin-locked tree baseline.
+//!
 //! Worker threads play the role of request handlers: each incoming "request"
 //! allocates a connection buffer and a response buffer of request-dependent
 //! sizes from the shared back-end allocator, holds them for the lifetime of
@@ -19,6 +23,7 @@ use std::sync::Arc;
 
 use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel};
 use nbbs_baselines::CloudwuBuddy;
+use nbbs_cache::MagazineCache;
 use nbbs_workloads::rng::SplitMix64;
 
 /// One in-flight request: a connection buffer plus a response buffer.
@@ -94,6 +99,9 @@ fn simulate(alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: f64) -> u64 {
         alloc.dealloc(req.resp_buf);
     }
     assert_eq!(alloc.allocated_bytes(), 0, "no request may leak");
+    // Return any magazine-cached buffers to the tree (no-op for uncached
+    // backends) so the next candidate starts from pristine state.
+    alloc.drain_cache();
     completed.load(Ordering::Relaxed)
 }
 
@@ -108,25 +116,51 @@ fn main() {
 
     println!("web-server simulation: {threads} handler threads, {seconds:.1}s window\n");
     let candidates: Vec<(&str, Arc<dyn BuddyBackend>)> = vec![
-        ("4lvl-nb (non-blocking)", Arc::new(NbbsFourLevel::new(config))),
+        (
+            "4lvl-nb (non-blocking)",
+            Arc::new(NbbsFourLevel::new(config)),
+        ),
+        (
+            "cached-4lvl-nb (magazines)",
+            Arc::new(MagazineCache::with_config_and_name(
+                NbbsFourLevel::new(config),
+                nbbs_cache::CacheConfig::default(),
+                "cached-4lvl-nb",
+            )),
+        ),
         ("buddy-sl (spin lock)", Arc::new(CloudwuBuddy::new(config))),
     ];
 
     let mut results = Vec::new();
     for (label, alloc) in candidates {
+        let cache_view = Arc::clone(&alloc);
         let completed = simulate(alloc, threads, seconds);
-        println!(
+        print!(
             "{label:<26} {completed:>10} requests completed  ({:.1} req/s)",
             completed as f64 / seconds
         );
+        if let Some(cache) = cache_view.cache_stats() {
+            print!(
+                "  [cache hit-rate {:.1}%, {} backend refill chunks]",
+                cache.hit_rate() * 100.0,
+                cache.refilled
+            );
+        }
+        println!();
         results.push((label, completed));
     }
-    if let [(_, nb), (_, sl)] = results[..] {
+    if let [(_, nb), (_, cached), (_, sl)] = results[..] {
         let gain = nb as f64 / sl.max(1) as f64 - 1.0;
         println!(
             "\nnon-blocking back-end completed {:.1}% {} requests than the spin-locked one",
             gain.abs() * 100.0,
             if gain >= 0.0 { "more" } else { "fewer" }
+        );
+        let cache_gain = cached as f64 / nb.max(1) as f64 - 1.0;
+        println!(
+            "the magazine cache completed {:.1}% {} requests than the bare non-blocking tree",
+            cache_gain.abs() * 100.0,
+            if cache_gain >= 0.0 { "more" } else { "fewer" }
         );
     }
 }

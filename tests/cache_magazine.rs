@@ -1,0 +1,425 @@
+//! Stress and differential coverage for the `nbbs-cache` magazine layer.
+//!
+//! * Property-based differential tests drive identical operation sequences
+//!   through a cached non-blocking backend and the sequential reference
+//!   oracle, checking behavioural equivalence (success/failure, accounting,
+//!   alignment, non-overlap — placement legitimately differs because the
+//!   cache recycles hot chunks LIFO).
+//! * The drain paths (thread-exit guard, whole-cache drain, `Drop`) are
+//!   checked to return every parked chunk: after a drain the backend's own
+//!   accounting and metadata audit must agree with the caller-live set
+//!   alone.
+//! * Concurrent stress mirrors the uncached storms: overlap-freedom in
+//!   space and time, conservation, and clean metadata at quiescence —
+//!   audited *through* the cache with `verify_cached`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use nbbs::verify::audit_empty;
+use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel, ScanPolicy};
+use nbbs_baselines::ReferenceBuddy;
+use nbbs_cache::{verify_cached, CacheConfig, MagazineCache};
+use nbbs_workloads::rng::SplitMix64;
+
+// Generous headroom: the worst-case generated live set (~300 KiB granted)
+// plus the cache's bounded working set stays far below the region size, so
+// allocation success must match the oracle exactly.
+const TOTAL: usize = 1 << 20;
+const MIN: usize = 8;
+const MAX: usize = 1 << 10;
+
+/// Shared log of `(offset, granted, start_epoch, end_epoch)` lifetimes.
+type ChunkLifetimeLog = Arc<Mutex<Vec<(usize, usize, usize, usize)>>>;
+
+fn backend_config() -> BuddyConfig {
+    BuddyConfig::new(TOTAL, MIN, MAX)
+        .unwrap()
+        .with_scan_policy(ScanPolicy::FirstFit)
+}
+
+fn small_cache_config() -> CacheConfig {
+    CacheConfig {
+        magazine_capacity: 8,
+        magazine_bytes: 512,
+        depot_magazines: 2,
+        slots: Some(1),
+        ..CacheConfig::default()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(usize),
+    Free(usize),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (1usize..=MAX).prop_map(Op::Alloc),
+            2 => (0usize..64).prop_map(Op::Free),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Behavioural differential against the oracle: the cached allocator
+    /// succeeds exactly when the oracle does (the workload leaves ample
+    /// headroom for the bounded magazine working set), conserves accounting,
+    /// and never hands out overlapping or misaligned chunks.
+    #[test]
+    fn cached_one_level_matches_oracle_behaviour(ops in ops_strategy()) {
+        let mut oracle = ReferenceBuddy::new(backend_config());
+        let cache = MagazineCache::with_config(
+            NbbsOneLevel::new(backend_config()),
+            small_cache_config(),
+        );
+        let geo = *cache.geometry();
+        let mut oracle_live: Vec<usize> = Vec::new();
+        let mut cache_live: Vec<(usize, usize)> = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Alloc(size) => {
+                    let expected = oracle.alloc(size);
+                    let got = cache.alloc(size);
+                    prop_assert_eq!(
+                        expected.is_some(),
+                        got.is_some(),
+                        "alloc({}) success diverged from oracle", size
+                    );
+                    if let Some(off) = got {
+                        let granted = geo.granted_size(size).unwrap();
+                        prop_assert!(off + granted <= geo.total_memory());
+                        prop_assert_eq!(off % granted, 0, "misaligned cached chunk");
+                        for &(o, g) in &cache_live {
+                            prop_assert!(off + granted <= o || o + g <= off,
+                                "cache handed out overlapping chunks");
+                        }
+                        cache_live.push((off, granted));
+                    }
+                    if let Some(off) = expected {
+                        oracle_live.push(off);
+                    }
+                }
+                Op::Free(k) => {
+                    if oracle_live.is_empty() { continue; }
+                    let i = k % oracle_live.len();
+                    oracle.dealloc(oracle_live.swap_remove(i));
+                    let (off, _) = cache_live.swap_remove(i);
+                    cache.dealloc(off);
+                }
+            }
+            prop_assert_eq!(cache.allocated_bytes(), oracle.allocated_bytes(),
+                "user-visible accounting diverged from oracle");
+        }
+        // Quiescent audit through the cache, with the surviving live set.
+        let live: BTreeMap<usize, usize> =
+            cache_live.iter().map(|&(off, granted)| (off, granted)).collect();
+        verify_cached(&cache, &live, true).assert_clean();
+        // Release everything and drain: the backend must be pristine.
+        for (off, _) in cache_live {
+            cache.dealloc(off);
+        }
+        cache.drain_all();
+        prop_assert_eq!(cache.backend().allocated_bytes(), 0);
+        audit_empty(cache.backend()).assert_clean();
+    }
+
+    /// The thread-exit drain path: every operation sequence, executed on a
+    /// worker thread holding a drain guard, leaves no chunk parked in the
+    /// worker's slot once the thread exits; a final depot drain returns the
+    /// backend to exactly the caller-live set.
+    #[test]
+    fn thread_exit_drain_leaks_nothing(ops in ops_strategy()) {
+        let cache = Arc::new(MagazineCache::with_config(
+            NbbsFourLevel::new(backend_config()),
+            CacheConfig {
+                magazine_capacity: 8,
+                magazine_bytes: 512,
+                depot_magazines: 2,
+                slots: Some(64),
+                ..CacheConfig::default()
+            },
+        ));
+        let worker = {
+            let cache = Arc::clone(&cache);
+            let ops = ops.clone();
+            std::thread::spawn(move || {
+                let _guard = cache.thread_guard();
+                let mut live: Vec<(usize, usize)> = Vec::new();
+                for op in ops {
+                    match op {
+                        Op::Alloc(size) => {
+                            if let Some(off) = cache.alloc(size) {
+                                let granted = cache.geometry().granted_size(size).unwrap();
+                                live.push((off, granted));
+                            }
+                        }
+                        Op::Free(k) => {
+                            if live.is_empty() { continue; }
+                            let (off, _) = live.swap_remove(k % live.len());
+                            cache.dealloc(off);
+                        }
+                    }
+                }
+                live
+            })
+        };
+        let survivors = worker.join().unwrap();
+        // The guard drained the worker's slot; only depot magazines (full
+        // ones parked by overflow) may still hold chunks.
+        let expected: usize = survivors.iter().map(|&(_, g)| g).sum();
+        prop_assert_eq!(cache.allocated_bytes(), expected);
+        let live: BTreeMap<usize, usize> = survivors.iter().copied().collect();
+        verify_cached(&cache, &live, true).assert_clean();
+        cache.drain_all();
+        prop_assert_eq!(cache.backend().allocated_bytes(), expected,
+            "drain returned a caller-live chunk (or leaked a parked one)");
+        for (off, _) in survivors {
+            cache.dealloc(off);
+        }
+        cache.drain_all();
+        prop_assert_eq!(cache.backend().allocated_bytes(), 0);
+        audit_empty(cache.backend()).assert_clean();
+    }
+}
+
+/// Concurrent storm through the cache: chunks never overlap in space while
+/// their lifetimes overlap in time, and the backend audits clean at
+/// quiescence once drained.
+#[test]
+fn concurrent_cached_chunks_never_overlap_in_space_and_time() {
+    for slots in [1usize, 16] {
+        let cache = Arc::new(MagazineCache::with_config(
+            NbbsFourLevel::new(BuddyConfig::new(1 << 16, 8, 1 << 10).unwrap()),
+            CacheConfig {
+                magazine_capacity: 8,
+                magazine_bytes: 1 << 10,
+                slots: Some(slots),
+                ..CacheConfig::default()
+            },
+        ));
+        let epoch = Arc::new(AtomicUsize::new(0));
+        let log: ChunkLifetimeLog = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let epoch = Arc::clone(&epoch);
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    let _guard = cache.thread_guard();
+                    let mut rng = SplitMix64::new(0xCAC4E ^ t as u64);
+                    let mut held: Vec<(usize, usize, usize)> = Vec::new();
+                    for _ in 0..2_000 {
+                        if held.is_empty() || rng.next_u64() & 1 == 0 {
+                            let size = 8usize << rng.next_below(8);
+                            if let Some(off) = cache.alloc(size) {
+                                let granted = cache.geometry().granted_size(size).unwrap();
+                                let start = epoch.fetch_add(1, Ordering::SeqCst);
+                                held.push((off, granted, start));
+                            }
+                        } else {
+                            let (off, granted, start) =
+                                held.swap_remove(rng.next_below(held.len()));
+                            let end = epoch.fetch_add(1, Ordering::SeqCst);
+                            cache.dealloc(off);
+                            log.lock().unwrap().push((off, granted, start, end));
+                        }
+                    }
+                    let end = epoch.fetch_add(1, Ordering::SeqCst);
+                    let mut l = log.lock().unwrap();
+                    for (off, granted, start) in held {
+                        cache.dealloc(off);
+                        l.push((off, granted, start, end));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let entries = log.lock().unwrap();
+        for a in entries.iter() {
+            for b in entries.iter() {
+                if std::ptr::eq(a, b) {
+                    continue;
+                }
+                let space_overlap = a.0 < b.0 + b.1 && b.0 < a.0 + a.1;
+                let time_overlap = a.2 > b.2 && a.2 < b.3;
+                assert!(
+                    !(space_overlap && time_overlap),
+                    "slots={slots}: cached chunk {a:?} overlaps {b:?} in space and time"
+                );
+            }
+        }
+        drop(entries);
+        assert_eq!(cache.allocated_bytes(), 0);
+        cache.drain_all();
+        assert_eq!(cache.backend().allocated_bytes(), 0);
+        audit_empty(cache.backend()).assert_clean();
+    }
+}
+
+/// Remote (cross-thread) frees through the cache: producers allocate,
+/// consumers release, so magazines fill on threads that never allocated.
+#[test]
+fn cached_remote_frees_conserve_and_audit_clean() {
+    use std::sync::mpsc;
+    let cache = Arc::new(MagazineCache::new(NbbsOneLevel::new(
+        BuddyConfig::new(1 << 16, 8, 1 << 10).unwrap(),
+    )));
+    let pairs = 3;
+    let iters = 1_500usize;
+    let mut handles = Vec::new();
+    for p in 0..pairs {
+        let (tx, rx) = mpsc::channel::<usize>();
+        let producer = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _guard = cache.thread_guard();
+                let mut rng = SplitMix64::new(p as u64);
+                for _ in 0..iters {
+                    let size = 8usize << rng.next_below(4);
+                    loop {
+                        if let Some(off) = cache.alloc(size) {
+                            tx.send(off).unwrap();
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let consumer = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _guard = cache.thread_guard();
+                for _ in 0..iters {
+                    let off = rx.recv().unwrap();
+                    cache.dealloc(off);
+                }
+            })
+        };
+        handles.push(producer);
+        handles.push(consumer);
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(cache.allocated_bytes(), 0, "cached remote frees leaked");
+    assert!(
+        cache.snapshot().alloc_requests() > 0,
+        "cache saw no traffic"
+    );
+    cache.drain_all();
+    assert_eq!(cache.backend().allocated_bytes(), 0);
+    audit_empty(cache.backend()).assert_clean();
+}
+
+/// The cache must keep offering the backend's full capacity: after heavy
+/// cached traffic and a drain, the whole region is allocatable as maximal
+/// chunks again.
+#[test]
+fn drained_cache_restores_full_backend_capacity() {
+    let cache = MagazineCache::new(NbbsFourLevel::new(
+        BuddyConfig::new(1 << 16, 8, 1 << 12).unwrap(),
+    ));
+    let mut rng = SplitMix64::new(7);
+    let mut held = Vec::new();
+    for _ in 0..5_000 {
+        if held.is_empty() || rng.next_u64() & 1 == 0 {
+            let size = 8usize << rng.next_below(9);
+            if let Some(off) = cache.alloc(size) {
+                held.push(off);
+            }
+        } else {
+            let off = held.swap_remove(rng.next_below(held.len()));
+            cache.dealloc(off);
+        }
+    }
+    for off in held {
+        cache.dealloc(off);
+    }
+    cache.drain_all();
+    let max = cache.max_size();
+    let mut maximal = Vec::new();
+    for _ in 0..cache.total_memory() / max {
+        maximal.push(
+            cache
+                .backend()
+                .alloc(max)
+                .expect("cache drain lost backend capacity"),
+        );
+    }
+    for off in maximal {
+        cache.backend().dealloc(off);
+    }
+}
+
+/// `drain_cache` must see through nesting: the outer cache drains its own
+/// parked chunks first (they land in the inner cache's magazines), then the
+/// inner cache drains to the tree — the opposite order would leave the
+/// outer's chunks re-parked inside a freshly-drained inner cache.
+#[test]
+fn nested_cache_drain_reaches_the_tree() {
+    let nested = MagazineCache::with_config_and_name(
+        MagazineCache::new(NbbsFourLevel::new(
+            BuddyConfig::new(1 << 16, 8, 1 << 10).unwrap(),
+        )),
+        CacheConfig::default(),
+        "cached-cached-4lvl-nb",
+    );
+    let mut held = Vec::new();
+    for _ in 0..64 {
+        if let Some(off) = nested.alloc(64) {
+            held.push(off);
+        }
+    }
+    for off in held {
+        nested.dealloc(off);
+    }
+    nested.drain_cache();
+    let tree = nested.backend().backend();
+    assert_eq!(
+        tree.allocated_bytes(),
+        0,
+        "nested drain left chunks parked in the inner cache"
+    );
+    audit_empty(tree).assert_clean();
+}
+
+/// Hit-rate sanity on a recycling workload: most operations must bypass the
+/// backend, and backend op-counters (when compiled in) must agree.
+#[test]
+fn recycling_workload_mostly_hits() {
+    let cache = MagazineCache::new(NbbsOneLevel::new(backend_config()));
+    // Warm up one magazine, then recycle the same class.
+    let warm: Vec<_> = (0..8).filter_map(|_| cache.alloc(64)).collect();
+    for off in warm {
+        cache.dealloc(off);
+    }
+    for _ in 0..1_000 {
+        let off = cache.alloc(64).unwrap();
+        cache.dealloc(off);
+    }
+    let s = cache.snapshot();
+    assert!(
+        s.hit_rate() > 0.95,
+        "recycling workload should almost always hit, got {}",
+        s.hit_rate()
+    );
+    if nbbs::OpStats::enabled() {
+        let backend_ops = cache.backend().stats();
+        assert!(
+            backend_ops.allocs + backend_ops.frees < 2 * 1_008,
+            "backend saw traffic the cache should have absorbed"
+        );
+    }
+}

@@ -18,6 +18,9 @@ use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel};
 use nbbs_workloads::factory::{build, AllocatorKind, SharedBackend};
 use nbbs_workloads::rng::SplitMix64;
 
+/// Shared log of `(offset, granted, start_epoch, end_epoch)` lifetimes.
+type ChunkLifetimeLog = Arc<Mutex<Vec<(usize, usize, usize, usize)>>>;
+
 fn user_config() -> BuddyConfig {
     BuddyConfig::new(1 << 20, 8, 1 << 14).unwrap()
 }
@@ -66,7 +69,10 @@ fn mixed_size_storm(alloc: &SharedBackend, threads: usize, iters: usize) {
         h.join().unwrap();
     }
     assert_eq!(alloc.allocated_bytes(), 0, "{} leaked memory", alloc.name());
-    // The whole region must be recoverable as maximal chunks.
+    // Return any magazine-cached chunks to the backend (no-op for uncached
+    // allocators); the whole region must then be recoverable as maximal
+    // chunks.
+    alloc.drain_cache();
     let max = alloc.max_size();
     let mut maximal = Vec::new();
     for _ in 0..alloc.total_memory() / max {
@@ -111,7 +117,7 @@ fn concurrent_chunks_never_overlap_in_space_and_time() {
         let alloc = build(kind, BuddyConfig::new(1 << 14, 8, 1 << 10).unwrap());
         let epoch = Arc::new(AtomicUsize::new(0));
         // (offset, granted, start_epoch, end_epoch)
-        let log: Arc<Mutex<Vec<(usize, usize, usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log: ChunkLifetimeLog = Arc::new(Mutex::new(Vec::new()));
 
         let handles: Vec<_> = (0..6)
             .map(|t| {

@@ -40,7 +40,11 @@ fn exhaustion_reports_oom_and_recovers_everywhere() {
         let mut held = Vec::new();
         while let Some(off) = alloc.alloc(unit) {
             held.push(off);
-            assert!(held.len() <= alloc.total_memory() / unit, "{} over-allocated", alloc.name());
+            assert!(
+                held.len() <= alloc.total_memory() / unit,
+                "{} over-allocated",
+                alloc.name()
+            );
         }
         assert_eq!(
             held.len(),
@@ -60,9 +64,11 @@ fn exhaustion_reports_oom_and_recovers_everywhere() {
         }
         let mut reacquired = Vec::new();
         for _ in 0..alloc.total_memory() / unit / 2 {
-            reacquired.push(alloc.alloc(unit).unwrap_or_else(|| {
-                panic!("{}: failed to reuse freed capacity", alloc.name())
-            }));
+            reacquired.push(
+                alloc
+                    .alloc(unit)
+                    .unwrap_or_else(|| panic!("{}: failed to reuse freed capacity", alloc.name())),
+            );
         }
         for off in held.into_iter().chain(reacquired) {
             alloc.dealloc(off);
@@ -86,10 +92,7 @@ fn invalid_frees_are_rejected_without_corruption() {
         ));
         // A valid-looking offset that was never allocated.
         assert!(
-            matches!(
-                alloc.try_dealloc(unit),
-                Err(FreeError::NotAllocated { .. })
-            ),
+            matches!(alloc.try_dealloc(unit), Err(FreeError::NotAllocated { .. })),
             "{}",
             alloc.name()
         );
@@ -109,9 +112,15 @@ fn fragmentation_induced_oom_is_transient_not_permanent() {
     // Allocate every leaf, free every other leaf: half the memory is free but
     // a max-size request cannot be served (external fragmentation).  Freeing
     // the other half must restore full capacity (coalescing).
-    for kind in [AllocatorKind::OneLevelNb, AllocatorKind::FourLevelNb, AllocatorKind::BuddySl] {
+    for kind in [
+        AllocatorKind::OneLevelNb,
+        AllocatorKind::FourLevelNb,
+        AllocatorKind::BuddySl,
+    ] {
         let alloc = build(kind, BuddyConfig::new(1 << 12, 8, 1 << 12).unwrap());
-        let leaves: Vec<usize> = (0..(1 << 12) / 8).map(|_| alloc.alloc(8).unwrap()).collect();
+        let leaves: Vec<usize> = (0..(1 << 12) / 8)
+            .map(|_| alloc.alloc(8).unwrap())
+            .collect();
         // Partition by *address* parity so that every buddy pair keeps exactly
         // one live unit (the scattered scan makes allocation order arbitrary).
         let (even, odd): (Vec<usize>, Vec<usize>) =
@@ -120,13 +129,27 @@ fn fragmentation_induced_oom_is_transient_not_permanent() {
             alloc.dealloc(off);
         }
         assert_eq!(alloc.allocated_bytes(), (1 << 12) / 2);
-        assert_eq!(alloc.alloc(1 << 12), None, "{}: fragmented region served a maximal chunk", alloc.name());
-        assert_eq!(alloc.alloc(16), None, "{}: no two adjacent free units exist", alloc.name());
+        assert_eq!(
+            alloc.alloc(1 << 12),
+            None,
+            "{}: fragmented region served a maximal chunk",
+            alloc.name()
+        );
+        assert_eq!(
+            alloc.alloc(16),
+            None,
+            "{}: no two adjacent free units exist",
+            alloc.name()
+        );
         for &off in &odd {
             alloc.dealloc(off);
         }
         let whole = alloc.alloc(1 << 12);
-        assert!(whole.is_some(), "{}: coalescing failed after drain", alloc.name());
+        assert!(
+            whole.is_some(),
+            "{}: coalescing failed after drain",
+            alloc.name()
+        );
         alloc.dealloc(whole.unwrap());
     }
 }
@@ -212,7 +235,9 @@ fn four_level_and_one_level_survive_pathological_interleaving() {
             }
         }
         assert_eq!(alloc.allocated_bytes(), 0);
-        let whole = alloc.alloc(1 << 12).expect("full capacity must be restored");
+        let whole = alloc
+            .alloc(1 << 12)
+            .expect("full capacity must be restored");
         alloc.dealloc(whole);
     }
 }

@@ -1,0 +1,157 @@
+//! Fallback-routing coverage for `MultiInstance` (the NUMA-style router):
+//! exhausting a home instance must spill allocations to the other instances
+//! in order, and global-offset releases must return each chunk to the
+//! instance that owns it — including when every instance sits behind a
+//! magazine cache.
+
+use std::sync::Arc;
+
+use nbbs::{BuddyBackend, BuddyConfig, MultiInstance, NbbsFourLevel, NbbsOneLevel};
+use nbbs_cache::MagazineCache;
+use nbbs_workloads::rng::SplitMix64;
+
+fn instances(n: usize, total: usize) -> MultiInstance<NbbsOneLevel> {
+    MultiInstance::new(
+        (0..n)
+            .map(|_| NbbsOneLevel::new(BuddyConfig::new(total, 64, total).unwrap()))
+            .collect(),
+    )
+}
+
+#[test]
+fn exhausted_home_spills_to_instances_in_fallback_order() {
+    let m = instances(3, 4096);
+    // Pin the calling thread's home instance, then exhaust it directly.
+    let home = m.home_instance();
+    let mut held = Vec::new();
+    while let Some(off) = m.alloc_on(home, 4096) {
+        assert_eq!(m.owner_of(off), home);
+        held.push(off);
+    }
+    // Routed allocations now spill; the fallback order is home+1, home+2.
+    let first_spill = m.alloc(4096).expect("fallback instance has room");
+    assert_eq!(
+        m.owner_of(first_spill),
+        (home + 1) % 3,
+        "nearest fallback first"
+    );
+    let second_spill = m.alloc(4096).expect("second fallback instance has room");
+    assert_eq!(m.owner_of(second_spill), (home + 2) % 3);
+    // Everything is now full.
+    assert!(m.alloc(64).is_none());
+    held.push(first_spill);
+    held.push(second_spill);
+    for off in held {
+        m.dealloc(off);
+    }
+    assert_eq!(m.allocated_bytes(), 0);
+}
+
+#[test]
+fn global_offset_dealloc_returns_chunks_to_their_owner() {
+    let m = instances(4, 4096);
+    // Allocate one chunk on every instance explicitly.
+    let offs: Vec<usize> = (0..4)
+        .map(|i| m.alloc_on(i, 1024).expect("fresh instance has room"))
+        .collect();
+    for (i, &off) in offs.iter().enumerate() {
+        assert_eq!(m.owner_of(off), i);
+        assert_eq!(m.split(off), (i, off - i * 4096));
+    }
+    let per_before = m.allocated_bytes_per_instance();
+    assert_eq!(per_before, vec![1024; 4]);
+    // Free them from a different order than they were allocated; each must
+    // land back in its owner, not the caller's home instance.
+    for &off in offs.iter().rev() {
+        m.dealloc(off);
+    }
+    assert_eq!(m.allocated_bytes_per_instance(), vec![0; 4]);
+    // The capacity is back where it was freed: every instance can serve its
+    // maximal chunk again.
+    let again: Vec<usize> = (0..4)
+        .map(|i| {
+            m.alloc_on(i, 4096)
+                .expect("owner did not get its chunk back")
+        })
+        .collect();
+    for off in again {
+        m.dealloc(off);
+    }
+}
+
+#[test]
+fn spill_and_owner_return_survive_concurrent_churn() {
+    let m = Arc::new(MultiInstance::new(
+        (0..3)
+            .map(|_| NbbsFourLevel::new(BuddyConfig::new(1 << 14, 64, 1 << 12).unwrap()))
+            .collect::<Vec<_>>(),
+    ));
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0x11AC ^ t as u64);
+                let mut live = Vec::new();
+                for _ in 0..3_000 {
+                    if live.is_empty() || rng.next_u64() & 1 == 0 {
+                        let size = 64usize << rng.next_below(5);
+                        if let Some(off) = m.alloc(size) {
+                            assert!(m.owner_of(off) < 3);
+                            live.push(off);
+                        }
+                    } else {
+                        m.dealloc(live.swap_remove(rng.next_below(live.len())));
+                    }
+                }
+                for off in live {
+                    m.dealloc(off);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(m.allocated_bytes(), 0);
+    assert_eq!(m.allocated_bytes_per_instance(), vec![0; 3]);
+    // Per-instance metadata is pristine: each instance hands out its whole
+    // region as one chunk.
+    for i in 0..3 {
+        let off = m.alloc_on(i, 1 << 12).expect("instance lost capacity");
+        m.dealloc(off);
+    }
+}
+
+#[test]
+fn cached_instances_route_and_drain_like_bare_ones() {
+    let m = MultiInstance::new(
+        (0..2)
+            .map(|_| {
+                MagazineCache::new(NbbsOneLevel::new(BuddyConfig::new(4096, 64, 4096).unwrap()))
+            })
+            .collect::<Vec<_>>(),
+    );
+    let home = m.home_instance() % 2;
+    // Exhaust the home instance *through its cache*.
+    let mut held = Vec::new();
+    while let Some(off) = m.alloc_on(home, 4096) {
+        held.push(off);
+    }
+    // Spill still works with caches interposed.
+    let spilled = m.alloc(4096).expect("cached fallback instance has room");
+    assert_eq!(m.owner_of(spilled), (home + 1) % 2);
+    m.dealloc(spilled);
+    for off in held {
+        m.dealloc(off);
+    }
+    assert_eq!(
+        m.allocated_bytes(),
+        0,
+        "cache-aware accounting through the router"
+    );
+    // Draining each instance's cache returns the chunks to the right backend.
+    for i in 0..2 {
+        m.instance(i).drain_cache();
+        assert_eq!(m.instance(i).backend().allocated_bytes(), 0);
+    }
+}

@@ -29,7 +29,7 @@ where
     let mut rng = SplitMix64::new(seed);
     let mut live: BTreeMap<usize, usize> = BTreeMap::new();
     for step in 0..steps {
-        let do_alloc = live.is_empty() || rng.next_u64() % 3 != 0;
+        let do_alloc = live.is_empty() || !rng.next_u64().is_multiple_of(3);
         if do_alloc {
             let size = geo.min_size() << rng.next_below(6);
             if let Some(off) = alloc.alloc(size) {
@@ -61,7 +61,11 @@ where
                 .iter()
                 .map(|(_, &s)| geo.granted_size(s).unwrap())
                 .sum();
-            assert_eq!(alloc.allocated_bytes(), expected, "accounting drift at step {step}");
+            assert_eq!(
+                alloc.allocated_bytes(),
+                expected,
+                "accounting drift at step {step}"
+            );
         }
     }
     for (&off, _) in live.clone().iter() {

@@ -30,7 +30,10 @@ fn every_user_space_figure_sweep_runs_end_to_end() {
         // All five paper allocators are present exactly once.
         let mut names: Vec<&str> = measurements.iter().map(|m| m.allocator.as_str()).collect();
         names.sort_unstable();
-        assert_eq!(names, vec!["1lvl-nb", "1lvl-sl", "4lvl-nb", "4lvl-sl", "buddy-sl"]);
+        assert_eq!(
+            names,
+            vec!["1lvl-nb", "1lvl-sl", "4lvl-nb", "4lvl-sl", "buddy-sl"]
+        );
     }
 }
 
@@ -52,8 +55,8 @@ fn larson_figure_sweep_reports_throughput() {
 #[test]
 fn kernel_comparison_sweep_runs_and_reports_cycles() {
     let harness = Harness::new(false);
-    let sweep = SweepConfig::kernel_comparison(Workload::LinuxScalability, 0.0002)
-        .with_threads(vec![2]);
+    let sweep =
+        SweepConfig::kernel_comparison(Workload::LinuxScalability, 0.0002).with_threads(vec![2]);
     let measurements = harness.run_sweep(&sweep);
     assert_eq!(measurements.len(), 4);
     for m in &measurements {
