@@ -1,24 +1,25 @@
 //! Figure 10 — *Larson* server benchmark: throughput of a slot-recycling
 //! workload with cross-thread frees.
 //!
-//! Because Larson is time-windowed (the paper measures a 10 s window), the
-//! Criterion measurement here is the time per [`NORM_OPS`] completed
-//! operations in a fixed 40 ms window — lower time corresponds to higher
-//! KOps/s in the paper's plot.  The normalization keeps the reported
-//! duration close to the window's actual wall time, which matters: the
-//! harness sizes iteration batches from the durations the routine returns,
-//! so returning raw per-op times (nanoseconds for a 40 ms window) would
-//! make it schedule ~10^6 windows per sample.  The full windowed throughput
-//! numbers are produced by `nbbs-bench fig10`.
+//! The paper measures operations completed in a fixed 10 s window; a
+//! Criterion sample must instead be a bounded piece of work.  The benchmark
+//! therefore runs Larson in its fixed-work mode ([`LarsonParams::ops_budget`]):
+//! every iteration executes [`OPS_BUDGET`] allocator operations split across
+//! the threads and `iter_custom` reports the real wall time of that work —
+//! no windowed count, no normalization.  (The previous scheme normalized a
+//! 40 ms window to a nominal operation count; timing real fixed work keeps
+//! Criterion's iteration sizing honest and makes samples comparable across
+//! allocators that complete very different op counts per window.)  The full
+//! windowed throughput numbers are produced by `nbbs-bench fig10`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nbbs_bench::{user_space_config, BENCH_THREADS, PAPER_SIZES};
 use nbbs_workloads::factory::{build, AllocatorKind};
 use nbbs_workloads::larson::{run, LarsonParams};
 
-/// Operation count the reported durations are normalized to (roughly one
-/// 40 ms window's worth of operations for the fastest allocators).
-const NORM_OPS: f64 = 1_000_000.0;
+/// Fixed amount of work per iteration (allocator operations, all threads
+/// combined) — roughly one 40 ms window's worth for the fastest allocators.
+const OPS_BUDGET: u64 = 200_000;
 
 fn fig10(c: &mut Criterion) {
     for &size in &PAPER_SIZES {
@@ -37,6 +38,7 @@ fn fig10(c: &mut Criterion) {
                     slots_per_thread: 128,
                     remote_free_percent: 30,
                     window_secs: 0.04,
+                    ops_budget: Some(OPS_BUDGET),
                 };
                 group.bench_with_input(
                     BenchmarkId::new(kind.name(), format!("threads={threads}")),
@@ -46,12 +48,7 @@ fn fig10(c: &mut Criterion) {
                             let mut total = std::time::Duration::ZERO;
                             for _ in 0..iters {
                                 let result = run(&alloc, *params);
-                                let per_norm_ops = if result.operations > 0 {
-                                    result.seconds / result.operations as f64 * NORM_OPS
-                                } else {
-                                    result.seconds
-                                };
-                                total += std::time::Duration::from_secs_f64(per_norm_ops);
+                                total += std::time::Duration::from_secs_f64(result.seconds);
                             }
                             total
                         })

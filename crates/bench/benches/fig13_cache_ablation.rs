@@ -8,6 +8,13 @@
 //! multi-threaded runs (visible as a non-zero hit count in `nbbs-bench fig13
 //! --quick`, or in the op-stats CAS counters when built with `--features
 //! nbbs/op-stats`).
+//!
+//! The thread test runs at two burst sizes: 1 000 objects (bursts that fit
+//! the initial magazine geometry) and the paper's 10 000 objects, the regime
+//! that used to overflow the fixed-size depot and spill ~40% of each round
+//! to the backend — the adaptive magazine resizing keeps the cached variant
+//! ahead there too.  Larson runs in fixed-work mode (`ops_budget`), so the
+//! reported duration is the real wall time of a fixed operation count.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nbbs_bench::{user_space_config, PAPER_SIZES};
@@ -18,40 +25,46 @@ use nbbs_workloads::thread_test::{self, ThreadTestParams};
 /// One thread isolates per-op overhead; four exercises the contended regime.
 const ABLATION_THREADS: [usize; 2] = [1, 4];
 
-/// Operation count the Larson durations are normalized to (see
-/// `fig10_larson.rs`: returning raw per-op times would make the harness
-/// schedule ~10^6 windows per sample).
-const NORM_OPS: f64 = 1_000_000.0;
+/// Burst sizes for the thread test: magazine-sized and depot-overflowing.
+const ABLATION_OBJECTS: [usize; 2] = [1_000, 10_000];
+
+/// Fixed amount of Larson work per iteration (allocator operations, all
+/// threads combined).
+const LARSON_OPS_BUDGET: u64 = 200_000;
 
 fn fig13_thread_test(c: &mut Criterion) {
     for &size in &PAPER_SIZES {
-        let mut group = c.benchmark_group(format!("fig13_cache_ablation/thread_test/bytes={size}"));
-        group
-            .sample_size(10)
-            .warm_up_time(std::time::Duration::from_millis(200))
-            .measurement_time(std::time::Duration::from_millis(1200));
-        for &threads in &ABLATION_THREADS {
-            for &kind in AllocatorKind::cache_ablation() {
-                let alloc = build(kind, user_space_config());
-                let params = ThreadTestParams {
-                    threads,
-                    size,
-                    total_objects: 1000,
-                    rounds: 2,
-                };
-                group.bench_with_input(
-                    BenchmarkId::new(kind.name(), format!("threads={threads}")),
-                    &params,
-                    |b, params| {
-                        b.iter(|| thread_test::run(&alloc, *params));
-                    },
-                );
-                // Fresh epochs per configuration: chunks parked by this run
-                // must not warm the next configuration's magazines.
-                alloc.drain_cache();
+        for &objects in &ABLATION_OBJECTS {
+            let mut group = c.benchmark_group(format!(
+                "fig13_cache_ablation/thread_test/bytes={size}/objects={objects}"
+            ));
+            group
+                .sample_size(10)
+                .warm_up_time(std::time::Duration::from_millis(200))
+                .measurement_time(std::time::Duration::from_millis(1200));
+            for &threads in &ABLATION_THREADS {
+                for &kind in AllocatorKind::cache_ablation() {
+                    let alloc = build(kind, user_space_config());
+                    let params = ThreadTestParams {
+                        threads,
+                        size,
+                        total_objects: objects,
+                        rounds: 2,
+                    };
+                    group.bench_with_input(
+                        BenchmarkId::new(kind.name(), format!("threads={threads}")),
+                        &params,
+                        |b, params| {
+                            b.iter(|| thread_test::run(&alloc, *params));
+                        },
+                    );
+                    // Fresh epochs per configuration: chunks parked by this run
+                    // must not warm the next configuration's magazines.
+                    alloc.drain_cache();
+                }
             }
+            group.finish();
         }
-        group.finish();
     }
 }
 
@@ -72,6 +85,7 @@ fn fig13_larson(c: &mut Criterion) {
                 slots_per_thread: 128,
                 remote_free_percent: 30,
                 window_secs: 0.04,
+                ops_budget: Some(LARSON_OPS_BUDGET),
             };
             group.bench_with_input(
                 BenchmarkId::new(kind.name(), format!("threads={threads}")),
@@ -81,12 +95,7 @@ fn fig13_larson(c: &mut Criterion) {
                         let mut total = std::time::Duration::ZERO;
                         for _ in 0..iters {
                             let result = larson::run(&alloc, *params);
-                            let per_norm_ops = if result.operations > 0 {
-                                result.seconds / result.operations as f64 * NORM_OPS
-                            } else {
-                                result.seconds
-                            };
-                            total += std::time::Duration::from_secs_f64(per_norm_ops);
+                            total += std::time::Duration::from_secs_f64(result.seconds);
                         }
                         total
                     })

@@ -7,7 +7,19 @@ use nbbs::{BuddyBackend, CacheStatsSnapshot, Geometry, TreeInspect};
 use nbbs_sync::{CachePadded, SpinLock};
 
 use crate::config::{CacheConfig, FlushPolicy};
+use crate::depot::DepotShard;
 use crate::magazine::{ClassMags, Magazine};
+
+/// Spilled magazines of one class (since the last capacity change) that
+/// trigger a doubling of that class's magazine capacity: a burst that keeps
+/// overrunning the depot is cheaper to absorb in fewer, larger magazines.
+const GROW_SPILL_MAGAZINES: usize = 2;
+
+/// Ceiling on the batched backend refill a miss performs (chunks).
+/// Adaptively grown magazines can reach thousands of entries — useful for
+/// absorbing free bursts — but a cold miss must not turn into a
+/// multi-thousand-chunk tree walk.
+const REFILL_BATCH_MAX: usize = 64;
 
 /// Process-wide thread slot assignment shared by every cache instance:
 /// threads receive a monotone id on first use and map to a slot by masking,
@@ -38,11 +50,25 @@ struct Counters {
     refilled: AtomicU64,
     depot_exchanges: AtomicU64,
     drained: AtomicU64,
+    depot_spills: AtomicU64,
+    resize_grows: AtomicU64,
+    resize_shrinks: AtomicU64,
 }
 
-/// One size class's shared depot: full magazines parked for any thread.
-struct ClassDepot {
-    full: SpinLock<Vec<Magazine>>,
+/// One thread slot: the per-class magazine pairs behind a spin lock, plus
+/// the slot's parked-byte counter (chunks held in `loaded`/`previous`).
+struct Slot {
+    mags: SpinLock<Vec<ClassMags>>,
+    bytes: AtomicUsize,
+}
+
+/// Per-class adaptive-resize state.
+struct ClassCtl {
+    /// Current target magazine capacity; magazines adopt it at rotation and
+    /// refill points (where they are empty).
+    cap: AtomicUsize,
+    /// Depot spills observed since the last capacity change.
+    spills: AtomicUsize,
 }
 
 /// A per-thread, size-class-indexed magazine cache over any [`BuddyBackend`].
@@ -52,10 +78,21 @@ struct ClassDepot {
 /// hot path — allocation hit, release into a non-full magazine — touches only
 /// the slot's spin lock (uncontended when `slots >= threads`) and never the
 /// backend tree, so backend CAS traffic drops by roughly the magazine
-/// capacity.  Misses refill in batches from a shared per-class depot of full
-/// magazines, falling back to batched backend allocations; overflowing frees
-/// flush whole magazines to the depot, falling back to batched backend
-/// releases.
+/// capacity.  Misses refill in batches, first from the slot group's *depot
+/// shard* — a lock-free [`nbbs_sync::BoundedStack`] of full magazines, so the
+/// exchange is a single tagged CAS with no mutex anywhere on the path — and
+/// second from batched backend allocations; overflowing frees flush whole
+/// magazines to the same shard, falling back to batched backend releases.
+///
+/// Slots are grouped into shards (one depot shard per group, the analogue of
+/// per-NUMA-node depots), so full/empty magazine circulation stops at the
+/// group boundary instead of bouncing chunks across the whole machine.
+///
+/// Magazine capacities are *adaptive* (Bonwick's dynamic resizing): a class
+/// whose bursts keep spilling past its depot shard doubles its capacity (up
+/// to [`CacheConfig::max_magazine_capacity`] and a per-class share of the
+/// byte budget), and byte-budget pressure shrinks it again.  The
+/// [`CacheConfig::cache_bytes_budget`] bounds the total bytes parked.
 ///
 /// `MagazineCache` implements [`BuddyBackend`] itself, so it nests unchanged
 /// inside `BuddyRegion`, `NbbsGlobalAlloc`, `MultiInstance` and the workload
@@ -84,10 +121,28 @@ pub struct MagazineCache<A: BuddyBackend> {
     /// Size classes: class `k` caches chunks of `min_size << k` bytes;
     /// `class_count` classes are cached in total.
     class_count: usize,
-    slots: Box<[CachePadded<SpinLock<Vec<ClassMags>>>]>,
-    depots: Box<[ClassDepot]>,
-    /// Bytes parked in magazines/depots (live to the backend, free to users).
-    cached_bytes: AtomicUsize,
+    slots: Box<[CachePadded<Slot>]>,
+    /// Depot shards; slot `s` exchanges magazines with shard
+    /// `s & shard_mask` only.
+    shards: Box<[CachePadded<DepotShard>]>,
+    shard_mask: usize,
+    /// Adaptive capacity controllers, one per class.
+    ctl: Box<[ClassCtl]>,
+    /// Resolved byte budget (caps adaptive magazine growth; split across
+    /// shards to gate depot parking).
+    budget: usize,
+    /// Each shard's even share of `budget`: a shard parks a magazine only
+    /// while its own byte counter stays within this share, so the gate is
+    /// one relaxed load on a line the park is about to touch anyway —
+    /// never a walk over every slot and shard.
+    shard_budget: usize,
+    /// Serializes depot *inspections* (`inspect_depot`) against each other
+    /// and against `drain_all`'s depot sweep.  Inspection works by
+    /// temporarily popping a shard's magazines; two concurrent inspections
+    /// could each miss offsets the other holds in flight, which would break
+    /// `try_dealloc`'s double-free detection for stably parked chunks.  The
+    /// hot paths (alloc/dealloc/park/refill) never take this lock.
+    inspect_lock: SpinLock<()>,
     counters: Counters,
 }
 
@@ -119,26 +174,43 @@ impl<A: BuddyBackend> MagazineCache<A> {
         let slot_count = config.resolved_slots();
         let slots = (0..slot_count)
             .map(|_| {
-                CachePadded::new(SpinLock::new(
-                    (0..class_count)
-                        .map(|c| ClassMags::new(config.capacity_for(min << c)))
-                        .collect(),
-                ))
+                CachePadded::new(Slot {
+                    mags: SpinLock::new(
+                        (0..class_count)
+                            .map(|c| ClassMags::new(config.capacity_for(min << c)))
+                            .collect(),
+                    ),
+                    bytes: AtomicUsize::new(0),
+                })
             })
             .collect();
-        let depots = (0..class_count)
-            .map(|_| ClassDepot {
-                full: SpinLock::new(Vec::new()),
+        let shard_count = config.resolved_shards();
+        let depot_capacity = match config.flush_policy {
+            FlushPolicy::Depot => config.depot_magazines,
+            FlushPolicy::Direct => 0,
+        };
+        let shards = (0..shard_count)
+            .map(|_| CachePadded::new(DepotShard::new(class_count, depot_capacity)))
+            .collect();
+        let ctl = (0..class_count)
+            .map(|c| ClassCtl {
+                cap: AtomicUsize::new(config.capacity_for(min << c)),
+                spills: AtomicUsize::new(0),
             })
             .collect();
+        let budget = config.resolved_budget(geo.total_memory());
         MagazineCache {
             backend,
             name,
             config,
             class_count,
             slots,
-            depots,
-            cached_bytes: AtomicUsize::new(0),
+            shards,
+            shard_mask: shard_count - 1,
+            ctl,
+            budget,
+            shard_budget: budget / shard_count,
+            inspect_lock: SpinLock::new(()),
             counters: Counters::default(),
         }
     }
@@ -163,10 +235,43 @@ impl<A: BuddyBackend> MagazineCache<A> {
         self.slots.len()
     }
 
+    /// Number of depot shards magazine exchange is distributed over.
+    pub fn depot_shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The depot shard the calling thread exchanges magazines with.
+    pub fn current_shard(&self) -> usize {
+        thread_slot(self.slots.len()) & self.shard_mask
+    }
+
+    /// Full magazines currently parked in depot shard `shard` (approximate
+    /// under concurrency, exact at quiescence).
+    pub fn depot_parked_magazines(&self, shard: usize) -> usize {
+        self.shards[shard].parked_magazines()
+    }
+
+    /// The current adaptive magazine-capacity target of size class `class`.
+    pub fn magazine_capacity(&self, class: usize) -> usize {
+        self.ctl[class].cap.load(Ordering::Relaxed)
+    }
+
+    /// The resolved byte budget bounding the cache's parked chunks.
+    pub fn cache_bytes_budget(&self) -> usize {
+        self.budget
+    }
+
     /// Bytes currently parked in magazines and depots (allocated in the
-    /// backend, available for cache hits).
+    /// backend, available for cache hits) — the sum of the per-slot and
+    /// per-shard counters, each maintained next to the structure it counts,
+    /// so the total stays exact at quiescence under any interleaving of
+    /// shard exchanges.
     pub fn cached_bytes(&self) -> usize {
-        self.cached_bytes.load(Ordering::Relaxed)
+        self.slots
+            .iter()
+            .map(|s| s.bytes.load(Ordering::Relaxed))
+            .sum::<usize>()
+            + self.shards.iter().map(|s| s.bytes()).sum::<usize>()
     }
 
     /// Size in bytes of class `class`.
@@ -184,33 +289,88 @@ impl<A: BuddyBackend> MagazineCache<A> {
         (class < self.class_count).then_some(class)
     }
 
+    /// The adaptive capacity ceiling of `class`: the configured maximum,
+    /// further bounded so one magazine never exceeds 1/8 of the byte budget.
+    fn max_capacity_for(&self, class: usize) -> usize {
+        let by_budget = self.budget / (8 * self.class_size(class));
+        self.config.max_magazine_capacity.min(by_budget).max(2)
+    }
+
+    /// Records a depot spill of `class` and grows its capacity once the
+    /// spill run is long enough.
+    fn note_spill(&self, class: usize) {
+        self.counters.depot_spills.fetch_add(1, Ordering::Relaxed);
+        if !self.config.adaptive_resize {
+            return;
+        }
+        let ctl = &self.ctl[class];
+        if ctl.spills.fetch_add(1, Ordering::Relaxed) + 1 < GROW_SPILL_MAGAZINES {
+            return;
+        }
+        ctl.spills.store(0, Ordering::Relaxed);
+        let cur = ctl.cap.load(Ordering::Relaxed);
+        let target = (cur * 2).min(self.max_capacity_for(class));
+        if target > cur
+            && ctl
+                .cap
+                .compare_exchange(cur, target, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.counters.resize_grows.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records byte-budget pressure on `class` and shrinks its capacity.
+    fn note_pressure(&self, class: usize) {
+        self.counters.depot_spills.fetch_add(1, Ordering::Relaxed);
+        if !self.config.adaptive_resize {
+            return;
+        }
+        let ctl = &self.ctl[class];
+        let cur = ctl.cap.load(Ordering::Relaxed);
+        let target = (cur / 2).max(2);
+        if target < cur
+            && ctl
+                .cap
+                .compare_exchange(cur, target, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.counters.resize_shrinks.fetch_add(1, Ordering::Relaxed);
+            ctl.spills.store(0, Ordering::Relaxed);
+        }
+    }
+
     /// Serves one allocation of class `class`, preferring the magazines.
     fn alloc_cached(&self, class: usize) -> Option<usize> {
         let class_size = self.class_size(class);
-        let slot = &self.slots[thread_slot(self.slots.len())];
-        let mut mags = slot.lock();
+        let slot_idx = thread_slot(self.slots.len());
+        let slot = &self.slots[slot_idx];
+        let mut mags = slot.mags.lock();
         let pair = &mut mags[class];
 
         if let Some(off) = pair.loaded.pop() {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
-            self.cached_bytes.fetch_sub(class_size, Ordering::Relaxed);
+            slot.bytes.fetch_sub(class_size, Ordering::Relaxed);
             return Some(off);
         }
         if !pair.previous.is_empty() {
             std::mem::swap(&mut pair.loaded, &mut pair.previous);
             let off = pair.loaded.pop().expect("swapped magazine is non-empty");
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
-            self.cached_bytes.fetch_sub(class_size, Ordering::Relaxed);
+            slot.bytes.fetch_sub(class_size, Ordering::Relaxed);
             return Some(off);
         }
 
-        // Both magazines empty: exchange with the depot (a full magazine in,
-        // our empty `loaded` out — recirculated as the spare for the next
-        // overflow rotation).
+        // Both magazines empty: exchange with the slot group's depot shard
+        // (a full magazine in via one lock-free pop, our empty `loaded` out —
+        // recirculated as the spare for the next overflow rotation).
         if self.config.flush_policy == FlushPolicy::Depot {
-            let full = self.depots[class].full.lock().pop();
-            if let Some(full) = full {
-                debug_assert_eq!(full.capacity(), pair.loaded.capacity());
+            let shard = &self.shards[slot_idx & self.shard_mask];
+            if let Some(full) = shard.pop_full(class, class_size) {
+                // The popped magazine's chunks move from the shard's byte
+                // counter (debited by `pop_full`) to this slot's.
+                slot.bytes
+                    .fetch_add(full.len() * class_size, Ordering::Relaxed);
                 let empty = std::mem::replace(&mut pair.loaded, full);
                 pair.spare.get_or_insert(empty);
                 self.counters
@@ -218,16 +378,25 @@ impl<A: BuddyBackend> MagazineCache<A> {
                     .fetch_add(1, Ordering::Relaxed);
                 let off = pair.loaded.pop().expect("depot magazines are full");
                 self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                self.cached_bytes.fetch_sub(class_size, Ordering::Relaxed);
+                slot.bytes.fetch_sub(class_size, Ordering::Relaxed);
                 return Some(off);
             }
         }
 
-        // Miss: batched refill from the backend, outside the slot lock so a
+        // Miss.  Both magazines are empty, which is the one safe point to
+        // adopt a changed adaptive capacity for this slot's pair.
+        if self.config.adaptive_resize {
+            let target = self.ctl[class].cap.load(Ordering::Relaxed);
+            if pair.loaded.capacity() != target {
+                pair.loaded.set_capacity(target);
+                pair.previous.set_capacity(target);
+            }
+        }
+        // Batched refill from the backend, outside the slot lock so a
         // co-located thread's magazine hit is not stalled behind our tree
         // walks (mirror of the flush in `dealloc_cached`).
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
-        let batch = pair.loaded.capacity() / 2;
+        let batch = (pair.loaded.capacity() / 2).clamp(1, REFILL_BATCH_MAX);
         drop(mags);
         let first = self.backend.alloc(class_size)?;
         let mut chunks = Vec::with_capacity(batch);
@@ -242,7 +411,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
             // whatever fits and hand any surplus back to the backend.
             let mut refilled = 0u64;
             {
-                let mut mags = slot.lock();
+                let mut mags = slot.mags.lock();
                 let pair = &mut mags[class];
                 while let Some(&off) = chunks.last() {
                     let target = if !pair.loaded.is_full() {
@@ -261,7 +430,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 self.counters
                     .refilled
                     .fetch_add(refilled, Ordering::Relaxed);
-                self.cached_bytes
+                slot.bytes
                     .fetch_add(refilled as usize * class_size, Ordering::Relaxed);
             }
             for off in chunks {
@@ -274,10 +443,11 @@ impl<A: BuddyBackend> MagazineCache<A> {
     /// Absorbs one release of class `class`.
     fn dealloc_cached(&self, class: usize, offset: usize) {
         let class_size = self.class_size(class);
-        let slot = &self.slots[thread_slot(self.slots.len())];
+        let slot_idx = thread_slot(self.slots.len());
+        let slot = &self.slots[slot_idx];
         let mut overflow = None;
         {
-            let mut mags = slot.lock();
+            let mut mags = slot.mags.lock();
             let pair = &mut mags[class];
             if pair.loaded.is_full() {
                 if pair.previous.is_empty() {
@@ -285,49 +455,79 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 } else {
                     // Both full: move `previous` out of the way (reusing the
                     // spare empty from an earlier depot exchange when one is
-                    // around), then rotate.
-                    let empty = pair
+                    // around, retargeted to the current adaptive capacity),
+                    // then rotate.
+                    let target_cap = if self.config.adaptive_resize {
+                        self.ctl[class].cap.load(Ordering::Relaxed)
+                    } else {
+                        pair.loaded.capacity()
+                    };
+                    let mut empty = pair
                         .spare
                         .take()
-                        .unwrap_or_else(|| Magazine::new(pair.loaded.capacity()));
+                        .unwrap_or_else(|| Magazine::new(target_cap));
                     debug_assert!(empty.is_empty());
+                    if empty.capacity() != target_cap {
+                        empty.set_capacity(target_cap);
+                    }
                     let full = std::mem::replace(&mut pair.previous, empty);
                     std::mem::swap(&mut pair.loaded, &mut pair.previous);
+                    // The full magazine leaves this slot; its chunks are
+                    // re-credited by the depot shard if parked.
+                    slot.bytes
+                        .fetch_sub(full.len() * class_size, Ordering::Relaxed);
                     overflow = Some(full);
                 }
             }
             pair.loaded.push(offset);
+            slot.bytes.fetch_add(class_size, Ordering::Relaxed);
         }
         self.counters.cached_frees.fetch_add(1, Ordering::Relaxed);
-        self.cached_bytes.fetch_add(class_size, Ordering::Relaxed);
         if let Some(full) = overflow {
             // Parking (and a possible backend flush of a whole magazine)
             // happens outside the slot lock so co-located threads are not
             // stalled behind it.
-            self.park_full_magazine(class, full);
+            self.park_full_magazine(class, full, slot_idx);
         }
     }
 
-    /// Parks a full magazine in the depot, or returns its chunks to the
-    /// backend when the depot is at capacity (or bypassed).
-    fn park_full_magazine(&self, class: usize, mut full: Magazine) {
+    /// Parks a full magazine in the slot group's depot shard, or returns its
+    /// chunks to the backend when the shard is at capacity, the shard's
+    /// share of the byte budget is exhausted, or the depot is bypassed.
+    fn park_full_magazine(&self, class: usize, mut full: Magazine, slot_idx: usize) {
+        let class_size = self.class_size(class);
         if self.config.flush_policy == FlushPolicy::Depot {
-            let mut depot = self.depots[class].full.lock();
-            if depot.len() < self.config.depot_magazines {
-                depot.push(full);
-                self.counters
-                    .depot_exchanges
-                    .fetch_add(1, Ordering::Relaxed);
-                return;
+            let in_flight = full.len() * class_size;
+            let shard = &self.shards[slot_idx & self.shard_mask];
+            if shard.bytes() + in_flight <= self.shard_budget {
+                match shard.push_full(class, class_size, full) {
+                    Ok(()) => {
+                        self.counters
+                            .depot_exchanges
+                            .fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    Err(rejected) => {
+                        // Shard at capacity: this class's bursts outrun the
+                        // depot — a grow signal.
+                        full = rejected;
+                        self.note_spill(class);
+                    }
+                }
+            } else {
+                // Byte budget exhausted — a shrink signal.
+                self.note_pressure(class);
             }
         }
-        let class_size = self.class_size(class);
-        let chunks = full.take_all();
+        self.flush_magazine(full);
+    }
+
+    /// Returns a magazine's chunks to the backend, counting them as flushed.
+    fn flush_magazine(&self, mut mag: Magazine) {
+        let chunks = mag.take_all();
         self.counters
             .flushed
             .fetch_add(chunks.len() as u64, Ordering::Relaxed);
-        self.cached_bytes
-            .fetch_sub(chunks.len() * class_size, Ordering::Relaxed);
         for off in chunks {
             self.backend.dealloc(off);
         }
@@ -346,10 +546,11 @@ impl<A: BuddyBackend> MagazineCache<A> {
         self.drain_slot(thread_slot(self.slots.len()));
     }
 
-    fn drain_slot(&self, slot: usize) {
+    fn drain_slot(&self, slot_idx: usize) {
+        let slot = &self.slots[slot_idx];
         let mut drained = Vec::new();
         {
-            let mut mags = self.slots[slot].lock();
+            let mut mags = slot.mags.lock();
             for (class, pair) in mags.iter_mut().enumerate() {
                 let class_size = self.class_size(class);
                 for off in pair
@@ -361,11 +562,16 @@ impl<A: BuddyBackend> MagazineCache<A> {
                     drained.push((off, class_size));
                 }
             }
+            let bytes: usize = drained.iter().map(|&(_, s)| s).sum();
+            if bytes > 0 {
+                slot.bytes.fetch_sub(bytes, Ordering::Relaxed);
+            }
         }
         self.release_drained(&drained);
     }
 
-    /// Returns every cached chunk — all slots and the depot — to the backend.
+    /// Returns every cached chunk — all slots and all depot shards — to the
+    /// backend.
     ///
     /// Intended for quiescent points (benchmark epochs, verification, final
     /// teardown); also invoked by `Drop`.
@@ -373,13 +579,17 @@ impl<A: BuddyBackend> MagazineCache<A> {
         for slot in 0..self.slots.len() {
             self.drain_slot(slot);
         }
+        // Exclude concurrent inspections: their temporarily popped magazines
+        // would otherwise dodge the drain and be restored afterwards.
+        let _inspecting = self.inspect_lock.lock();
         let mut drained = Vec::new();
-        for (class, depot) in self.depots.iter().enumerate() {
-            let class_size = self.class_size(class);
-            let full_mags = std::mem::take(&mut *depot.full.lock());
-            for mut m in full_mags {
-                for off in m.take_all() {
-                    drained.push((off, class_size));
+        for shard in self.shards.iter() {
+            for class in 0..self.class_count {
+                let class_size = self.class_size(class);
+                for mut m in shard.drain_class(class, class_size) {
+                    for off in m.take_all() {
+                        drained.push((off, class_size));
+                    }
                 }
             }
         }
@@ -390,8 +600,6 @@ impl<A: BuddyBackend> MagazineCache<A> {
         if drained.is_empty() {
             return;
         }
-        let bytes: usize = drained.iter().map(|&(_, s)| s).sum();
-        self.cached_bytes.fetch_sub(bytes, Ordering::Relaxed);
         self.counters
             .drained
             .fetch_add(drained.len() as u64, Ordering::Relaxed);
@@ -405,6 +613,46 @@ impl<A: BuddyBackend> MagazineCache<A> {
         ThreadDrainGuard { cache: self }
     }
 
+    /// Runs `f` over the magazines parked in the depot shards until `f`
+    /// returns `true` (stop) or every magazine has been visited.
+    ///
+    /// A lock-free stack cannot be iterated in place, so each shard's
+    /// magazines are temporarily popped and pushed back afterwards; an
+    /// early stop only ever holds one class's magazines in flight.  At
+    /// quiescence (the documented contract of the callers) the restore
+    /// always succeeds; if a concurrent thread races a slot away, the
+    /// affected magazine's chunks are flushed to the backend — a correctness
+    /// backstop, not an expected path.
+    fn inspect_depot(&self, mut f: impl FnMut(usize, &Magazine) -> bool) {
+        // Serialize inspections: while one caller holds a shard's magazines
+        // popped, a concurrent inspection would see the shard empty and miss
+        // stably parked offsets (breaking `try_dealloc`'s double-free
+        // rejection).  Hot-path exchanges are unaffected — they may race an
+        // inspection and simply fall through to the backend.
+        let _inspecting = self.inspect_lock.lock();
+        for shard in self.shards.iter() {
+            for class in 0..self.class_count {
+                let class_size = self.class_size(class);
+                let mags = shard.drain_class(class, class_size);
+                let mut stop = false;
+                for m in &mags {
+                    stop = f(class_size, m);
+                    if stop {
+                        break;
+                    }
+                }
+                for m in mags {
+                    if let Err(rejected) = shard.push_full(class, class_size, m) {
+                        self.flush_magazine(rejected);
+                    }
+                }
+                if stop {
+                    return;
+                }
+            }
+        }
+    }
+
     /// Every chunk currently parked in the cache, as `(offset, size)` pairs.
     ///
     /// Only meaningful at quiescence (no concurrent cache operations); used
@@ -413,7 +661,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
     pub fn cached_chunks(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for slot in self.slots.iter() {
-            let mags = slot.lock();
+            let mags = slot.mags.lock();
             for (class, pair) in mags.iter().enumerate() {
                 let class_size = self.class_size(class);
                 for &off in pair.loaded.entries().iter().chain(pair.previous.entries()) {
@@ -421,14 +669,12 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 }
             }
         }
-        for (class, depot) in self.depots.iter().enumerate() {
-            let class_size = self.class_size(class);
-            for m in depot.full.lock().iter() {
-                for &off in m.entries() {
-                    out.push((off, class_size));
-                }
+        self.inspect_depot(|class_size, m| {
+            for &off in m.entries() {
+                out.push((off, class_size));
             }
-        }
+            false
+        });
         out
     }
 
@@ -439,7 +685,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
     /// not concurrently moving through the cache.
     pub fn contains_cached(&self, offset: usize) -> bool {
         for slot in self.slots.iter() {
-            let mags = slot.lock();
+            let mags = slot.mags.lock();
             for pair in mags.iter() {
                 if pair.loaded.entries().contains(&offset)
                     || pair.previous.entries().contains(&offset)
@@ -448,9 +694,12 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 }
             }
         }
-        self.depots
-            .iter()
-            .any(|d| d.full.lock().iter().any(|m| m.entries().contains(&offset)))
+        let mut found = false;
+        self.inspect_depot(|_, m| {
+            found = m.entries().contains(&offset);
+            found
+        });
+        found
     }
 
     /// Point-in-time copy of the cache counters.
@@ -463,6 +712,10 @@ impl<A: BuddyBackend> MagazineCache<A> {
             refilled: self.counters.refilled.load(Ordering::Relaxed),
             depot_exchanges: self.counters.depot_exchanges.load(Ordering::Relaxed),
             drained: self.counters.drained.load(Ordering::Relaxed),
+            depot_spills: self.counters.depot_spills.load(Ordering::Relaxed),
+            resize_grows: self.counters.resize_grows.load(Ordering::Relaxed),
+            resize_shrinks: self.counters.resize_shrinks.load(Ordering::Relaxed),
+            depot_shards: self.shards.len() as u64,
         }
     }
 }
@@ -604,6 +857,8 @@ impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for MagazineCache<A> {
             .field("name", &self.name)
             .field("classes", &self.class_count)
             .field("slots", &self.slots.len())
+            .field("shards", &self.shards.len())
+            .field("budget", &self.budget)
             .field("cached_bytes", &self.cached_bytes())
             .field("backend", &self.backend)
             .finish()

@@ -4,11 +4,14 @@
 /// a size class are full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FlushPolicy {
-    /// Exchange full magazines with the shared per-class depot (Bonwick's
-    /// scheme): a flush parks the full *previous* magazine in the depot where
-    /// any thread's refill can pick it up, falling back to the backend only
-    /// when the depot is at capacity.  This keeps chunks circulating between
-    /// threads without touching the backend tree.
+    /// Exchange full magazines with the sharded per-class depot (Bonwick's
+    /// scheme): a flush parks the full *previous* magazine in the owning
+    /// shard's lock-free stack where any co-sharded thread's refill can pick
+    /// it up, falling back to the backend only when the shard is at capacity
+    /// or the cache byte budget is exhausted.  This keeps chunks circulating
+    /// between threads without touching the backend tree, and keeps the
+    /// circulation within a slot group (one shard per group), so chunks do
+    /// not ping-pong across groups/NUMA nodes.
     #[default]
     Depot,
     /// Bypass the depot: overflow goes straight back to the backend and
@@ -19,28 +22,41 @@ pub enum FlushPolicy {
 
 /// Tuning knobs for [`crate::MagazineCache`].
 ///
-/// The defaults cache every size class up to the backend's `max_size`, with
-/// magazine capacities scaled down for large classes so a single magazine
-/// never holds more than [`CacheConfig::magazine_bytes`] bytes.
+/// The defaults cache every size class up to the backend's `max_size`.
+/// [`CacheConfig::magazine_capacity`] and [`CacheConfig::magazine_bytes`]
+/// only seed the *initial* magazine capacity of each class; with
+/// [`CacheConfig::adaptive_resize`] on (the default) the cache then grows a
+/// class's capacity when its bursts keep spilling past the depot, and
+/// shrinks it under byte-budget pressure (Bonwick's dynamic magazine
+/// resizing), staying within [`CacheConfig::cache_bytes_budget`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
-    /// Maximum entries in one magazine (applies to the smallest classes).
+    /// Initial maximum entries in one magazine (applies to the smallest
+    /// classes; the adaptive controller may grow past this, up to
+    /// [`CacheConfig::max_magazine_capacity`]).
     pub magazine_capacity: usize,
-    /// Per-magazine byte budget: the capacity of a class's magazines is
+    /// Initial per-magazine byte budget: a class's starting capacity is
     /// `clamp(magazine_bytes / class_size, 2, magazine_capacity)`.
     pub magazine_bytes: usize,
     /// Largest chunk size served from magazines; requests above it go
     /// straight to the backend.  `None` caches every class up to the
     /// backend's `max_size`.
     pub max_cached_size: Option<usize>,
-    /// Maximum full magazines the depot retains per size class before
-    /// flushes start returning chunks to the backend.
+    /// Maximum full magazines each depot *shard* retains per size class
+    /// before flushes start returning chunks to the backend.
     ///
-    /// The default (64) lets bulk alloc-then-free bursts park entirely in the
-    /// depot instead of round-tripping through the backend; the memory it can
-    /// strand per class is bounded by `depot_magazines * magazine_bytes` and,
-    /// in practice, by the workload's own per-class peak footprint.
+    /// The memory one class can strand is bounded by
+    /// `depot_shards * depot_magazines` magazines and, globally, by
+    /// [`CacheConfig::cache_bytes_budget`].
     pub depot_magazines: usize,
+    /// Number of depot shards (one per group of thread slots): full/empty
+    /// magazine exchange stays within the calling thread's shard, so chunk
+    /// circulation stops at the slot-group boundary — the analogue of
+    /// per-NUMA-node depots.  `None` sizes the shard set from
+    /// `std::thread::available_parallelism` (about one shard per two CPUs);
+    /// the resolved count is a power of two and never exceeds the slot
+    /// count.
+    pub depot_shards: Option<usize>,
     /// Number of thread slots (each slot holds one pair of magazines per
     /// class; threads map to slots by a per-thread id, so with at least as
     /// many slots as threads every thread effectively owns a private slot).
@@ -48,6 +64,24 @@ pub struct CacheConfig {
     pub slots: Option<usize>,
     /// Overflow/refill policy.
     pub flush_policy: FlushPolicy,
+    /// Whether the per-class magazine capacity adapts to the observed
+    /// spill/pressure behaviour (Bonwick dynamic resizing).  When `false`
+    /// the initial capacities are final.
+    pub adaptive_resize: bool,
+    /// Ceiling for adaptively grown magazine capacities (entries).  Each
+    /// class is additionally capped so a single magazine never exceeds
+    /// 1/8 of the cache byte budget.
+    pub max_magazine_capacity: usize,
+    /// Byte budget bounding what the cache keeps parked.  The budget is
+    /// split evenly across the depot shards: a shard refuses to park
+    /// further magazines once its own parked bytes reach its share (the
+    /// gate reads one shard-local counter, never a global sum), and the
+    /// refusal is the controller's shrink signal.  The budget also caps
+    /// adaptive growth — one magazine never exceeds an eighth of it.
+    /// Slot-resident magazines are bounded by those capacity ceilings
+    /// rather than by the budget directly.  `None` resolves to a quarter
+    /// of the backend's managed memory.
+    pub cache_bytes_budget: Option<usize>,
 }
 
 impl Default for CacheConfig {
@@ -57,14 +91,18 @@ impl Default for CacheConfig {
             magazine_bytes: 32 << 10,
             max_cached_size: None,
             depot_magazines: 64,
+            depot_shards: None,
             slots: None,
             flush_policy: FlushPolicy::default(),
+            adaptive_resize: true,
+            max_magazine_capacity: 8192,
+            cache_bytes_budget: None,
         }
     }
 }
 
 impl CacheConfig {
-    /// Effective magazine capacity for a class of `class_size` bytes.
+    /// Initial magazine capacity for a class of `class_size` bytes.
     pub(crate) fn capacity_for(&self, class_size: usize) -> usize {
         (self.magazine_bytes / class_size.max(1)).clamp(2, self.magazine_capacity.max(2))
     }
@@ -77,6 +115,26 @@ impl CacheConfig {
                 .map(|n| (n.get() * 2).next_power_of_two())
                 .unwrap_or(16),
         }
+    }
+
+    /// Resolved depot shard count: a power of two, at least 1, at most the
+    /// resolved slot count (a shard with no slots routed to it would be
+    /// dead weight).
+    pub(crate) fn resolved_shards(&self) -> usize {
+        let slots = self.resolved_slots();
+        let requested = match self.depot_shards {
+            Some(n) => n.max(1),
+            None => std::thread::available_parallelism()
+                .map(|n| (n.get() / 2).max(1))
+                .unwrap_or(4),
+        };
+        requested.next_power_of_two().min(slots)
+    }
+
+    /// Resolved cache byte budget for a backend managing `total_memory`.
+    pub(crate) fn resolved_budget(&self, total_memory: usize) -> usize {
+        self.cache_bytes_budget
+            .unwrap_or_else(|| (total_memory / 4).max(1))
     }
 }
 
@@ -102,5 +160,36 @@ mod tests {
         let auto = CacheConfig::default().resolved_slots();
         assert!(auto.is_power_of_two());
         assert!(auto >= 1);
+    }
+
+    #[test]
+    fn shards_never_exceed_slots() {
+        let cfg = CacheConfig {
+            slots: Some(4),
+            depot_shards: Some(64),
+            ..CacheConfig::default()
+        };
+        assert_eq!(cfg.resolved_shards(), 4);
+        let cfg = CacheConfig {
+            slots: Some(16),
+            depot_shards: Some(3),
+            ..CacheConfig::default()
+        };
+        assert_eq!(cfg.resolved_shards(), 4, "rounded up to a power of two");
+        let auto = CacheConfig::default().resolved_shards();
+        assert!(auto.is_power_of_two());
+        assert!(auto >= 1);
+        assert!(auto <= CacheConfig::default().resolved_slots());
+    }
+
+    #[test]
+    fn budget_defaults_to_a_quarter_of_memory() {
+        let cfg = CacheConfig::default();
+        assert_eq!(cfg.resolved_budget(64 << 20), 16 << 20);
+        let explicit = CacheConfig {
+            cache_bytes_budget: Some(1 << 10),
+            ..CacheConfig::default()
+        };
+        assert_eq!(explicit.resolved_budget(64 << 20), 1 << 10);
     }
 }

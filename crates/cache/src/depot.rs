@@ -1,0 +1,139 @@
+//! The sharded, lock-free depot of full magazines.
+//!
+//! PR 1's depot was one `Mutex<Vec<Magazine>>` per size class — a single
+//! shared synchronization point that every overflow and every
+//! both-magazines-empty refill in the process funnelled through, exactly the
+//! pathology the NBBS paper sets out to remove from the allocator itself.
+//! The depot is now split into *shards*, one per group of thread slots (the
+//! analogue of one depot per NUMA node), and each shard keeps one
+//! [`BoundedStack`] of full magazines per size class.  A full/empty magazine
+//! exchange is then a single tagged CAS on the owning shard's stack head:
+//! no mutex, no spinning on a shared line from other slot groups, and no
+//! chunk circulation across the shard boundary.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nbbs_sync::BoundedStack;
+
+use crate::magazine::Magazine;
+
+/// One slot group's share of the depot: a lock-free stack of full magazines
+/// per size class, plus the shard's parked-byte counter.
+///
+/// The byte counter is credited *before* a magazine is pushed and debited
+/// *after* it is popped; the stack's release/acquire CAS pair orders the
+/// credit before the debit, so the counter never transiently underflows.
+pub(crate) struct DepotShard {
+    classes: Box<[BoundedStack<Magazine>]>,
+    bytes: AtomicUsize,
+}
+
+impl DepotShard {
+    /// Creates a shard holding up to `magazines_per_class` full magazines
+    /// for each of `class_count` classes.
+    pub(crate) fn new(class_count: usize, magazines_per_class: usize) -> Self {
+        DepotShard {
+            classes: (0..class_count)
+                .map(|_| BoundedStack::new(magazines_per_class))
+                .collect(),
+            bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Bytes currently parked in this shard (exact at quiescence).
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Full magazines currently parked in this shard across all classes
+    /// (approximate under concurrency).
+    pub(crate) fn parked_magazines(&self) -> usize {
+        self.classes.iter().map(|s| s.len()).sum()
+    }
+
+    /// Pops a full magazine of `class`, debiting the shard's byte counter.
+    pub(crate) fn pop_full(&self, class: usize, class_size: usize) -> Option<Magazine> {
+        let mag = self.classes[class].pop()?;
+        self.bytes
+            .fetch_sub(mag.len() * class_size, Ordering::Relaxed);
+        Some(mag)
+    }
+
+    /// Parks a full magazine, handing it back when the class's stack is at
+    /// capacity.
+    pub(crate) fn push_full(
+        &self,
+        class: usize,
+        class_size: usize,
+        mag: Magazine,
+    ) -> Result<(), Magazine> {
+        let bytes = mag.len() * class_size;
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        match self.classes[class].push(mag) {
+            Ok(()) => Ok(()),
+            Err(mag) => {
+                self.bytes.fetch_sub(bytes, Ordering::Relaxed);
+                Err(mag)
+            }
+        }
+    }
+
+    /// Removes every parked magazine of `class`, debiting the byte counter.
+    /// Exhaustive at quiescence (concurrent pushes may land afterwards).
+    pub(crate) fn drain_class(&self, class: usize, class_size: usize) -> Vec<Magazine> {
+        let mags = self.classes[class].drain();
+        let bytes: usize = mags.iter().map(|m| m.len() * class_size).sum();
+        if bytes > 0 {
+            self.bytes.fetch_sub(bytes, Ordering::Relaxed);
+        }
+        mags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_mag(cap: usize, base: usize) -> Magazine {
+        let mut m = Magazine::new(cap);
+        for i in 0..cap {
+            m.push(base + i * 8);
+        }
+        m
+    }
+
+    #[test]
+    fn park_and_recover_round_trips_bytes() {
+        let shard = DepotShard::new(2, 2);
+        assert_eq!(shard.bytes(), 0);
+        shard.push_full(0, 8, full_mag(4, 0)).unwrap();
+        shard.push_full(1, 16, full_mag(2, 64)).unwrap();
+        assert_eq!(shard.bytes(), 4 * 8 + 2 * 16);
+        assert_eq!(shard.parked_magazines(), 2);
+        let m = shard.pop_full(0, 8).unwrap();
+        assert_eq!(m.len(), 4);
+        assert_eq!(shard.bytes(), 2 * 16);
+        assert!(shard.pop_full(0, 8).is_none());
+    }
+
+    #[test]
+    fn full_class_rejects_without_losing_the_magazine() {
+        let shard = DepotShard::new(1, 1);
+        shard.push_full(0, 8, full_mag(2, 0)).unwrap();
+        let rejected = shard.push_full(0, 8, full_mag(2, 64)).unwrap_err();
+        assert_eq!(rejected.len(), 2);
+        assert_eq!(shard.bytes(), 2 * 8, "rejection undid the byte credit");
+    }
+
+    #[test]
+    fn drain_class_empties_and_debits() {
+        let shard = DepotShard::new(1, 4);
+        for k in 0..3 {
+            shard.push_full(0, 8, full_mag(2, k * 128)).unwrap();
+        }
+        let mags = shard.drain_class(0, 8);
+        assert_eq!(mags.len(), 3);
+        assert_eq!(shard.bytes(), 0);
+        assert_eq!(shard.parked_magazines(), 0);
+    }
+}

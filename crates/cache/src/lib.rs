@@ -8,15 +8,20 @@
 //! layer: [`MagazineCache`] wraps any [`nbbs::BuddyBackend`] with
 //! size-class-indexed, per-thread-slot magazines (bounded LIFO stacks of
 //! chunk offsets, one per buddy order up to a configurable cutoff) plus a
-//! shared depot of full magazines.
+//! *sharded* depot of full magazines — one shard per group of thread slots,
+//! each a lock-free Treiber stack ([`nbbs_sync::BoundedStack`]).
 //!
 //! * **Hits** (magazine pop / push) cost one uncontended spin-lock
 //!   acquisition on a cache-padded slot — no CAS walk over the shared tree.
-//! * **Misses** refill a whole magazine at a time (depot exchange first,
-//!   batched backend allocations second), so backend traffic drops by
-//!   roughly the magazine capacity.
-//! * **Overflows** flush whole magazines to the depot, falling back to
-//!   batched backend releases.
+//! * **Misses** refill a whole magazine at a time (a single-CAS depot-shard
+//!   exchange first, batched backend allocations second), so backend
+//!   traffic drops by roughly the magazine capacity.
+//! * **Overflows** flush whole magazines to the owning depot shard, falling
+//!   back to batched backend releases; circulation never crosses the shard
+//!   (slot-group) boundary, the analogue of per-NUMA-node depots.
+//! * **Magazine capacities adapt** (Bonwick dynamic resizing): sustained
+//!   depot spills double a class's capacity, byte-budget pressure halves
+//!   it, all within [`config::CacheConfig::cache_bytes_budget`].
 //!
 //! Because [`MagazineCache`] implements [`nbbs::BuddyBackend`] itself, it
 //! composes with everything already written against the trait:
@@ -45,6 +50,7 @@
 
 mod cache;
 pub mod config;
+mod depot;
 mod magazine;
 mod verify;
 

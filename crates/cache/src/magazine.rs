@@ -25,8 +25,20 @@ impl Magazine {
         self.capacity
     }
 
+    /// Retargets an *empty* magazine to a new capacity (the adaptive resize
+    /// controller only ever changes capacities at rotation/refill points,
+    /// where the magazine holds nothing).
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        debug_assert!(self.is_empty(), "resizing a non-empty magazine");
+        if capacity > self.capacity {
+            self.entries.reserve(capacity - self.entries.len());
+        } else if capacity < self.capacity {
+            self.entries.shrink_to(capacity);
+        }
+        self.capacity = capacity;
+    }
+
     /// Current number of cached offsets.
-    #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.entries.len()
     }
@@ -107,6 +119,23 @@ mod tests {
         assert_eq!(m.pop(), Some(16));
         assert_eq!(m.pop(), Some(8));
         assert_eq!(m.pop(), None);
+    }
+
+    #[test]
+    fn set_capacity_grows_and_shrinks_empty_magazines() {
+        let mut m = Magazine::new(2);
+        m.set_capacity(8);
+        assert_eq!(m.capacity(), 8);
+        for off in 0..8 {
+            m.push(off * 8);
+        }
+        assert!(m.is_full());
+        assert_eq!(m.take_all().len(), 8);
+        m.set_capacity(2);
+        assert_eq!(m.capacity(), 2);
+        m.push(0);
+        m.push(8);
+        assert!(m.is_full());
     }
 
     #[test]

@@ -112,5 +112,5 @@ pub use locked::{LockedBuddy, LockedFourLevel, LockedOneLevel};
 pub use multi::MultiInstance;
 pub use onelvl::NbbsOneLevel;
 pub use region::BuddyRegion;
-pub use stats::{CacheStatsSnapshot, OpStats};
+pub use stats::{CacheStatsSnapshot, OpStats, OpStatsSnapshot};
 pub use traits::{BuddyBackend, TreeInspect};

@@ -165,6 +165,29 @@ impl<A: BuddyBackend> MultiInstance<A> {
         self.instances[0].geometry()
     }
 
+    /// Merged caching-layer counters across the instances, or `None` when no
+    /// instance has a caching front-end.
+    ///
+    /// Each per-node cache keeps its own depot shards, so the merged
+    /// `depot_shards` reports the fleet-wide shard count.
+    pub fn cache_stats(&self) -> Option<crate::stats::CacheStatsSnapshot> {
+        let mut merged: Option<crate::stats::CacheStatsSnapshot> = None;
+        for i in &self.instances {
+            if let Some(s) = i.cache_stats() {
+                merged.get_or_insert_with(Default::default).merge(&s);
+            }
+        }
+        merged
+    }
+
+    /// Returns chunks parked in every instance's caching layer (if any) to
+    /// the backing allocators; a no-op over plain backends.
+    pub fn drain_cache(&self) {
+        for i in &self.instances {
+            i.drain_cache();
+        }
+    }
+
     /// Aggregated operation statistics.
     pub fn stats(&self) -> OpStatsSnapshot {
         let mut acc = OpStatsSnapshot::default();

@@ -115,6 +115,21 @@ pub struct CacheStatsSnapshot {
     /// Chunks returned to the backend by explicit drain calls
     /// (thread-exit drains and whole-cache drains).
     pub drained: u64,
+    /// Full magazines the depot could not park — the owning shard's stack
+    /// was at capacity, or the cache byte budget was exhausted — so their
+    /// chunks were flushed to the backend (the chunks themselves are
+    /// counted in `flushed`).
+    pub depot_spills: u64,
+    /// Adaptive-resize events that grew a size class's magazine capacity
+    /// (triggered by sustained depot spills).
+    pub resize_grows: u64,
+    /// Adaptive-resize events that shrank a size class's magazine capacity
+    /// (triggered by cache byte-budget pressure).
+    pub resize_shrinks: u64,
+    /// Number of depot shards magazine exchange is distributed over.
+    /// Configuration surfaced for reports, not a counter; summed across
+    /// instances when snapshots are merged.
+    pub depot_shards: u64,
 }
 
 impl CacheStatsSnapshot {
@@ -132,13 +147,33 @@ impl CacheStatsSnapshot {
     pub fn alloc_requests(&self) -> u64 {
         self.hits + self.misses
     }
+
+    /// Accumulates `other` into `self`, counter by counter.
+    ///
+    /// Used by multi-instance deployments to report one merged cache view
+    /// across per-node caches (`depot_shards` sums to the fleet-wide shard
+    /// count).
+    pub fn merge(&mut self, other: &CacheStatsSnapshot) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.cached_frees += other.cached_frees;
+        self.flushed += other.flushed;
+        self.refilled += other.refilled;
+        self.depot_exchanges += other.depot_exchanges;
+        self.drained += other.drained;
+        self.depot_spills += other.depot_spills;
+        self.resize_grows += other.resize_grows;
+        self.resize_shrinks += other.resize_shrinks;
+        self.depot_shards += other.depot_shards;
+    }
 }
 
 impl fmt::Display for CacheStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "hits={} misses={} hit-rate={:.3} cached-frees={} flushed={} refilled={} depot={} drained={}",
+            "hits={} misses={} hit-rate={:.3} cached-frees={} flushed={} refilled={} \
+             depot={} drained={} shards={} spills={} grows={} shrinks={}",
             self.hits,
             self.misses,
             self.hit_rate(),
@@ -146,7 +181,11 @@ impl fmt::Display for CacheStatsSnapshot {
             self.flushed,
             self.refilled,
             self.depot_exchanges,
-            self.drained
+            self.drained,
+            self.depot_shards,
+            self.depot_spills,
+            self.resize_grows,
+            self.resize_shrinks
         )
     }
 }
@@ -262,6 +301,36 @@ mod tests {
         let s = snap.to_string();
         assert!(s.contains("hits=3"));
         assert!(s.contains("hit-rate=0.750"));
+    }
+
+    #[test]
+    fn cache_snapshots_merge_counterwise() {
+        let mut a = CacheStatsSnapshot {
+            hits: 10,
+            misses: 2,
+            depot_spills: 1,
+            resize_grows: 3,
+            depot_shards: 4,
+            ..CacheStatsSnapshot::default()
+        };
+        let b = CacheStatsSnapshot {
+            hits: 5,
+            flushed: 7,
+            resize_shrinks: 1,
+            depot_shards: 4,
+            ..CacheStatsSnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.hits, 15);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.flushed, 7);
+        assert_eq!(a.depot_spills, 1);
+        assert_eq!(a.resize_grows, 3);
+        assert_eq!(a.resize_shrinks, 1);
+        assert_eq!(a.depot_shards, 8, "shards sum across instances");
+        let s = a.to_string();
+        assert!(s.contains("shards=8"));
+        assert!(s.contains("grows=3"));
     }
 
     #[test]

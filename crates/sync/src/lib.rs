@@ -14,20 +14,26 @@
 //!   by retry loops in benchmarks.
 //! * [`CachePadded`] — aligns a value to a cache line to avoid false sharing
 //!   between per-thread counters in the benchmark harness.
+//! * [`BoundedStack`] — a bounded *lock-free* Treiber stack over a fixed
+//!   slab (index + version-tag CAS, no reclamation needed), the depot
+//!   substrate of the `nbbs-cache` magazine layer.
 //! * [`cycles`] — a serializing time-stamp-counter reader used to reproduce
 //!   the clock-cycle metric of Figure 12.
 //!
-//! Everything here is dependency-free and `#![forbid(unsafe_code)]`-clean
-//! except for the `rdtsc` intrinsic (behind `cfg(target_arch = "x86_64")`).
+//! Everything here is dependency-free; `unsafe` is confined to the interior
+//! of the synchronization primitives (the lock and stack value cells) and
+//! the `rdtsc` intrinsic (behind `cfg(target_arch = "x86_64")`).
 
 pub mod backoff;
 pub mod cycles;
 pub mod pad;
 pub mod spinlock;
 pub mod ticket;
+pub mod treiber;
 
 pub use backoff::Backoff;
 pub use cycles::{cycles_now, CycleTimer};
 pub use pad::CachePadded;
 pub use spinlock::{SpinLock, SpinLockGuard};
 pub use ticket::{TicketLock, TicketLockGuard};
+pub use treiber::BoundedStack;

@@ -285,7 +285,8 @@ impl Harness {
                     }
                     let result = sweep.workload.run(&alloc, threads, size, sweep.scale);
                     let m = Measurement::new(sweep.workload.name(), kind.name(), size, result)
-                        .with_cache(alloc.cache_stats());
+                        .with_cache(alloc.cache_stats())
+                        .with_backend_ops(alloc.stats());
                     if self.verbose {
                         eprintln!("[nbbs-bench]   -> {m}");
                         if let Some(cache) = &m.cache {

@@ -53,6 +53,11 @@ pub struct Measurement {
     /// Counters of the allocator's magazine-cache layer, if it has one
     /// (`cached-*` kinds); `None` for plain backends.
     pub cache: Option<nbbs::CacheStatsSnapshot>,
+    /// Operation counters of the *backend* underneath any cache layer
+    /// (CAS traffic, retries, skips).  All zeros unless the workspace is
+    /// built with the `op-stats` feature; reports use this to show how much
+    /// CAS traffic the cache's spill path still generates.
+    pub backend_ops: nbbs::OpStatsSnapshot,
 }
 
 impl Measurement {
@@ -69,6 +74,7 @@ impl Measurement {
             size,
             result,
             cache: None,
+            backend_ops: nbbs::OpStatsSnapshot::default(),
         }
     }
 
@@ -76,6 +82,13 @@ impl Measurement {
     #[must_use]
     pub fn with_cache(mut self, cache: Option<nbbs::CacheStatsSnapshot>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Attaches the backend's operation counters to this measurement.
+    #[must_use]
+    pub fn with_backend_ops(mut self, ops: nbbs::OpStatsSnapshot) -> Self {
+        self.backend_ops = ops;
         self
     }
 

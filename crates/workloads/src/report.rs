@@ -119,9 +119,11 @@ pub fn figure_series(measurements: &[Measurement], metric: Metric) -> String {
 }
 
 /// Renders the magazine-cache behaviour of every measurement that carries
-/// cache counters (the `cached-*` allocator kinds): hit rate and the backend
-/// traffic that remained.  Returns an empty string when no measurement has a
-/// cache layer.
+/// cache counters (the `cached-*` allocator kinds): hit rate, the backend
+/// traffic that remained, the depot shard/spill behaviour, the adaptive
+/// resize activity, and — when the workspace is built with `op-stats` — the
+/// backend CAS traffic per operation that the spill path still generates.
+/// Returns an empty string when no measurement has a cache layer.
 pub fn cache_table(measurements: &[Measurement]) -> String {
     let cached: Vec<&Measurement> = measurements.iter().filter(|m| m.cache.is_some()).collect();
     if cached.is_empty() {
@@ -129,7 +131,7 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:<16} {:>8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10}\n",
+        "{:<22} {:<16} {:>8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>8} {:>8}\n",
         "workload",
         "allocator",
         "bytes",
@@ -138,12 +140,29 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
         "hits",
         "misses",
         "flushed",
-        "drained"
+        "drained",
+        "shards",
+        "spills",
+        "grows",
+        "shrinks",
+        "cas/op"
     ));
     for m in cached {
         let c = m.cache.as_ref().expect("filtered to Some");
+        // Backend CAS instructions per *workload* operation (not per backend
+        // operation): for a cached allocator only miss/spill traffic reaches
+        // the backend, so this ratio shrinks as the hit rate rises — the CAS
+        // reduction the cache exists to deliver.
+        let cas_per_op = if m.backend_ops.cas_ops > 0 && m.result.operations > 0 {
+            format!(
+                "{:.2}",
+                m.backend_ops.cas_ops as f64 / m.result.operations as f64
+            )
+        } else {
+            "-".to_string()
+        };
         out.push_str(&format!(
-            "{:<22} {:<16} {:>8} {:>8} {:>8.1}% {:>12} {:>12} {:>10} {:>10}\n",
+            "{:<22} {:<16} {:>8} {:>8} {:>8.1}% {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>8} {:>8}\n",
             m.workload,
             m.allocator,
             m.size,
@@ -152,7 +171,12 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
             c.hits,
             c.misses,
             c.flushed,
-            c.drained
+            c.drained,
+            c.depot_shards,
+            c.depot_spills,
+            c.resize_grows,
+            c.resize_shrinks,
+            cas_per_op
         ));
     }
     out
@@ -325,6 +349,9 @@ mod tests {
             hits: 75,
             misses: 25,
             flushed: 10,
+            depot_shards: 4,
+            depot_spills: 3,
+            resize_grows: 2,
             ..Default::default()
         });
         set[0].allocator = "cached-4lvl-nb".into();
@@ -332,6 +359,36 @@ mod tests {
         assert_eq!(out.lines().count(), 2, "header + one cached row");
         assert!(out.contains("cached-4lvl-nb"));
         assert!(out.contains("75.0%"));
+        assert!(out.contains("shards"), "shard column present");
+        assert!(out.contains("spills"), "spill column present");
+        // No op-stats counters attached: the CAS column shows a dash.
+        assert!(out.lines().nth(1).unwrap().trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn cache_table_shows_cas_per_workload_op_when_counters_exist() {
+        let mut set = sample_set();
+        set[0].cache = Some(nbbs::CacheStatsSnapshot {
+            hits: 75,
+            misses: 25,
+            ..Default::default()
+        });
+        set[0].allocator = "cached-4lvl-nb".into();
+        // The backend only saw the miss/spill traffic: its own cas/op is
+        // ~2.5, but relative to the 1M workload operations the cache
+        // absorbed, the CAS cost per operation is 0.50 — the reduction the
+        // table must surface.
+        set[0].backend_ops = nbbs::OpStatsSnapshot {
+            allocs: 100_000,
+            frees: 100_000,
+            cas_ops: 500_000,
+            ..Default::default()
+        };
+        let out = cache_table(&set);
+        assert!(
+            out.contains("0.50"),
+            "cas/op = 500k CAS / 1M workload ops rendered: {out}"
+        );
     }
 
     #[test]

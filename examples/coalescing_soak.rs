@@ -11,12 +11,14 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release --example coalescing_soak [variant] [threads] [iters] [depth]
+//! cargo run --release --example coalescing_soak [variant] [threads] [iters] [depth] [rounds]
 //! ```
 //! `variant` is `4lvl` (default) or `1lvl`; `depth` sizes the tree
 //! (`total = 8 << depth` bytes, 8-byte units, whole-region max requests, so
-//! the climb spans `depth / 4 + 1` bunch boundaries).  Runs up to 2M rounds;
-//! expect hours for a full soak, interrupt freely.
+//! the climb spans `depth / 4 + 1` bunch boundaries); `rounds` bounds the
+//! soak (default 2M — expect hours for a full soak, interrupt freely; CI
+//! runs a few thousand rounds as a smoke test so the residual race keeps
+//! being hunted continuously).
 
 use std::sync::Arc;
 
@@ -30,8 +32,9 @@ fn run<A: BuddyBackend + 'static>(
     threads: usize,
     iters: usize,
     max_order: usize,
+    rounds: u64,
 ) {
-    for round in 0..2_000_000u64 {
+    for round in 0..rounds {
         let a = Arc::new(make());
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -81,7 +84,7 @@ fn run<A: BuddyBackend + 'static>(
             eprintln!("round {round} clean");
         }
     }
-    println!("no repro");
+    println!("no repro in {rounds} rounds");
 }
 
 fn main() {
@@ -94,6 +97,7 @@ fn main() {
     let threads: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(3);
     let iters: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(300);
     let depth: u32 = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(9);
+    let rounds: u64 = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(2_000_000);
     let total = 8usize << depth;
     let cfg = BuddyConfig::new(total, 8, total).unwrap();
     let max_order = depth as usize + 1;
@@ -104,6 +108,7 @@ fn main() {
             threads,
             iters,
             max_order,
+            rounds,
         ),
         "1lvl" => run(
             move || NbbsOneLevel::new(cfg),
@@ -111,6 +116,7 @@ fn main() {
             threads,
             iters,
             max_order,
+            rounds,
         ),
         other => panic!("unknown variant {other}"),
     }

@@ -117,8 +117,24 @@ fn main() {
     //    path rarely touches the shared tree.  MagazineCache wraps any
     //    backend — and is itself a BuddyBackend, so everything above
     //    (BuddyRegion, MultiInstance, trait objects) nests unchanged.
+    //
+    //    Overflow/refill traffic goes through *sharded* depots (one
+    //    lock-free magazine stack per group of thread slots, so chunks
+    //    never circulate across the group boundary), and magazine
+    //    capacities adapt to the workload: bursts that keep spilling past
+    //    a depot shard double the class's capacity, byte-budget pressure
+    //    halves it.  CacheConfig exposes the knobs: `depot_shards` (None =
+    //    auto, ~one per two CPUs), `adaptive_resize` (on by default),
+    //    `max_magazine_capacity`, and `cache_bytes_budget` (None = a
+    //    quarter of the managed region).
     // ------------------------------------------------------------------
     let cached = Arc::new(MagazineCache::new(NbbsFourLevel::new(config)));
+    println!(
+        "cache geometry: {} slots in {} depot shard(s), {} byte budget",
+        cached.slot_count(),
+        cached.depot_shard_count(),
+        cached.cache_bytes_budget()
+    );
     let workers: Vec<_> = (0..4)
         .map(|t| {
             let alloc = Arc::clone(&cached);
@@ -140,11 +156,13 @@ fn main() {
     let stats = cached.snapshot();
     println!(
         "cached 4lvl-nb: {:.1}% of {} allocations never touched the tree \
-         ({} refills, {} flushes)",
+         ({} refills, {} flushes, {} depot spills, {} capacity grows)",
         stats.hit_rate() * 100.0,
         stats.alloc_requests(),
         stats.refilled,
-        stats.flushed
+        stats.flushed,
+        stats.depot_spills,
+        stats.resize_grows
     );
     assert_eq!(cached.allocated_bytes(), 0);
     cached.drain_all();

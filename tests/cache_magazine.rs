@@ -395,6 +395,255 @@ fn nested_cache_drain_reaches_the_tree() {
     audit_empty(tree).assert_clean();
 }
 
+/// Depot shard routing: a thread exchanges magazines only with its own
+/// slot group's shard — parked magazines land in the calling thread's shard
+/// and every other shard stays empty.
+#[test]
+fn overflow_parks_only_in_the_callers_shard() {
+    let cache = MagazineCache::with_config(
+        NbbsOneLevel::new(backend_config()),
+        CacheConfig {
+            magazine_capacity: 4,
+            magazine_bytes: 32,
+            depot_magazines: 8,
+            slots: Some(4),
+            depot_shards: Some(4),
+            ..CacheConfig::default()
+        },
+    );
+    assert_eq!(cache.depot_shard_count(), 4);
+    let home = cache.current_shard();
+    assert!(home < 4);
+    assert_eq!(home, cache.current_shard(), "shard routing is stable");
+    // Overflow enough same-class chunks to park several full magazines.
+    let offs: Vec<_> = (0..32).filter_map(|_| cache.alloc(8)).collect();
+    assert_eq!(offs.len(), 32);
+    for off in offs {
+        cache.dealloc(off);
+    }
+    assert!(
+        cache.depot_parked_magazines(home) > 0,
+        "nothing parked in the caller's shard"
+    );
+    for shard in 0..cache.depot_shard_count() {
+        if shard != home {
+            assert_eq!(
+                cache.depot_parked_magazines(shard),
+                0,
+                "magazine leaked into foreign shard {shard}"
+            );
+        }
+    }
+    // And the exchange comes back from the same shard.
+    cache.drain_current_thread();
+    let exchanges_before = cache.snapshot().depot_exchanges;
+    let again: Vec<_> = (0..4).filter_map(|_| cache.alloc(8)).collect();
+    assert!(cache.snapshot().depot_exchanges > exchanges_before);
+    for off in again {
+        cache.dealloc(off);
+    }
+}
+
+/// Adaptive growth converges: a repeated burst that overruns the initial
+/// magazine geometry grows the class's capacity until the burst parks
+/// entirely — the last repetitions flush nothing to the backend.
+#[test]
+fn adaptive_growth_converges_on_repeated_bursts() {
+    let cache = MagazineCache::with_config(
+        NbbsOneLevel::new(backend_config()),
+        CacheConfig {
+            magazine_capacity: 4,
+            magazine_bytes: 32,
+            depot_magazines: 1,
+            slots: Some(1),
+            max_magazine_capacity: 128,
+            ..CacheConfig::default()
+        },
+    );
+    let class = 0;
+    let initial = cache.magazine_capacity(class);
+    assert_eq!(initial, 4);
+    let mut flushed_per_burst = Vec::new();
+    for _ in 0..10 {
+        let before = cache.snapshot().flushed;
+        let offs: Vec<_> = (0..100).filter_map(|_| cache.alloc(8)).collect();
+        assert_eq!(offs.len(), 100);
+        for off in offs {
+            cache.dealloc(off);
+        }
+        flushed_per_burst.push(cache.snapshot().flushed - before);
+    }
+    let snap = cache.snapshot();
+    assert!(snap.resize_grows > 0, "no growth despite sustained spills");
+    assert!(
+        cache.magazine_capacity(class) > initial,
+        "capacity did not grow"
+    );
+    assert_eq!(
+        *flushed_per_burst.last().unwrap(),
+        0,
+        "burst still spills after convergence: {flushed_per_burst:?}"
+    );
+    assert!(
+        flushed_per_burst[0] > 0,
+        "the first burst should overrun the initial geometry"
+    );
+}
+
+/// Byte-budget pressure shrinks capacities: with a budget far below the
+/// burst's footprint, parking is refused and the class's capacity decays
+/// instead of growing.
+#[test]
+fn budget_pressure_shrinks_capacities() {
+    let cache = MagazineCache::with_config(
+        NbbsOneLevel::new(backend_config()),
+        CacheConfig {
+            magazine_capacity: 16,
+            magazine_bytes: 16 * 8,
+            depot_magazines: 8,
+            slots: Some(1),
+            cache_bytes_budget: Some(256),
+            ..CacheConfig::default()
+        },
+    );
+    let class = 0;
+    let initial = cache.magazine_capacity(class);
+    assert_eq!(initial, 16);
+    for _ in 0..6 {
+        let offs: Vec<_> = (0..120).filter_map(|_| cache.alloc(8)).collect();
+        for off in offs {
+            cache.dealloc(off);
+        }
+    }
+    let snap = cache.snapshot();
+    assert!(snap.resize_shrinks > 0, "no shrink despite budget pressure");
+    assert!(
+        cache.magazine_capacity(class) < initial,
+        "capacity did not shrink under pressure"
+    );
+    assert!(
+        cache.cached_bytes() <= 256 + 16 * 8 * 2,
+        "parked bytes far exceed the budget: {}",
+        cache.cached_bytes()
+    );
+    cache.drain_all();
+    assert_eq!(cache.cached_bytes(), 0);
+    audit_empty(cache.backend()).assert_clean();
+}
+
+/// `drain_all` and thread-exit drains see every shard: after concurrent
+/// traffic spread over several slot groups, a full drain returns the
+/// backend to pristine and leaves no magazine parked anywhere.
+#[test]
+fn drains_cover_every_depot_shard() {
+    let cache = Arc::new(MagazineCache::with_config(
+        NbbsFourLevel::new(backend_config()),
+        CacheConfig {
+            magazine_capacity: 8,
+            magazine_bytes: 64,
+            depot_magazines: 16,
+            slots: Some(8),
+            depot_shards: Some(8),
+            ..CacheConfig::default()
+        },
+    ));
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _guard = cache.thread_guard();
+                let shard = cache.current_shard();
+                let mut rng = SplitMix64::new(0xD3A1 ^ t as u64);
+                let mut held = Vec::new();
+                for _ in 0..3_000 {
+                    if held.is_empty() || rng.next_u64() & 3 != 0 {
+                        let size = 8usize << rng.next_below(4);
+                        if let Some(off) = cache.alloc(size) {
+                            held.push(off);
+                        }
+                    } else {
+                        let off = held.swap_remove(rng.next_below(held.len()));
+                        cache.dealloc(off);
+                    }
+                }
+                for off in held {
+                    cache.dealloc(off);
+                }
+                shard
+            })
+        })
+        .collect();
+    let shards_used: std::collections::HashSet<usize> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        !shards_used.is_empty(),
+        "threads reported no shard assignment"
+    );
+    // Thread guards drained the slots; the depot shards may still hold
+    // parked magazines.  allocated_bytes must already be zero (cache-aware).
+    assert_eq!(cache.allocated_bytes(), 0);
+    cache.drain_all();
+    for shard in 0..cache.depot_shard_count() {
+        assert_eq!(
+            cache.depot_parked_magazines(shard),
+            0,
+            "drain_all left a magazine in shard {shard}"
+        );
+    }
+    assert_eq!(cache.cached_bytes(), 0);
+    assert_eq!(cache.backend().allocated_bytes(), 0);
+    audit_empty(cache.backend()).assert_clean();
+}
+
+/// The per-slot/per-shard byte counters stay exact under concurrent shard
+/// exchanges: at quiescence, `cached_bytes` equals exactly what the backend
+/// still considers allocated (nothing is caller-live here).
+#[test]
+fn cached_bytes_is_exact_after_concurrent_exchanges() {
+    let cache = Arc::new(MagazineCache::with_config(
+        NbbsFourLevel::new(backend_config()),
+        CacheConfig {
+            magazine_capacity: 8,
+            magazine_bytes: 64,
+            depot_magazines: 4,
+            slots: Some(4),
+            depot_shards: Some(2),
+            ..CacheConfig::default()
+        },
+    ));
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0xB17E5 ^ t as u64);
+                let mut held = Vec::new();
+                for _ in 0..5_000 {
+                    if held.is_empty() || rng.next_u64() & 1 == 0 {
+                        if let Some(off) = cache.alloc(8 << rng.next_below(3)) {
+                            held.push(off);
+                        }
+                    } else {
+                        let off = held.swap_remove(rng.next_below(held.len()));
+                        cache.dealloc(off);
+                    }
+                }
+                for off in held {
+                    cache.dealloc(off);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Quiescent: every chunk the backend holds is parked in the cache, and
+    // the summed per-slot/per-shard counters must agree byte for byte.
+    assert_eq!(cache.cached_bytes(), cache.backend().allocated_bytes());
+    let counted: usize = cache.cached_chunks().iter().map(|&(_, s)| s).sum();
+    assert_eq!(cache.cached_bytes(), counted);
+    assert_eq!(cache.allocated_bytes(), 0);
+}
+
 /// Hit-rate sanity on a recycling workload: most operations must bypass the
 /// backend, and backend op-counters (when compiled in) must agree.
 #[test]

@@ -1,0 +1,209 @@
+//! Differential and stress coverage for the lock-free `BoundedStack` — the
+//! depot substrate of the `nbbs-cache` magazine layer.
+//!
+//! The depot-exchange acceptance bar for the sharded cache is "no mutex on
+//! the hot path"; the price of removing the mutex is that the stack's
+//! correctness now rests on a tagged-CAS ownership protocol instead of a
+//! critical section.  This file pins that protocol down two ways:
+//!
+//! * a property-based *differential* drives identical operation sequences
+//!   through the lock-free stack and a `Mutex<Vec>` oracle, requiring
+//!   identical results (success/failure, popped values, length) — the
+//!   sequential semantics must be exactly those of a bounded Vec-stack;
+//! * concurrent storms check linearizability's observable corollaries:
+//!   conservation (every pushed value pops exactly once — no loss, no
+//!   duplication, the signatures of ABA corruption) and bounded occupancy.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use nbbs_sync::BoundedStack;
+use nbbs_workloads::rng::SplitMix64;
+
+#[derive(Debug, Clone)]
+enum StackOp {
+    Push(u64),
+    Pop,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<StackOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u64..1_000_000).prop_map(StackOp::Push),
+            2 => Just(StackOp::Pop),
+        ],
+        1..400,
+    )
+}
+
+/// A locked bounded stack with the semantics `BoundedStack` must match.
+struct Oracle {
+    entries: Mutex<Vec<u64>>,
+    capacity: usize,
+}
+
+impl Oracle {
+    fn new(capacity: usize) -> Self {
+        Oracle {
+            entries: Mutex::new(Vec::new()),
+            capacity,
+        }
+    }
+
+    fn push(&self, v: u64) -> Result<(), u64> {
+        let mut e = self.entries.lock().unwrap();
+        if e.len() >= self.capacity {
+            Err(v)
+        } else {
+            e.push(v);
+            Ok(())
+        }
+    }
+
+    fn pop(&self) -> Option<u64> {
+        self.entries.lock().unwrap().pop()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential differential: every operation sequence produces exactly
+    /// the oracle's results, for a spread of capacities including the
+    /// degenerate zero.
+    #[test]
+    fn bounded_stack_matches_locked_oracle(ops in ops_strategy()) {
+        for capacity in [0usize, 1, 3, 16] {
+            let stack = BoundedStack::new(capacity);
+            let oracle = Oracle::new(capacity);
+            for op in &ops {
+                match *op {
+                    StackOp::Push(v) => {
+                        prop_assert_eq!(
+                            stack.push(v),
+                            oracle.push(v),
+                            "push({}) diverged at capacity {}", v, capacity
+                        );
+                    }
+                    StackOp::Pop => {
+                        prop_assert_eq!(
+                            stack.pop(),
+                            oracle.pop(),
+                            "pop diverged at capacity {}", capacity
+                        );
+                    }
+                }
+                prop_assert_eq!(stack.len(), oracle.len());
+                prop_assert_eq!(stack.is_empty(), oracle.len() == 0);
+            }
+            // Drain order is the oracle's reversed contents (LIFO).
+            let mut expected = Vec::new();
+            while let Some(v) = oracle.pop() {
+                expected.push(v);
+            }
+            prop_assert_eq!(stack.drain(), expected);
+        }
+    }
+}
+
+/// Concurrent storm with mixed push/pop per thread: every value that went in
+/// comes out exactly once, across interleavings that exercise slot recycling
+/// (the ABA window of an untagged Treiber stack).
+#[test]
+fn concurrent_storm_conserves_values() {
+    const THREADS: usize = 6;
+    const ITERS: usize = 30_000;
+    // Tiny capacity maximizes slot recycling and push rejection.
+    for capacity in [2usize, 8] {
+        let stack: Arc<BoundedStack<u64>> = Arc::new(BoundedStack::new(capacity));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let stack = Arc::clone(&stack);
+                std::thread::spawn(move || {
+                    let mut rng = SplitMix64::new(0x57AC4 ^ t as u64);
+                    let mut popped = Vec::new();
+                    let mut pushed = Vec::new();
+                    for i in 0..ITERS {
+                        if rng.next_u64() & 1 == 0 {
+                            let v = ((t as u64) << 32) | i as u64;
+                            if stack.push(v).is_ok() {
+                                pushed.push(v);
+                            }
+                        } else if let Some(v) = stack.pop() {
+                            popped.push(v);
+                        }
+                    }
+                    (pushed, popped)
+                })
+            })
+            .collect();
+        let mut pushed: Vec<u64> = Vec::new();
+        let mut popped: Vec<u64> = Vec::new();
+        for h in handles {
+            let (pu, po) = h.join().unwrap();
+            pushed.extend(pu);
+            popped.extend(po);
+        }
+        popped.extend(stack.drain());
+        assert!(stack.is_empty());
+        let pushed_set: HashSet<u64> = pushed.iter().copied().collect();
+        let popped_set: HashSet<u64> = popped.iter().copied().collect();
+        assert_eq!(pushed_set.len(), pushed.len(), "duplicate push accepted");
+        assert_eq!(
+            popped_set.len(),
+            popped.len(),
+            "capacity {capacity}: a value was popped twice (ABA duplication)"
+        );
+        assert_eq!(
+            pushed_set, popped_set,
+            "capacity {capacity}: pushed and popped sets diverged (lost values)"
+        );
+    }
+}
+
+/// The stack never exceeds its capacity even under concurrent pressure:
+/// accepted pushes minus completed pops can never exceed the slab.
+#[test]
+fn concurrent_occupancy_stays_bounded() {
+    const THREADS: usize = 4;
+    let stack: Arc<BoundedStack<u64>> = Arc::new(BoundedStack::new(4));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let stack = Arc::clone(&stack);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(t as u64);
+                let mut accepted = 0u64;
+                let mut removed = 0u64;
+                for i in 0..20_000u64 {
+                    if !rng.next_u64().is_multiple_of(3) {
+                        if stack.push((t as u64) << 32 | i).is_ok() {
+                            accepted += 1;
+                        }
+                    } else if stack.pop().is_some() {
+                        removed += 1;
+                    }
+                }
+                (accepted, removed)
+            })
+        })
+        .collect();
+    let mut accepted = 0u64;
+    let mut removed = 0u64;
+    for h in handles {
+        let (a, r) = h.join().unwrap();
+        accepted += a;
+        removed += r;
+    }
+    let residual = accepted - removed;
+    assert!(
+        residual <= 4,
+        "{residual} values remain on a 4-slot stack — capacity was violated"
+    );
+    assert_eq!(stack.drain().len() as u64, residual);
+}

@@ -155,3 +155,42 @@ fn cached_instances_route_and_drain_like_bare_ones() {
         assert_eq!(m.instance(i).backend().allocated_bytes(), 0);
     }
 }
+
+#[test]
+fn router_merges_cache_stats_and_drains_every_instance() {
+    let bare = instances(2, 4096);
+    assert!(
+        bare.cache_stats().is_none(),
+        "plain backends report no cache layer"
+    );
+    bare.drain_cache(); // a no-op, but must not panic
+
+    let m = MultiInstance::new(
+        (0..2)
+            .map(|_| {
+                MagazineCache::new(NbbsOneLevel::new(BuddyConfig::new(4096, 64, 4096).unwrap()))
+            })
+            .collect::<Vec<_>>(),
+    );
+    // Traffic on both instances, explicitly, so each cache sees requests.
+    for i in 0..2 {
+        let off = m.alloc_on(i, 64).expect("fresh instance has room");
+        m.dealloc(off);
+    }
+    let merged = m.cache_stats().expect("cached instances report a layer");
+    assert!(merged.alloc_requests() >= 2, "both caches saw traffic");
+    assert_eq!(
+        merged.depot_shards,
+        (0..2)
+            .map(|i| m.instance(i).depot_shard_count() as u64)
+            .sum::<u64>(),
+        "shards sum across the per-node caches"
+    );
+    // The merged drain empties every instance's cache down to the trees.
+    m.drain_cache();
+    for i in 0..2 {
+        assert_eq!(m.instance(i).backend().allocated_bytes(), 0);
+        assert_eq!(m.instance(i).cached_bytes(), 0);
+    }
+    assert!(m.cache_stats().unwrap().drained > 0);
+}
