@@ -1,0 +1,520 @@
+//! The layout-aware allocator facade.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nbbs::error::AllocError;
+use nbbs::{BuddyBackend, BuddyRegion};
+
+/// Point-in-time copy of the facade's realloc counters.
+///
+/// `grow`/`shrink` resolve either *in place* (the granted buddy block
+/// already covers the new layout — no copy, no backend traffic) or by
+/// *moving* (allocate + copy + release).  The split is the facade's own
+/// figure of merit: buddy blocks over-provision by construction, so a
+/// healthy workload should see most grows land in place.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FacadeStatsSnapshot {
+    /// `grow` calls resolved without moving the block.
+    pub grows_in_place: u64,
+    /// `grow` calls that allocated a larger block and copied.
+    pub grows_moved: u64,
+    /// `shrink` calls resolved without moving the block.
+    pub shrinks_in_place: u64,
+    /// `shrink` calls that moved to a smaller size class (releasing the
+    /// difference back to the buddy).
+    pub shrinks_moved: u64,
+}
+
+impl FacadeStatsSnapshot {
+    /// Fraction of `grow` calls that resolved in place.
+    pub fn grow_in_place_rate(&self) -> f64 {
+        let total = self.grows_in_place + self.grows_moved;
+        if total == 0 {
+            0.0
+        } else {
+            self.grows_in_place as f64 / total as f64
+        }
+    }
+}
+
+/// A layout-aware allocator over any [`BuddyBackend`].
+///
+/// This is the top layer of the stack the NBBS paper sketches —
+///
+/// ```text
+/// NbbsFourLevel / NbbsOneLevel      lock-free buddy tree   (nbbs)
+///         └─ MagazineCache          per-thread magazines   (nbbs-cache)
+///                 └─ NbbsAllocator  Layout in, pointers out (nbbs-alloc)
+/// ```
+///
+/// — though any [`BuddyBackend`] slots in below it.  The facade owns a
+/// [`BuddyRegion`] (real backing memory) and speaks `Layout`, exposing the
+/// `core::alloc::Allocator`-shaped operations as inherent methods plus a
+/// [`GlobalAlloc`] impl:
+///
+/// * **Over-aligned requests are served by the buddy itself.**  Power-of-two
+///   buddy blocks are naturally aligned to their own size and the region
+///   base is `max_size`-aligned, so rounding a request to
+///   `max(size, align)` guarantees the alignment for free — no fallback
+///   allocator, no alignment headers.
+/// * **`grow`/`shrink` resolve in place whenever the granted block already
+///   covers the new layout.**  The granted size is a pure function of the
+///   request size ([`BuddyBackend::granted_size_for`]), so the decision is
+///   level math on the geometry — no tree walk, no metadata lookup.
+/// * Everything routes through whatever backend it wraps, so putting a
+///   `MagazineCache` underneath turns every allocation and release into a
+///   magazine operation; the facade adds no locks of its own.
+///
+/// Zero-sized layouts are grilled up to one allocation unit rather than
+/// handed a dangling pointer: the facade's pointers are always real,
+/// region-owned memory, which keeps `deallocate` uniform.
+pub struct NbbsAllocator<A: BuddyBackend> {
+    region: BuddyRegion<A>,
+    grows_in_place: AtomicU64,
+    grows_moved: AtomicU64,
+    shrinks_in_place: AtomicU64,
+    shrinks_moved: AtomicU64,
+}
+
+impl<A: BuddyBackend> NbbsAllocator<A> {
+    /// Wraps `backend` together with a freshly allocated backing region.
+    pub fn new(backend: A) -> Self {
+        NbbsAllocator {
+            region: BuddyRegion::new(backend),
+            grows_in_place: AtomicU64::new(0),
+            grows_moved: AtomicU64::new(0),
+            shrinks_in_place: AtomicU64::new(0),
+            shrinks_moved: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend (e.g. the `MagazineCache` layer).
+    pub fn backend(&self) -> &A {
+        self.region.backend()
+    }
+
+    /// The backing region (base pointer, offset mapping).
+    pub fn region(&self) -> &BuddyRegion<A> {
+        &self.region
+    }
+
+    /// The buddy request size for `layout`: rounding to `max(size, align)`
+    /// makes the naturally-aligned buddy block satisfy the alignment.
+    #[inline]
+    pub(crate) fn request_size(layout: Layout) -> usize {
+        layout.size().max(layout.align()).max(1)
+    }
+
+    /// The power-of-two size the backend grants a request of `layout`, or
+    /// `None` if the layout exceeds the per-request maximum.
+    #[inline]
+    pub fn granted_size(&self, layout: Layout) -> Option<usize> {
+        self.backend().granted_size_for(Self::request_size(layout))
+    }
+
+    /// Whether `ptr` points into the facade's region.
+    pub fn owns(&self, ptr: *mut u8) -> bool {
+        NonNull::new(ptr).is_some_and(|nn| self.region.contains(nn))
+    }
+
+    /// Bytes currently handed out (as the backend counts them — a caching
+    /// backend subtracts parked chunks).
+    pub fn allocated_bytes(&self) -> usize {
+        self.region.allocated_bytes()
+    }
+
+    /// Point-in-time copy of the grow/shrink counters.
+    pub fn facade_stats(&self) -> FacadeStatsSnapshot {
+        FacadeStatsSnapshot {
+            grows_in_place: self.grows_in_place.load(Ordering::Relaxed),
+            grows_moved: self.grows_moved.load(Ordering::Relaxed),
+            shrinks_in_place: self.shrinks_in_place.load(Ordering::Relaxed),
+            shrinks_moved: self.shrinks_moved.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Allocates memory fitting `layout`.
+    ///
+    /// The returned slice covers the whole granted buddy block — at least
+    /// `layout.size()` bytes, aligned to at least `layout.align()`.  The
+    /// caller may use every byte of it, and may pass any layout whose
+    /// request rounds to the same granted size to [`NbbsAllocator::deallocate`].
+    pub fn allocate(&self, layout: Layout) -> Result<NonNull<[u8]>, AllocError> {
+        let want = Self::request_size(layout);
+        let granted = self
+            .backend()
+            .granted_size_for(want)
+            .ok_or(AllocError::TooLarge {
+                requested: want,
+                max_size: self.backend().max_size(),
+            })?;
+        let ptr = self.region.try_alloc_bytes(want)?;
+        debug_assert_eq!(ptr.as_ptr() as usize % layout.align(), 0);
+        Ok(NonNull::slice_from_raw_parts(ptr, granted))
+    }
+
+    /// Allocates zero-initialized memory fitting `layout`.
+    ///
+    /// Buddy chunks are recycled without scrubbing, so the whole granted
+    /// block is zeroed here.
+    pub fn allocate_zeroed(&self, layout: Layout) -> Result<NonNull<[u8]>, AllocError> {
+        let block = self.allocate(layout)?;
+        // SAFETY: `block` is a fresh, exclusive allocation of exactly
+        // `block.len()` bytes.
+        unsafe { block.cast::<u8>().as_ptr().write_bytes(0, block.len()) };
+        Ok(block)
+    }
+
+    /// Releases a block obtained from this facade.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must denote a block currently allocated by this facade, and
+    /// `layout` must round to the same granted size as the layout it was
+    /// allocated (or last grown/shrunk) with.
+    pub unsafe fn deallocate(&self, ptr: NonNull<u8>, layout: Layout) {
+        debug_assert!(self.region.contains(ptr), "pointer outside the region");
+        debug_assert!(self.granted_size(layout).is_some());
+        self.region.dealloc_bytes(ptr);
+    }
+
+    /// Grows a block to `new_layout`, preserving its first
+    /// `old_layout.size()` bytes.
+    ///
+    /// Resolves in place — same pointer back, no copy — whenever the granted
+    /// buddy block already covers `new_layout`; otherwise allocates a larger
+    /// block, copies, and releases the old one.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must denote a block currently allocated by this facade with
+    /// `old_layout` (same contract as [`NbbsAllocator::deallocate`]), and
+    /// `new_layout.size()` must be at least `old_layout.size()`.
+    pub unsafe fn grow(
+        &self,
+        ptr: NonNull<u8>,
+        old_layout: Layout,
+        new_layout: Layout,
+    ) -> Result<NonNull<[u8]>, AllocError> {
+        debug_assert!(new_layout.size() >= old_layout.size());
+        let new_want = Self::request_size(new_layout);
+        if let Some(granted) = self
+            .backend()
+            .granted_size_for(Self::request_size(old_layout))
+        {
+            // In place: the block is `granted` bytes and `granted`-aligned,
+            // so `new_want <= granted` covers both the size and (since
+            // align <= new_want) the alignment of the new layout.
+            if new_want <= granted {
+                self.grows_in_place.fetch_add(1, Ordering::Relaxed);
+                return Ok(NonNull::slice_from_raw_parts(ptr, granted));
+            }
+        }
+        let new_block = self.allocate(new_layout)?;
+        // SAFETY: distinct blocks; the old block holds `old_layout.size()`
+        // initialized-or-caller-owned bytes and the new one is larger.
+        std::ptr::copy_nonoverlapping(
+            ptr.as_ptr(),
+            new_block.cast::<u8>().as_ptr(),
+            old_layout.size(),
+        );
+        self.deallocate(ptr, old_layout);
+        self.grows_moved.fetch_add(1, Ordering::Relaxed);
+        Ok(new_block)
+    }
+
+    /// Shrinks a block to `new_layout`, preserving its first
+    /// `new_layout.size()` bytes.
+    ///
+    /// When the new layout still rounds to the same granted size the block
+    /// stays put (a buddy cannot return half a block anyway); when a
+    /// smaller size class suffices the block moves there, releasing the
+    /// difference — unless the move itself fails, in which case the
+    /// original block is kept, so `shrink` only ever fails if `new_layout`
+    /// cannot be served in place either (an alignment raised beyond the
+    /// current block).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`NbbsAllocator::grow`], with
+    /// `new_layout.size()` at most `old_layout.size()`.
+    pub unsafe fn shrink(
+        &self,
+        ptr: NonNull<u8>,
+        old_layout: Layout,
+        new_layout: Layout,
+    ) -> Result<NonNull<[u8]>, AllocError> {
+        debug_assert!(new_layout.size() <= old_layout.size());
+        let new_want = Self::request_size(new_layout);
+        let Some(granted) = self
+            .backend()
+            .granted_size_for(Self::request_size(old_layout))
+        else {
+            // Unreachable for a correctly-used facade (the old layout was
+            // allocatable); keep the block rather than guess.
+            self.shrinks_in_place.fetch_add(1, Ordering::Relaxed);
+            return Ok(NonNull::slice_from_raw_parts(ptr, new_layout.size()));
+        };
+        // A move is *required* when the new alignment outgrows the current
+        // block, and merely *profitable* when a smaller size class would
+        // release memory; same class means nothing to do.
+        let must_move = new_want > granted;
+        if !must_move && self.backend().granted_size_for(new_want) == Some(granted) {
+            self.shrinks_in_place.fetch_add(1, Ordering::Relaxed);
+            return Ok(NonNull::slice_from_raw_parts(ptr, granted));
+        }
+        match self.allocate(new_layout) {
+            Ok(new_block) => {
+                std::ptr::copy_nonoverlapping(
+                    ptr.as_ptr(),
+                    new_block.cast::<u8>().as_ptr(),
+                    new_layout.size(),
+                );
+                self.deallocate(ptr, old_layout);
+                self.shrinks_moved.fetch_add(1, Ordering::Relaxed);
+                Ok(new_block)
+            }
+            Err(err) if must_move => Err(err),
+            Err(_) => {
+                // Profitable move foiled by momentary fragmentation: keep
+                // the (larger) block in place rather than fail a shrink.
+                self.shrinks_in_place.fetch_add(1, Ordering::Relaxed);
+                Ok(NonNull::slice_from_raw_parts(ptr, granted))
+            }
+        }
+    }
+}
+
+// SAFETY: blocks come either from the region (released back to it, matched
+// by address range) or from `System` (released to `System`).  Region blocks
+// are granted `max(size, align)` rounded up to a power of two and are
+// naturally aligned to that size, so every layout requirement is met; the
+// realloc override preserves the first `min(old, new)` bytes through either
+// the in-place or the copying path.
+unsafe impl<A: BuddyBackend> GlobalAlloc for NbbsAllocator<A> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        match self.allocate(layout) {
+            Ok(block) => block.cast::<u8>().as_ptr(),
+            // Oversized or exhausted: keep the program running on the
+            // system allocator, as the paper's front ends would fail over.
+            Err(_) => System.alloc(layout),
+        }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        match NonNull::new(ptr) {
+            Some(nn) if self.region.contains(nn) => self.deallocate(nn, layout),
+            _ => System.dealloc(ptr, layout),
+        }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = self.alloc(layout);
+        if !ptr.is_null() {
+            // Both sources hand out dirty memory here (buddy chunks are
+            // recycled unscrubbed; the System path came through `alloc`).
+            ptr.write_bytes(0, layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let Some(nn) = NonNull::new(ptr) else {
+            return System.realloc(ptr, layout, new_size);
+        };
+        if !self.region.contains(nn) {
+            return System.realloc(ptr, layout, new_size);
+        }
+        let Ok(new_layout) = Layout::from_size_align(new_size, layout.align()) else {
+            return std::ptr::null_mut();
+        };
+        let moved_or_kept = if new_size >= layout.size() {
+            self.grow(nn, layout, new_layout)
+        } else {
+            self.shrink(nn, layout, new_layout)
+        };
+        match moved_or_kept {
+            Ok(block) => block.cast::<u8>().as_ptr(),
+            Err(_) => {
+                // The buddy cannot serve the new layout: migrate to the
+                // system allocator, preserving the contents.
+                let sys = System.alloc(new_layout);
+                if !sys.is_null() {
+                    std::ptr::copy_nonoverlapping(ptr, sys, layout.size().min(new_size));
+                    self.deallocate(nn, layout);
+                }
+                sys
+            }
+        }
+    }
+}
+
+impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for NbbsAllocator<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NbbsAllocator")
+            .field("region", &self.region)
+            .field("stats", &self.facade_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbbs::{BuddyConfig, NbbsFourLevel};
+    use nbbs_cache::MagazineCache;
+
+    fn facade() -> NbbsAllocator<MagazineCache<NbbsFourLevel>> {
+        let config = BuddyConfig::new(1 << 20, 64, 1 << 16).unwrap();
+        NbbsAllocator::new(MagazineCache::new(NbbsFourLevel::new(config)))
+    }
+
+    #[test]
+    fn allocate_honours_size_and_alignment() {
+        let a = facade();
+        for (size, align) in [
+            (1usize, 1usize),
+            (100, 8),
+            (64, 4096),
+            (4097, 16),
+            (1, 1 << 14),
+        ] {
+            let layout = Layout::from_size_align(size, align).unwrap();
+            let block = a.allocate(layout).unwrap();
+            assert!(block.len() >= size);
+            assert_eq!(block.cast::<u8>().as_ptr() as usize % align, 0);
+            unsafe {
+                block.cast::<u8>().as_ptr().write_bytes(0xA5, block.len());
+                a.deallocate(block.cast(), layout);
+            }
+        }
+        assert_eq!(a.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn over_aligned_requests_never_leave_the_buddy() {
+        let a = facade();
+        let layout = Layout::from_size_align(64, 8192).unwrap();
+        let block = a.allocate(layout).unwrap();
+        assert!(a.owns(block.cast::<u8>().as_ptr()));
+        assert_eq!(block.len(), 8192, "request rounded to max(size, align)");
+        unsafe { a.deallocate(block.cast(), layout) };
+    }
+
+    #[test]
+    fn allocate_zeroed_scrubs_recycled_chunks() {
+        let a = facade();
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        let dirty = a.allocate(layout).unwrap();
+        unsafe {
+            dirty.cast::<u8>().as_ptr().write_bytes(0xFF, dirty.len());
+            a.deallocate(dirty.cast(), layout);
+        }
+        let clean = a.allocate_zeroed(layout).unwrap();
+        let bytes = unsafe { std::slice::from_raw_parts(clean.cast::<u8>().as_ptr(), clean.len()) };
+        assert!(bytes.iter().all(|&b| b == 0));
+        unsafe { a.deallocate(clean.cast(), layout) };
+    }
+
+    #[test]
+    fn grow_within_the_granted_block_is_in_place() {
+        let a = facade();
+        let old = Layout::from_size_align(100, 8).unwrap(); // granted 128
+        let block = a.allocate(old).unwrap();
+        let p = block.cast::<u8>();
+        unsafe { p.as_ptr().write_bytes(0x7E, 100) };
+        let new = Layout::from_size_align(128, 8).unwrap();
+        let grown = unsafe { a.grow(p, old, new).unwrap() };
+        assert_eq!(grown.cast::<u8>(), p, "no move needed");
+        assert_eq!(a.facade_stats().grows_in_place, 1);
+        let bytes = unsafe { std::slice::from_raw_parts(p.as_ptr(), 100) };
+        assert!(bytes.iter().all(|&b| b == 0x7E));
+        unsafe { a.deallocate(p, new) };
+        assert_eq!(a.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn grow_past_the_block_moves_and_preserves_contents() {
+        let a = facade();
+        let old = Layout::from_size_align(100, 8).unwrap();
+        let block = a.allocate(old).unwrap();
+        let p = block.cast::<u8>();
+        for i in 0..100 {
+            unsafe { p.as_ptr().add(i).write(i as u8) };
+        }
+        let new = Layout::from_size_align(1000, 8).unwrap();
+        let grown = unsafe { a.grow(p, old, new).unwrap() };
+        assert_ne!(grown.cast::<u8>(), p);
+        assert_eq!(a.facade_stats().grows_moved, 1);
+        let bytes = unsafe { std::slice::from_raw_parts(grown.cast::<u8>().as_ptr(), 100) };
+        for (i, &b) in bytes.iter().enumerate() {
+            assert_eq!(b, i as u8);
+        }
+        unsafe { a.deallocate(grown.cast(), new) };
+        assert_eq!(a.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn shrink_to_a_smaller_class_releases_memory() {
+        let a = facade();
+        let old = Layout::from_size_align(4096, 8).unwrap();
+        let block = a.allocate(old).unwrap();
+        let p = block.cast::<u8>();
+        unsafe { p.as_ptr().write_bytes(0x3C, 64) };
+        let new = Layout::from_size_align(64, 8).unwrap();
+        let shrunk = unsafe { a.shrink(p, old, new).unwrap() };
+        assert_eq!(a.facade_stats().shrinks_moved, 1);
+        assert!(a.allocated_bytes() <= 64, "difference released");
+        let bytes = unsafe { std::slice::from_raw_parts(shrunk.cast::<u8>().as_ptr(), 64) };
+        assert!(bytes.iter().all(|&b| b == 0x3C));
+        unsafe { a.deallocate(shrunk.cast(), new) };
+    }
+
+    #[test]
+    fn shrink_within_the_class_is_in_place() {
+        let a = facade();
+        let old = Layout::from_size_align(120, 8).unwrap(); // granted 128
+        let block = a.allocate(old).unwrap();
+        let p = block.cast::<u8>();
+        let new = Layout::from_size_align(70, 8).unwrap(); // still granted 128
+        let shrunk = unsafe { a.shrink(p, old, new).unwrap() };
+        assert_eq!(shrunk.cast::<u8>(), p);
+        assert_eq!(a.facade_stats().shrinks_in_place, 1);
+        unsafe { a.deallocate(p, new) };
+    }
+
+    #[test]
+    fn global_alloc_falls_back_to_system_for_oversized() {
+        let a = facade();
+        let layout = Layout::from_size_align(1 << 20, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert!(!a.owns(p));
+            a.dealloc(p, layout);
+        }
+        assert_eq!(a.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn global_realloc_round_trips_through_grow_and_shrink() {
+        let a = facade();
+        let layout = Layout::from_size_align(100, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(a.owns(p));
+            p.write_bytes(0x42, 100);
+            let q = a.realloc(p, layout, 120); // still inside the 128 block
+            assert_eq!(q, p, "in-place grow");
+            let grown_layout = Layout::from_size_align(120, 8).unwrap();
+            let r = a.realloc(q, grown_layout, 5000);
+            assert!(a.owns(r));
+            assert_eq!(*r, 0x42);
+            assert_eq!(*r.add(99), 0x42);
+            a.dealloc(r, Layout::from_size_align(5000, 8).unwrap());
+        }
+        assert_eq!(a.allocated_bytes(), 0);
+    }
+}

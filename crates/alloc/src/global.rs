@@ -1,0 +1,509 @@
+//! The `#[global_allocator]` entry point: a lazily-built, magazine-cached
+//! [`NbbsAllocator`] behind a `const`-constructible shell.
+//!
+//! Replaces the deprecated thin adapter in the core crate
+//! (`nbbs::NbbsGlobalAlloc`).  What changed:
+//!
+//! * **Cached.**  Requests route through `MagazineCache<NbbsFourLevel>`, so
+//!   the hot path is a per-thread magazine pop/push instead of a tree walk.
+//! * **`OnceLock::get_or_init` first touch.**  The old adapter guarded
+//!   initialization with an `initializing` spin-flag: while one thread
+//!   built the region, every other first-touch thread was waved off to the
+//!   system allocator — under a concurrent start, a slice of early
+//!   allocations (often long-lived ones) permanently escaped the buddy.
+//!   Here the losing threads *block* on the `OnceLock` for the few
+//!   microseconds the build takes and then get buddy memory like everyone
+//!   else; only the building thread's own re-entrant metadata allocations
+//!   fall through to `System` (they must — the state does not exist yet).
+//! * **In-place realloc.**  `realloc` goes through [`NbbsAllocator::grow`] /
+//!   [`NbbsAllocator::shrink`], so growing a `Vec` inside its granted buddy
+//!   block is free.
+//! * **Foreign threads drain on exit.**  Every thread that touches the
+//!   allocator is registered with `nbbs-cache`'s exit registry; its
+//!   magazines flow back to the tree when it dies.
+//!
+//! # Re-entrancy
+//!
+//! A global allocator built on a caching layer has a bootstrap problem: the
+//! cache's own bookkeeping (refill batches, magazine rotations, drain
+//! scratch space) allocates, and those allocations arrive back at this very
+//! allocator — potentially while the cache holds a slot lock, or forever
+//! recursing miss-into-miss.  The facade cuts the knot with a thread-local
+//! bypass latch: while a thread is inside a facade operation, any nested
+//! allocation it performs skips the cache and goes straight to the raw tree
+//! (or `System` if the tree cannot serve it).  The latch is also left
+//! permanently engaged on a thread once its exit drain has run, so the
+//! teardown's own frees cannot re-park chunks into the slot being emptied.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel};
+use nbbs_cache::{drain_on_thread_exit, CacheConfig, DrainOnExit, MagazineCache};
+
+use crate::facade::NbbsAllocator;
+use crate::FacadeStatsSnapshot;
+
+type CachedTree = MagazineCache<NbbsFourLevel>;
+
+thread_local! {
+    /// True while this thread is inside a facade operation (or exiting):
+    /// nested allocations bypass the cache.  `Cell<bool>` with const init
+    /// has no destructor, so the flag stays readable through every phase of
+    /// thread teardown.
+    static BYPASS: Cell<bool> = const { Cell::new(false) };
+
+    /// Address of the last `NbbsGlobalAlloc` this thread registered its
+    /// exit drain with — the fast path of the once-per-thread registration.
+    static REGISTERED_WITH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn bypass_active() -> bool {
+    BYPASS.try_with(Cell::get).unwrap_or(true)
+}
+
+/// RAII engagement of the bypass latch around one facade operation.
+struct BypassGuard;
+
+impl BypassGuard {
+    fn engage() -> BypassGuard {
+        let _ = BYPASS.try_with(|b| b.set(true));
+        BypassGuard
+    }
+}
+
+impl Drop for BypassGuard {
+    fn drop(&mut self) {
+        let _ = BYPASS.try_with(|b| b.set(false));
+    }
+}
+
+/// The exit-drain hook handed to `nbbs-cache`: latches the bypass for good
+/// (the thread is dying; everything it frees from here on must go straight
+/// to the tree) and empties the thread's slot.
+struct ExitLatch {
+    cache: Arc<CachedTree>,
+}
+
+impl DrainOnExit for ExitLatch {
+    fn drain(&self) {
+        let _ = BYPASS.try_with(|b| b.set(true));
+        self.cache.drain_current_thread();
+    }
+}
+
+struct State {
+    facade: NbbsAllocator<Arc<CachedTree>>,
+    cache: Arc<CachedTree>,
+    exit_hook: Arc<ExitLatch>,
+}
+
+/// Global-allocator facade over the cached non-blocking buddy.
+///
+/// Construction is `const` so it can sit in a `#[global_allocator]` static;
+/// the full stack (tree → magazine cache → region) is built on first use
+/// under [`OnceLock::get_or_init`].  Invalid size combinations degrade to
+/// the system allocator instead of panicking.
+///
+/// ```no_run
+/// use nbbs_alloc::NbbsGlobalAlloc;
+///
+/// // 64 MiB arena, 32-byte units, 64 KiB largest buddy-served request.
+/// #[global_allocator]
+/// static ALLOC: NbbsGlobalAlloc = NbbsGlobalAlloc::new(64 << 20, 32, 64 << 10);
+///
+/// fn main() {
+///     let v: Vec<u64> = (0..1024).collect(); // magazine-cached buddy memory
+///     println!("{} ({:.1}% buddy)", v.len(), ALLOC.buddy_share() * 100.0);
+/// }
+/// ```
+pub struct NbbsGlobalAlloc {
+    total_memory: usize,
+    min_size: usize,
+    max_size: usize,
+    state: OnceLock<Option<State>>,
+    /// Bytes served from the buddy region (cumulative, by requested size).
+    buddy_bytes: AtomicU64,
+    /// Bytes that fell through to the system allocator (oversized requests,
+    /// exhaustion, and the metadata of the initial build).
+    system_bytes: AtomicU64,
+}
+
+impl NbbsGlobalAlloc {
+    /// Creates the facade.  The three sizes follow [`BuddyConfig::new`];
+    /// invalid combinations make every request fall back to the system
+    /// allocator (a global allocator must not panic).
+    pub const fn new(total_memory: usize, min_size: usize, max_size: usize) -> Self {
+        NbbsGlobalAlloc {
+            total_memory,
+            min_size,
+            max_size,
+            state: OnceLock::new(),
+            buddy_bytes: AtomicU64::new(0),
+            system_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The backing state, built on first call.
+    ///
+    /// Concurrent first-touch threads block on the `OnceLock` until the
+    /// build completes (the fix for the old adapter's fall-back-forever
+    /// race); only the building thread's own re-entrant allocations see
+    /// `None` here and are served by `System`.
+    fn state(&self) -> Option<&State> {
+        if let Some(state) = self.state.get() {
+            return state.as_ref();
+        }
+        if bypass_active() {
+            return None;
+        }
+        let _build = BypassGuard::engage();
+        self.state
+            .get_or_init(|| {
+                let config =
+                    BuddyConfig::new(self.total_memory, self.min_size, self.max_size).ok()?;
+                let cache = Arc::new(MagazineCache::with_config_and_name(
+                    NbbsFourLevel::new(config),
+                    CacheConfig::default(),
+                    "cached-4lvl-nb",
+                ));
+                let facade = NbbsAllocator::new(Arc::clone(&cache));
+                let exit_hook = Arc::new(ExitLatch {
+                    cache: Arc::clone(&cache),
+                });
+                Some(State {
+                    facade,
+                    cache,
+                    exit_hook,
+                })
+            })
+            .as_ref()
+    }
+
+    /// The state if it has already been built (never triggers the build —
+    /// release paths use this: a pointer cannot be buddy-owned before the
+    /// buddy exists).
+    fn built_state(&self) -> Option<&State> {
+        self.state.get().and_then(|s| s.as_ref())
+    }
+
+    /// Registers this thread's exit drain, once per thread (fast-path: one
+    /// TLS compare).  Runs under the bypass latch, so the registry's own
+    /// allocation cannot recurse into the cache.
+    fn register_current_thread(&self, state: &State) {
+        let me = self as *const Self as usize;
+        let _ = REGISTERED_WITH.try_with(|r| {
+            if r.get() != me {
+                drain_on_thread_exit(Arc::clone(&state.exit_hook) as Arc<dyn DrainOnExit>);
+                r.set(me);
+            }
+        });
+    }
+
+    /// Raw-tree service for re-entrant allocations: the cache is somewhere
+    /// above us on this thread's stack (possibly holding a slot lock), so
+    /// go straight to the lock-free tree and fail over to `System`.
+    unsafe fn raw_alloc(&self, state: &State, layout: Layout) -> *mut u8 {
+        let want = NbbsAllocator::<Arc<CachedTree>>::request_size(layout);
+        if want <= state.cache.backend().max_size() {
+            if let Some(offset) = state.cache.backend().alloc(want) {
+                self.buddy_bytes
+                    .fetch_add(layout.size() as u64, Ordering::Relaxed);
+                return state.facade.region().base().as_ptr().add(offset);
+            }
+        }
+        self.system_bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn raw_dealloc(&self, state: &State, ptr: NonNull<u8>) {
+        let offset = state
+            .facade
+            .region()
+            .offset_of(ptr)
+            .expect("raw_dealloc is only called for region pointers");
+        state.cache.backend().dealloc(offset);
+    }
+
+    /// Bytes currently served by the buddy region (excludes system
+    /// fallback; a magazine-parked chunk counts as free).
+    pub fn buddy_allocated_bytes(&self) -> usize {
+        self.built_state().map_or(0, |s| s.facade.allocated_bytes())
+    }
+
+    /// Whether `ptr` was served by the buddy region.
+    pub fn owns(&self, ptr: *mut u8) -> bool {
+        self.built_state().is_some_and(|s| s.facade.owns(ptr))
+    }
+
+    /// Cumulative `(buddy, system)` bytes served, by requested size.
+    pub fn bytes_served(&self) -> (u64, u64) {
+        (
+            self.buddy_bytes.load(Ordering::Relaxed),
+            self.system_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Fraction of served bytes that came from the buddy (1.0 until the
+    /// first fallback).
+    pub fn buddy_share(&self) -> f64 {
+        let (buddy, system) = self.bytes_served();
+        let total = buddy + system;
+        if total == 0 {
+            1.0
+        } else {
+            buddy as f64 / total as f64
+        }
+    }
+
+    /// Counters of the magazine-cache layer, if the state has been built.
+    pub fn cache_stats(&self) -> Option<nbbs::CacheStatsSnapshot> {
+        self.built_state().and_then(|s| s.cache.cache_stats())
+    }
+
+    /// The facade's grow/shrink counters, if the state has been built.
+    pub fn facade_stats(&self) -> Option<FacadeStatsSnapshot> {
+        self.built_state().map(|s| s.facade.facade_stats())
+    }
+
+    /// Returns every magazine-parked chunk to the tree (a quiescent-point
+    /// maintenance call, e.g. between benchmark epochs).
+    pub fn drain_cache(&self) {
+        if let Some(state) = self.built_state() {
+            let _op = BypassGuard::engage();
+            state.cache.drain_all();
+        }
+    }
+}
+
+// SAFETY: every pointer is either region-owned (allocated from and released
+// to the facade/tree, discriminated by address range) or System-owned; the
+// facade guarantees layout fit (see `NbbsAllocator`'s `GlobalAlloc` impl),
+// and the raw bypass serves from the same region with the same natural
+// alignment guarantee.
+unsafe impl GlobalAlloc for NbbsGlobalAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let Some(state) = self.state() else {
+            self.system_bytes
+                .fetch_add(layout.size() as u64, Ordering::Relaxed);
+            return System.alloc(layout);
+        };
+        if bypass_active() {
+            return self.raw_alloc(state, layout);
+        }
+        let _op = BypassGuard::engage();
+        self.register_current_thread(state);
+        match state.facade.allocate(layout) {
+            Ok(block) => {
+                self.buddy_bytes
+                    .fetch_add(layout.size() as u64, Ordering::Relaxed);
+                block.cast::<u8>().as_ptr()
+            }
+            Err(_) => {
+                self.system_bytes
+                    .fetch_add(layout.size() as u64, Ordering::Relaxed);
+                System.alloc(layout)
+            }
+        }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if let (Some(state), Some(nn)) = (self.built_state(), NonNull::new(ptr)) {
+            if state.facade.region().contains(nn) {
+                if bypass_active() {
+                    self.raw_dealloc(state, nn);
+                } else {
+                    let _op = BypassGuard::engage();
+                    self.register_current_thread(state);
+                    state.facade.deallocate(nn, layout);
+                }
+                return;
+            }
+        }
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = self.alloc(layout);
+        if !ptr.is_null() {
+            // Buddy chunks are recycled unscrubbed and the System path came
+            // through `alloc`: zero either way.
+            ptr.write_bytes(0, layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let Some(state) = self.built_state() else {
+            return System.realloc(ptr, layout, new_size);
+        };
+        if bypass_active() {
+            // Re-entrant realloc (rare: a Vec growing inside the cache's own
+            // bookkeeping): raw alloc + copy + raw free keeps the cache out.
+            let Some(nn) = NonNull::new(ptr) else {
+                return System.realloc(ptr, layout, new_size);
+            };
+            if !state.facade.region().contains(nn) {
+                return System.realloc(ptr, layout, new_size);
+            }
+            let Ok(new_layout) = Layout::from_size_align(new_size, layout.align()) else {
+                return std::ptr::null_mut();
+            };
+            let fresh = self.raw_alloc(state, new_layout);
+            if !fresh.is_null() {
+                std::ptr::copy_nonoverlapping(ptr, fresh, layout.size().min(new_size));
+                self.raw_dealloc(state, nn);
+            }
+            return fresh;
+        }
+        // The facade's own `GlobalAlloc::realloc` carries the whole dance
+        // (ownership discrimination, in-place grow/shrink, migrate-to-System
+        // on exhaustion); the wrapper only adds the bypass bracket, thread
+        // registration, and the byte-share accounting.
+        let _op = BypassGuard::engage();
+        self.register_current_thread(state);
+        let out = state.facade.realloc(ptr, layout, new_size);
+        if !out.is_null() {
+            let served = if state.facade.owns(out) {
+                &self.buddy_bytes
+            } else {
+                &self.system_bytes
+            };
+            served.fetch_add(new_size as u64, Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn serves_small_requests_from_the_cached_buddy() {
+        let a = NbbsGlobalAlloc::new(1 << 20, 64, 1 << 16);
+        let layout = Layout::from_size_align(512, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert!(a.owns(p));
+            assert_eq!(a.buddy_allocated_bytes(), 512);
+            p.write_bytes(0xCD, 512);
+            a.dealloc(p, layout);
+        }
+        // The chunk parks in a magazine: user-visible accounting is zero.
+        assert_eq!(a.buddy_allocated_bytes(), 0);
+        assert!(a.cache_stats().unwrap().cached_frees > 0);
+        assert_eq!(a.buddy_share(), 1.0);
+    }
+
+    #[test]
+    fn over_aligned_requests_are_buddy_served() {
+        let a = NbbsGlobalAlloc::new(1 << 20, 64, 1 << 16);
+        let layout = Layout::from_size_align(64, 4096).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert!(a.owns(p), "over-aligned request did not punt to System");
+            assert_eq!(p as usize % 4096, 0);
+            a.dealloc(p, layout);
+        }
+        assert_eq!(a.buddy_share(), 1.0);
+    }
+
+    #[test]
+    fn oversized_requests_fall_back_to_system() {
+        let a = NbbsGlobalAlloc::new(1 << 20, 64, 1 << 12);
+        let layout = Layout::from_size_align(1 << 16, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert!(!a.owns(p));
+            a.dealloc(p, layout);
+        }
+        assert!(a.buddy_share() < 1.0);
+    }
+
+    #[test]
+    fn invalid_configuration_degrades_to_system() {
+        let a = NbbsGlobalAlloc::new(1000, 64, 512); // not a power of two
+        let layout = Layout::from_size_align(128, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            assert!(!a.owns(p));
+            a.dealloc(p, layout);
+        }
+    }
+
+    #[test]
+    fn realloc_grows_in_place_within_the_granted_block() {
+        let a = NbbsGlobalAlloc::new(1 << 20, 64, 1 << 16);
+        let layout = Layout::from_size_align(100, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            p.write_bytes(0x11, 100);
+            let q = a.realloc(p, layout, 128);
+            assert_eq!(q, p, "grow inside the 128-byte grant");
+            assert_eq!(*q.add(99), 0x11);
+            a.dealloc(q, Layout::from_size_align(128, 8).unwrap());
+        }
+        assert_eq!(a.facade_stats().unwrap().grows_in_place, 1);
+    }
+
+    #[test]
+    fn concurrent_first_touch_all_land_in_the_buddy() {
+        // The old adapter's `initializing` spin-flag sent every losing
+        // first-touch thread to System; the OnceLock discipline makes them
+        // block briefly and then allocate buddy memory like the winner.
+        let a = std::sync::Arc::new(NbbsGlobalAlloc::new(16 << 20, 64, 1 << 14));
+        let barrier = std::sync::Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let a = std::sync::Arc::clone(&a);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let layout = Layout::from_size_align(256, 16).unwrap();
+                    barrier.wait();
+                    let mut all_buddy = true;
+                    for _ in 0..100 {
+                        unsafe {
+                            let p = a.alloc(layout);
+                            assert!(!p.is_null());
+                            all_buddy &= a.owns(p);
+                            a.dealloc(p, layout);
+                        }
+                    }
+                    all_buddy
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(
+                h.join().unwrap(),
+                "a first-touch thread fell back to System"
+            );
+        }
+        assert_eq!(a.buddy_share(), 1.0);
+    }
+
+    #[test]
+    fn exhaustion_falls_back_to_system_instead_of_failing() {
+        let a = NbbsGlobalAlloc::new(1024, 64, 1024);
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        unsafe {
+            let p1 = a.alloc(layout);
+            let p2 = a.alloc(layout);
+            assert!(!p1.is_null() && !p2.is_null());
+            assert!(a.owns(p1));
+            assert!(!a.owns(p2), "second request must come from the system");
+            a.dealloc(p1, layout);
+            a.dealloc(p2, layout);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Facade ablation — the PR-0-style *thin* adapter (facade straight over
+//! the raw tree) against the *cached* facade (facade over the magazine
+//! cache), on the Mixed Layout/realloc churn workload.
+//!
+//! This is the `GlobalAlloc`-shaped traffic a real program generates —
+//! randomized sizes *and* alignments, a realloc share, blocks freed in a
+//! different order than allocated — pushed through `nbbs_alloc::
+//! NbbsAllocator` with the only difference being what sits underneath.
+//! The acceptance bar: the cache-backed facade must beat the thin adapter
+//! on the multi-threaded churn (the magazines absorb the alloc/free
+//! round-trips the thin adapter pays as tree walks), without regressing
+//! the single-thread case.  In-place grows/shrinks are identical for both
+//! (they are pure geometry), so any gap isolates the cache layer.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nbbs::NbbsFourLevel;
+use nbbs_alloc::NbbsAllocator;
+use nbbs_bench::{user_space_config, PAPER_SIZES};
+use nbbs_cache::MagazineCache;
+use nbbs_workloads::factory::SharedBackend;
+use nbbs_workloads::mixed_layout::{self, MixedLayoutParams};
+
+/// One thread isolates per-op overhead; four exercises the contended regime.
+const ABLATION_THREADS: [usize; 2] = [1, 4];
+
+/// Steps per thread and per iteration (each step is an allocate, release,
+/// grow or shrink through the facade).
+const OPS_PER_THREAD: u64 = 20_000;
+
+fn candidates() -> Vec<(&'static str, SharedBackend)> {
+    vec![
+        (
+            "cached-facade",
+            Arc::new(MagazineCache::with_config_and_name(
+                NbbsFourLevel::new(user_space_config()),
+                nbbs_cache::CacheConfig::default(),
+                "cached-4lvl-nb",
+            )) as SharedBackend,
+        ),
+        (
+            "thin-adapter",
+            Arc::new(NbbsFourLevel::new(user_space_config())) as SharedBackend,
+        ),
+    ]
+}
+
+fn facade_ablation(c: &mut Criterion) {
+    for &size in &PAPER_SIZES {
+        let mut group = c.benchmark_group(format!("facade_ablation/mixed_layout/bytes={size}"));
+        group
+            .sample_size(10)
+            .warm_up_time(std::time::Duration::from_millis(200))
+            .measurement_time(std::time::Duration::from_millis(1200));
+        for &threads in &ABLATION_THREADS {
+            for (label, alloc) in candidates() {
+                // One facade (and its zeroed backing region) per
+                // configuration, outside the timed loop — the iterations
+                // measure facade traffic, not region construction.
+                let facade = Arc::new(NbbsAllocator::new(Arc::clone(&alloc)));
+                let params = MixedLayoutParams {
+                    ops_per_thread: OPS_PER_THREAD,
+                    ..MixedLayoutParams::paper(threads, size)
+                };
+                group.bench_with_input(
+                    BenchmarkId::new(label, format!("threads={threads}")),
+                    &params,
+                    |b, params| {
+                        b.iter(|| mixed_layout::run_with_facade(&facade, *params));
+                    },
+                );
+                // Fresh epochs per configuration: chunks parked by this run
+                // must not warm the next configuration's magazines.
+                alloc.drain_cache();
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, facade_ablation);
+criterion_main!(benches);

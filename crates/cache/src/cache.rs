@@ -24,21 +24,34 @@ const REFILL_BATCH_MAX: usize = 64;
 /// Process-wide thread slot assignment shared by every cache instance:
 /// threads receive a monotone id on first use and map to a slot by masking,
 /// so with `slots >= thread count` every thread owns a private slot.
+///
+/// *Foreign* threads — any thread the cache owner never heard of, e.g. every
+/// thread of a program whose `#[global_allocator]` routes through the cache
+/// — get their slot the same way; the `Cell` is const-initialized and has no
+/// destructor, so the lookup never allocates and stays accessible even while
+/// other thread-locals are being torn down.  `try_with` covers the one
+/// platform-dependent corner (TLS already unmapped during late thread
+/// teardown) by parking such calls on slot 0: slots may be shared, so this
+/// is always correct, merely conservative — and a global allocator must not
+/// panic.
 fn thread_slot(slots: usize) -> usize {
     use std::cell::Cell;
     static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
         static ID: Cell<usize> = const { Cell::new(usize::MAX) };
     }
-    ID.with(|c| {
-        let mut id = c.get();
-        if id == usize::MAX {
-            id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
-            c.set(id);
-        }
-        // `slots` is a power of two.
-        id & (slots - 1)
-    })
+    let id = ID
+        .try_with(|c| {
+            let mut id = c.get();
+            if id == usize::MAX {
+                id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+                c.set(id);
+            }
+            id
+        })
+        .unwrap_or(0);
+    // `slots` is a power of two.
+    id & (slots - 1)
 }
 
 #[derive(Debug, Default)]
@@ -51,6 +64,7 @@ struct Counters {
     depot_exchanges: AtomicU64,
     drained: AtomicU64,
     depot_spills: AtomicU64,
+    depot_steals: AtomicU64,
     resize_grows: AtomicU64,
     resize_shrinks: AtomicU64,
 }
@@ -256,6 +270,15 @@ impl<A: BuddyBackend> MagazineCache<A> {
         self.ctl[class].cap.load(Ordering::Relaxed)
     }
 
+    /// Every class's current adaptive capacity target, as
+    /// `(class_size, capacity)` pairs in ascending class order — the data
+    /// behind the per-class convergence table in `nbbs-bench fig13`.
+    pub fn class_capacities(&self) -> Vec<(usize, usize)> {
+        (0..self.class_count)
+            .map(|c| (self.class_size(c), self.magazine_capacity(c)))
+            .collect()
+    }
+
     /// The resolved byte budget bounding the cache's parked chunks.
     pub fn cache_bytes_budget(&self) -> usize {
         self.budget
@@ -320,6 +343,32 @@ impl<A: BuddyBackend> MagazineCache<A> {
         }
     }
 
+    /// Pops one full magazine of `class` from another depot shard, nearest
+    /// ring neighbour first — the bounded work-stealing path behind
+    /// [`CacheConfig::depot_steal`].  At most one magazine moves per call,
+    /// so a steal costs one tagged CAS per probed shard and never turns
+    /// into a sweep; the byte accounting is the regular pop/credit pair
+    /// (the victim shard is debited by `pop_full`, the caller's slot
+    /// credits on load).
+    fn steal_full_magazine(
+        &self,
+        shard_idx: usize,
+        class: usize,
+        class_size: usize,
+    ) -> Option<Magazine> {
+        if !self.config.depot_steal {
+            return None;
+        }
+        for d in 1..self.shards.len() {
+            let victim = (shard_idx + d) & self.shard_mask;
+            if let Some(full) = self.shards[victim].pop_full(class, class_size) {
+                self.counters.depot_steals.fetch_add(1, Ordering::Relaxed);
+                return Some(full);
+            }
+        }
+        None
+    }
+
     /// Records byte-budget pressure on `class` and shrinks its capacity.
     fn note_pressure(&self, class: usize) {
         self.counters.depot_spills.fetch_add(1, Ordering::Relaxed);
@@ -365,8 +414,8 @@ impl<A: BuddyBackend> MagazineCache<A> {
         // (a full magazine in via one lock-free pop, our empty `loaded` out —
         // recirculated as the spare for the next overflow rotation).
         if self.config.flush_policy == FlushPolicy::Depot {
-            let shard = &self.shards[slot_idx & self.shard_mask];
-            if let Some(full) = shard.pop_full(class, class_size) {
+            if let Some(full) = self.shards[slot_idx & self.shard_mask].pop_full(class, class_size)
+            {
                 // The popped magazine's chunks move from the shard's byte
                 // counter (debited by `pop_full`) to this slot's.
                 slot.bytes
@@ -383,8 +432,13 @@ impl<A: BuddyBackend> MagazineCache<A> {
             }
         }
 
-        // Miss.  Both magazines are empty, which is the one safe point to
-        // adopt a changed adaptive capacity for this slot's pair.
+        // Own shard dry too.  Both magazines are empty, which is the one
+        // safe point to adopt a changed adaptive capacity for this slot's
+        // pair; size the refill batch now as well, then release the lock —
+        // the optional steal scan and the backend refill below both run
+        // outside it, so a co-located thread's magazine hit is not stalled
+        // behind our shard probes or tree walks (mirror of the flush in
+        // `dealloc_cached`).
         if self.config.adaptive_resize {
             let target = self.ctl[class].cap.load(Ordering::Relaxed);
             if pair.loaded.capacity() != target {
@@ -392,12 +446,44 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 pair.previous.set_capacity(target);
             }
         }
-        // Batched refill from the backend, outside the slot lock so a
-        // co-located thread's magazine hit is not stalled behind our tree
-        // walks (mirror of the flush in `dealloc_cached`).
-        self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let batch = (pair.loaded.capacity() / 2).clamp(1, REFILL_BATCH_MAX);
         drop(mags);
+
+        if self.config.flush_policy == FlushPolicy::Depot {
+            let shard_idx = slot_idx & self.shard_mask;
+            if let Some(mut full) = self.steal_full_magazine(shard_idx, class, class_size) {
+                let off = full.pop().expect("stolen magazines are full");
+                let remaining = full.len() * class_size;
+                let mut mags = slot.mags.lock();
+                let pair = &mut mags[class];
+                if pair.loaded.is_empty() && pair.previous.is_empty() {
+                    let empty = std::mem::replace(&mut pair.loaded, full);
+                    pair.spare.get_or_insert(empty);
+                    slot.bytes.fetch_add(remaining, Ordering::Relaxed);
+                    drop(mags);
+                } else {
+                    // A co-located thread refilled the slot while we were
+                    // stealing: park the remainder in our own shard instead.
+                    // Partial magazines are fine (the depot tracks bytes by
+                    // length), but an *empty* one must never be parked —
+                    // the pop consumers rely on parked magazines holding at
+                    // least one chunk.  A twice-stolen magazine can reach
+                    // zero here; its buffer is simply dropped.
+                    drop(mags);
+                    if !full.is_empty() {
+                        self.park_full_magazine(class, full, slot_idx);
+                    }
+                }
+                self.counters
+                    .depot_exchanges
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(off);
+            }
+        }
+
+        // Miss: batched refill from the backend.
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let first = self.backend.alloc(class_size)?;
         let mut chunks = Vec::with_capacity(batch);
         for _ in 0..batch {
@@ -494,7 +580,12 @@ impl<A: BuddyBackend> MagazineCache<A> {
     /// Parks a full magazine in the slot group's depot shard, or returns its
     /// chunks to the backend when the shard is at capacity, the shard's
     /// share of the byte budget is exhausted, or the depot is bypassed.
+    ///
+    /// `full` must hold at least one chunk: the depot's pop consumers
+    /// (`alloc_cached`'s exchange and steal paths) assume parked magazines
+    /// are non-empty.
     fn park_full_magazine(&self, class: usize, mut full: Magazine, slot_idx: usize) {
+        debug_assert!(!full.is_empty(), "parking an empty magazine");
         let class_size = self.class_size(class);
         if self.config.flush_policy == FlushPolicy::Depot {
             let in_flight = full.len() * class_size;
@@ -713,6 +804,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
             depot_exchanges: self.counters.depot_exchanges.load(Ordering::Relaxed),
             drained: self.counters.drained.load(Ordering::Relaxed),
             depot_spills: self.counters.depot_spills.load(Ordering::Relaxed),
+            depot_steals: self.counters.depot_steals.load(Ordering::Relaxed),
             resize_grows: self.counters.resize_grows.load(Ordering::Relaxed),
             resize_shrinks: self.counters.resize_shrinks.load(Ordering::Relaxed),
             depot_shards: self.shards.len() as u64,
@@ -816,6 +908,10 @@ impl<A: BuddyBackend> BuddyBackend for MagazineCache<A> {
 
     fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
         Some(self.snapshot())
+    }
+
+    fn cache_class_capacities(&self) -> Option<Vec<(usize, usize)>> {
+        Some(self.class_capacities())
     }
 
     fn drain_cache(&self) {

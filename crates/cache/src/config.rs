@@ -64,6 +64,17 @@ pub struct CacheConfig {
     pub slots: Option<usize>,
     /// Overflow/refill policy.
     pub flush_policy: FlushPolicy,
+    /// Bounded depot-shard work-stealing (default **off**).
+    ///
+    /// When a refill finds both magazines empty *and* the caller's own depot
+    /// shard dry, the cache normally walks the backend tree.  With stealing
+    /// enabled it first tries to pop **one** full magazine from the other
+    /// shards, nearest ring neighbour first — trading a little cross-group
+    /// chunk circulation (the very thing sharding exists to avoid) for one
+    /// saved batched tree walk.  Off by default per the "measure before
+    /// adopting" rule: the fig13 cache table reports the before/after
+    /// backend-flush counts (`steals` vs `misses`/`flushed`).
+    pub depot_steal: bool,
     /// Whether the per-class magazine capacity adapts to the observed
     /// spill/pressure behaviour (Bonwick dynamic resizing).  When `false`
     /// the initial capacities are final.
@@ -94,6 +105,7 @@ impl Default for CacheConfig {
             depot_shards: None,
             slots: None,
             flush_policy: FlushPolicy::default(),
+            depot_steal: false,
             adaptive_resize: true,
             max_magazine_capacity: 8192,
             cache_bytes_budget: None,

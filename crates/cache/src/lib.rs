@@ -22,6 +22,14 @@
 //! * **Magazine capacities adapt** (Bonwick dynamic resizing): sustained
 //!   depot spills double a class's capacity, byte-budget pressure halves
 //!   it, all within [`config::CacheConfig::cache_bytes_budget`].
+//! * **A dry shard can steal** (opt-in, [`config::CacheConfig::depot_steal`]):
+//!   one full magazine from the nearest neighbouring shard, before paying a
+//!   batched tree walk.
+//! * **Foreign threads drain on exit**: any thread — including ones that
+//!   reach the cache only through a `#[global_allocator]` facade
+//!   (`nbbs-alloc`) — gets its slot assigned panic-free on first touch, and
+//!   [`drain_on_thread_exit`] registers a thread-local guard that returns
+//!   the slot's chunks to the backend when the thread dies.
 //!
 //! Because [`MagazineCache`] implements [`nbbs::BuddyBackend`] itself, it
 //! composes with everything already written against the trait:
@@ -51,11 +59,13 @@
 mod cache;
 pub mod config;
 mod depot;
+pub mod exit;
 mod magazine;
 mod verify;
 
 pub use cache::{MagazineCache, ThreadDrainGuard};
 pub use config::{CacheConfig, FlushPolicy};
+pub use exit::{drain_on_thread_exit, DrainOnExit};
 pub use verify::{verify_cached, verify_cached_empty};
 
 #[cfg(test)]
@@ -296,6 +306,77 @@ mod tests {
         for off in again {
             c.dealloc(off);
         }
+    }
+
+    #[test]
+    fn depot_steal_recovers_neighbour_shard_magazines() {
+        let c = Arc::new(MagazineCache::with_config(
+            NbbsOneLevel::new(cfg()),
+            CacheConfig {
+                magazine_capacity: 2,
+                magazine_bytes: 16,
+                depot_magazines: 4,
+                slots: Some(2),
+                depot_shards: Some(2),
+                depot_steal: true,
+                adaptive_resize: false,
+                ..CacheConfig::default()
+            },
+        ));
+        // Park full magazines in the shard of one (spawned) thread.
+        let parker = Arc::clone(&c);
+        let parker_shard = std::thread::spawn(move || {
+            let offs: Vec<_> = (0..12).filter_map(|_| parker.alloc(8)).collect();
+            for off in offs {
+                parker.dealloc(off);
+            }
+            parker.current_shard()
+        })
+        .join()
+        .unwrap();
+        assert!(
+            c.depot_parked_magazines(parker_shard) > 0,
+            "parking thread left full magazines in its shard"
+        );
+        // Probe from threads until one lands on the *other* shard: its own
+        // shard is dry, so the refill must steal from the parker's shard.
+        let mut probed = false;
+        for _ in 0..16 {
+            let probe = Arc::clone(&c);
+            let hit_other_shard = std::thread::spawn(move || {
+                if probe.current_shard() == parker_shard {
+                    return false;
+                }
+                let off = probe.alloc(8).expect("plenty of memory");
+                probe.dealloc(off);
+                true
+            })
+            .join()
+            .unwrap();
+            if hit_other_shard {
+                probed = true;
+                break;
+            }
+        }
+        assert!(probed, "no probe thread mapped to the other shard");
+        assert!(
+            c.snapshot().depot_steals > 0,
+            "dry shard stole from its neighbour: {:?}",
+            c.snapshot()
+        );
+        c.drain_all();
+        assert_eq!(c.backend().allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn depot_steal_defaults_off() {
+        assert!(!CacheConfig::default().depot_steal);
+        let c = small_cache();
+        let offs: Vec<_> = (0..32).filter_map(|_| c.alloc(8)).collect();
+        for off in offs {
+            c.dealloc(off);
+        }
+        assert_eq!(c.snapshot().depot_steals, 0);
     }
 
     #[test]

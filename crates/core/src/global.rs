@@ -1,17 +1,20 @@
 //! A [`GlobalAlloc`] adapter: use the non-blocking buddy as the program's
 //! memory allocator.
 //!
-//! The paper positions the NBBS as a *back-end* allocator on top of which
-//! front-end layers (arenas, caches) can be built.  This adapter is the
-//! thinnest possible front end: it routes every heap request that fits within
-//! the buddy's `max_size` to a lazily-created [`BuddyRegion`] backed by a
-//! [`NbbsFourLevel`], and everything else (oversized or over-aligned
-//! requests, plus the metadata allocations performed while the region itself
-//! is being initialized) to the system allocator.
+//! **Deprecated.**  This is PR 0's thinnest-possible front end: it talks
+//! straight to the raw tree (no magazine cache — `nbbs` cannot depend on
+//! `nbbs-cache` without inverting the layering), has no `grow`/`shrink`
+//! path, and its `initializing` spin-flag sends concurrent first-touch
+//! threads to the system allocator while one thread builds the region.  The
+//! `nbbs-alloc` crate supersedes it with a layered, layout-aware facade
+//! (`NbbsAllocator` + a lazy `NbbsGlobalAlloc` built on
+//! `OnceLock::get_or_init`, magazine-cached, with in-place realloc); this
+//! shim remains only so downstream code keeps compiling.
 //!
 //! # Usage
 //!
 //! ```no_run
+//! # #![allow(deprecated)]
 //! use nbbs::NbbsGlobalAlloc;
 //!
 //! // 64 MiB arena, 32-byte units, 64 KiB largest buddy-served request.
@@ -23,6 +26,10 @@
 //!     println!("{}", v.len());
 //! }
 //! ```
+
+// The adapter is deprecated for *downstream* users; its own impls and tests
+// legitimately keep referring to it.
+#![allow(deprecated)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::ptr::NonNull;
@@ -37,6 +44,12 @@ use crate::region::BuddyRegion;
 ///
 /// Construction is `const` so the adapter can be used in a
 /// `#[global_allocator]` static; the backing region is created on first use.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `nbbs_alloc::NbbsGlobalAlloc`: the layered facade routes \
+            through the magazine cache, reallocs in place, and replaces the \
+            racy `initializing` flag with `OnceLock::get_or_init`"
+)]
 pub struct NbbsGlobalAlloc {
     total_memory: usize,
     min_size: usize,

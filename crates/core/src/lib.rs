@@ -25,9 +25,10 @@
 //!   every variant (and by the baselines in `nbbs-baselines`), expressed in
 //!   terms of byte *offsets* into the managed region so the core state machine
 //!   contains no `unsafe`.
-//! * [`BuddyRegion`] / [`NbbsGlobalAlloc`] — wrappers that attach real backing
-//!   memory and expose a pointer-returning API / a [`core::alloc::GlobalAlloc`]
-//!   implementation.
+//! * [`BuddyRegion`] — wrapper that attaches real backing memory and exposes
+//!   a pointer-returning API.  (The deprecated [`NbbsGlobalAlloc`] thin
+//!   adapter remains for compatibility; programs should use the `nbbs-alloc`
+//!   crate's layout-aware, magazine-cached facade instead.)
 //! * [`MultiInstance`] — a NUMA-style multi-instance router, mirroring how the
 //!   Linux kernel deploys one buddy instance per NUMA node.
 //! * [`verify`] — runtime checkers for the paper's safety properties (no two
@@ -37,12 +38,14 @@
 //! deployments interpose a per-CPU/per-thread front-end cache so the hot path
 //! rarely touches the shared tree.  That layer lives in the companion
 //! `nbbs-cache` crate (`MagazineCache<A: BuddyBackend>`, a Bonwick-style
-//! magazine/depot cache); this crate only provides the hooks it builds on —
-//! [`BuddyBackend::granted_size_of_live`] (size-class lookup on the release
-//! path) and [`BuddyBackend::cache_stats`] / [`CacheStatsSnapshot`]
-//! (hit/miss/flush reporting through `dyn BuddyBackend`).  Because the cache
-//! implements [`BuddyBackend`] itself, it nests unchanged inside
-//! [`BuddyRegion`], [`NbbsGlobalAlloc`] and [`MultiInstance`].
+//! magazine/depot cache), and the `nbbs-alloc` crate stacks a layout-aware
+//! allocator facade on top (tree → cache → facade).  This crate only
+//! provides the hooks they build on — [`BuddyBackend::granted_size_of_live`]
+//! and [`BuddyBackend::granted_size_for`] (size-class and in-place-realloc
+//! lookups), [`BuddyBackend::cache_stats`] / [`CacheStatsSnapshot`] and
+//! [`BuddyBackend::cache_class_capacities`] (cache telemetry through `dyn
+//! BuddyBackend`).  Because the cache implements [`BuddyBackend`] itself, it
+//! nests unchanged inside [`BuddyRegion`] and [`MultiInstance`].
 //!
 //! ## Quick start
 //!
@@ -107,6 +110,7 @@ pub use config::{BuddyConfig, ScanPolicy};
 pub use error::{AllocError, ConfigError, FreeError};
 pub use fourlvl::NbbsFourLevel;
 pub use geometry::Geometry;
+#[allow(deprecated)]
 pub use global::NbbsGlobalAlloc;
 pub use locked::{LockedBuddy, LockedFourLevel, LockedOneLevel};
 pub use multi::MultiInstance;

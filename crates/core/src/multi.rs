@@ -180,6 +180,26 @@ impl<A: BuddyBackend> MultiInstance<A> {
         merged
     }
 
+    /// Merged per-class magazine capacities across the instances, or `None`
+    /// when no instance has a caching front-end.
+    ///
+    /// Each per-node cache adapts its capacities independently; the merged
+    /// view reports, per class size, the *largest* capacity any instance
+    /// converged to (the geometry a burst on that node earned).
+    pub fn cache_class_capacities(&self) -> Option<Vec<(usize, usize)>> {
+        let mut merged: Option<std::collections::BTreeMap<usize, usize>> = None;
+        for i in &self.instances {
+            if let Some(caps) = i.cache_class_capacities() {
+                let map = merged.get_or_insert_with(Default::default);
+                for (size, cap) in caps {
+                    let entry = map.entry(size).or_insert(0);
+                    *entry = (*entry).max(cap);
+                }
+            }
+        }
+        merged.map(|m| m.into_iter().collect())
+    }
+
     /// Returns chunks parked in every instance's caching layer (if any) to
     /// the backing allocators; a no-op over plain backends.
     pub fn drain_cache(&self) {

@@ -120,6 +120,12 @@ pub struct CacheStatsSnapshot {
     /// chunks were flushed to the backend (the chunks themselves are
     /// counted in `flushed`).
     pub depot_spills: u64,
+    /// Full magazines stolen from a neighbouring depot shard after the
+    /// caller's own shard ran dry (the bounded work-stealing path behind
+    /// `CacheConfig::depot_steal`; zero when stealing is disabled).  Each
+    /// steal replaces one batched backend refill with a single tagged CAS
+    /// on the victim shard.
+    pub depot_steals: u64,
     /// Adaptive-resize events that grew a size class's magazine capacity
     /// (triggered by sustained depot spills).
     pub resize_grows: u64,
@@ -162,6 +168,7 @@ impl CacheStatsSnapshot {
         self.depot_exchanges += other.depot_exchanges;
         self.drained += other.drained;
         self.depot_spills += other.depot_spills;
+        self.depot_steals += other.depot_steals;
         self.resize_grows += other.resize_grows;
         self.resize_shrinks += other.resize_shrinks;
         self.depot_shards += other.depot_shards;
@@ -173,7 +180,7 @@ impl fmt::Display for CacheStatsSnapshot {
         write!(
             f,
             "hits={} misses={} hit-rate={:.3} cached-frees={} flushed={} refilled={} \
-             depot={} drained={} shards={} spills={} grows={} shrinks={}",
+             depot={} drained={} shards={} spills={} steals={} grows={} shrinks={}",
             self.hits,
             self.misses,
             self.hit_rate(),
@@ -184,6 +191,7 @@ impl fmt::Display for CacheStatsSnapshot {
             self.drained,
             self.depot_shards,
             self.depot_spills,
+            self.depot_steals,
             self.resize_grows,
             self.resize_shrinks
         )
@@ -309,6 +317,7 @@ mod tests {
             hits: 10,
             misses: 2,
             depot_spills: 1,
+            depot_steals: 2,
             resize_grows: 3,
             depot_shards: 4,
             ..CacheStatsSnapshot::default()
@@ -316,6 +325,7 @@ mod tests {
         let b = CacheStatsSnapshot {
             hits: 5,
             flushed: 7,
+            depot_steals: 1,
             resize_shrinks: 1,
             depot_shards: 4,
             ..CacheStatsSnapshot::default()
@@ -325,6 +335,7 @@ mod tests {
         assert_eq!(a.misses, 2);
         assert_eq!(a.flushed, 7);
         assert_eq!(a.depot_spills, 1);
+        assert_eq!(a.depot_steals, 3);
         assert_eq!(a.resize_grows, 3);
         assert_eq!(a.resize_shrinks, 1);
         assert_eq!(a.depot_shards, 8, "shards sum across instances");

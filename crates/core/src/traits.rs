@@ -110,12 +110,40 @@ pub trait BuddyBackend: Send + Sync {
         None
     }
 
+    /// The power-of-two size a request of `size` bytes *would* be granted,
+    /// without allocating anything, or `None` if the request exceeds the
+    /// per-request maximum.
+    ///
+    /// This is the layout-aware companion to
+    /// [`BuddyBackend::granted_size_of_live`]: because the granted size is a
+    /// pure function of the request size, a front end that knows what it
+    /// asked for (e.g. the `nbbs-alloc` facade, which always has the
+    /// caller's `Layout` in hand) can decide whether an in-place
+    /// `grow`/`shrink` fits inside the block it already holds — no tree walk,
+    /// no `index[]` lookup, just level math.  The default answers from the
+    /// geometry; wrappers forward to their backend so the answer reflects
+    /// the innermost grant policy.
+    fn granted_size_for(&self, size: usize) -> Option<usize> {
+        self.geometry().granted_size(size)
+    }
+
     /// Counters of the caching layer wrapped around this backend, if any.
     ///
     /// Plain backends return `None`; cache front-ends (and wrappers that
     /// contain one) override this so reports can surface hit rates through
     /// `dyn BuddyBackend` without downcasting.
     fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        None
+    }
+
+    /// Per-size-class magazine capacities of the caching layer wrapped
+    /// around this backend, as `(class_size, capacity)` pairs in ascending
+    /// class order, or `None` for plain backends.
+    ///
+    /// The adaptive resize controller (`nbbs-cache`) moves these capacities
+    /// at runtime; reports use this hook to show what geometry each class
+    /// converged to without downcasting through `dyn BuddyBackend`.
+    fn cache_class_capacities(&self) -> Option<Vec<(usize, usize)>> {
         None
     }
 
@@ -177,8 +205,14 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for std::sync::Arc<T> {
     fn granted_size_of_live(&self, offset: usize) -> Option<usize> {
         (**self).granted_size_of_live(offset)
     }
+    fn granted_size_for(&self, size: usize) -> Option<usize> {
+        (**self).granted_size_for(size)
+    }
     fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
         (**self).cache_stats()
+    }
+    fn cache_class_capacities(&self) -> Option<Vec<(usize, usize)>> {
+        (**self).cache_class_capacities()
     }
     fn drain_cache(&self) {
         (**self).drain_cache()
@@ -213,8 +247,14 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for &T {
     fn granted_size_of_live(&self, offset: usize) -> Option<usize> {
         (**self).granted_size_of_live(offset)
     }
+    fn granted_size_for(&self, size: usize) -> Option<usize> {
+        (**self).granted_size_for(size)
+    }
     fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
         (**self).cache_stats()
+    }
+    fn cache_class_capacities(&self) -> Option<Vec<(usize, usize)>> {
+        (**self).cache_class_capacities()
     }
     fn drain_cache(&self) {
         (**self).drain_cache()

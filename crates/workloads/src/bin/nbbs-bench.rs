@@ -34,6 +34,7 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel, ScanPolicy};
+use nbbs_cache::{CacheConfig, MagazineCache};
 use nbbs_workloads::factory::{AllocatorKind, SharedBackend};
 use nbbs_workloads::harness::{FigureSpec, Harness, Metric, SweepConfig, Workload};
 use nbbs_workloads::linux_scalability::{self, LinuxScalabilityParams};
@@ -168,9 +169,11 @@ fn run_figure(figure: FigureSpec, opts: &Options) -> Vec<Measurement> {
 }
 
 /// Figure 13 (this reproduction's own): the magazine-cache ablation.  Runs
-/// the contended user-space workloads over the cached variants and their
-/// uncached backends, reporting both the headline metric and the cache's
-/// hit/miss/flush behaviour.
+/// the contended user-space workloads (including the facade-level Mixed
+/// Layout churn) over the cached variants and their uncached backends,
+/// reporting the headline metric, the cache's hit/miss/flush behaviour,
+/// the per-class capacities the adaptive resize controller converged to,
+/// and a depot-steal before/after comparison.
 fn fig13_cache_ablation(opts: &Options) -> Vec<Measurement> {
     println!("\n=== Figure 13: Per-thread magazine cache ablation (cached vs uncached) ===");
     let harness = Harness::new(opts.verbose);
@@ -179,6 +182,7 @@ fn fig13_cache_ablation(opts: &Options) -> Vec<Measurement> {
         Workload::LinuxScalability,
         Workload::ThreadTest,
         Workload::Larson,
+        Workload::MixedLayout,
     ] {
         let sweep = apply_overrides(
             SweepConfig::user_space(workload, opts.scale)
@@ -187,11 +191,76 @@ fn fig13_cache_ablation(opts: &Options) -> Vec<Measurement> {
         );
         measurements.extend(harness.run_sweep(&sweep));
     }
+    measurements.extend(fig13_depot_steal(opts));
     print!("{}", report::text_table(&measurements, Metric::Seconds));
     let cache = report::cache_table(&measurements);
     if !cache.is_empty() {
         println!("Magazine-cache behaviour:");
         print!("{cache}");
+    }
+    let capacities = report::capacity_table(&measurements);
+    if !capacities.is_empty() {
+        println!("Per-class magazine capacities (adaptive-resize convergence):");
+        print!("{capacities}");
+    }
+    measurements
+}
+
+/// The depot-steal before/after comparison (ROADMAP: "measure before
+/// adopting").  Larson is the workload where a dry shard actually has
+/// something to steal: remote frees park full magazines in the *freeing*
+/// thread's shard, so an allocating thread whose own shard ran dry can
+/// either walk the tree (steal off) or take one magazine from a neighbour
+/// (steal on).  Both rows pin `depot_shards` to four so the comparison is
+/// identical on any host, and they land in the same cache table as the
+/// default rows — the `flushed`/`misses` columns are the "before/after
+/// backend-flush counts".
+fn fig13_depot_steal(opts: &Options) -> Vec<Measurement> {
+    let sweep = apply_overrides(SweepConfig::user_space(Workload::Larson, opts.scale), opts);
+    let mut measurements = Vec::new();
+    for &size in &sweep.sizes {
+        for &threads in &sweep.thread_counts {
+            for steal in [false, true] {
+                // Deliberately tight, fixed magazines: at the default
+                // geometry Larson runs ~100% hits and the depot never gets
+                // exercised, so the A/B would measure nothing.  Eight-entry
+                // magazines force the overflow/refill traffic through the
+                // four shards, where the remote-free imbalance creates the
+                // dry-shard-with-full-neighbour situation stealing targets.
+                let config = CacheConfig {
+                    magazine_capacity: 8,
+                    adaptive_resize: false,
+                    depot_shards: Some(4),
+                    slots: Some(4),
+                    depot_steal: steal,
+                    ..CacheConfig::default()
+                };
+                let name = if steal {
+                    "cached-4lvl/s4+steal"
+                } else {
+                    "cached-4lvl/s4"
+                };
+                let alloc: SharedBackend = Arc::new(MagazineCache::with_config_and_name(
+                    NbbsFourLevel::new(sweep.memory),
+                    config,
+                    name,
+                ));
+                if opts.verbose {
+                    eprintln!(
+                        "[nbbs-bench] larson size={size} threads={threads} allocator={name} ..."
+                    );
+                }
+                let result = sweep.workload.run(&alloc, threads, size, opts.scale);
+                let m = Measurement::new(sweep.workload.name(), name, size, result)
+                    .with_cache(alloc.cache_stats())
+                    .with_backend_ops(alloc.stats())
+                    .with_capacities(alloc.cache_class_capacities());
+                if opts.verbose {
+                    eprintln!("[nbbs-bench]   -> {m}");
+                }
+                measurements.push(m);
+            }
+        }
     }
     measurements
 }
@@ -338,6 +407,7 @@ fn list() {
         Workload::ThreadTest,
         Workload::Larson,
         Workload::ConstantOccupancy,
+        Workload::MixedLayout,
     ] {
         println!("  {:<20} metric: {}", w.name(), w.primary_metric().label());
     }
@@ -345,7 +415,7 @@ fn list() {
     for &f in FigureSpec::all() {
         println!("  {}", f.title());
     }
-    println!("  Figure 13: Magazine-cache ablation - cached vs uncached backends (this reproduction's own)");
+    println!("  Figure 13: Magazine-cache ablation - cached vs uncached backends, facade churn, per-class capacities, depot-steal A/B (this reproduction's own)");
 }
 
 fn main() -> ExitCode {

@@ -8,6 +8,7 @@ use crate::factory::{build, AllocatorKind};
 use crate::larson::{self, LarsonParams};
 use crate::linux_scalability::{self, LinuxScalabilityParams};
 use crate::measure::{Measurement, WorkloadResult};
+use crate::mixed_layout::{self, MixedLayoutParams};
 use crate::thread_test::{self, ThreadTestParams};
 
 /// The four benchmarks of the paper's evaluation.
@@ -21,6 +22,9 @@ pub enum Workload {
     Larson,
     /// Constant Occupancy (Figure 11).
     ConstantOccupancy,
+    /// Mixed Layout/realloc churn through the `nbbs-alloc` facade
+    /// (this reproduction's own; part of the Figure 13 ablation).
+    MixedLayout,
 }
 
 impl Workload {
@@ -31,6 +35,7 @@ impl Workload {
             Workload::ThreadTest => "thread-test",
             Workload::Larson => "larson",
             Workload::ConstantOccupancy => "constant-occupancy",
+            Workload::MixedLayout => "mixed-layout",
         }
     }
 
@@ -70,6 +75,9 @@ impl Workload {
                     params.min_block = (alloc.max_size() / params.size_ratio).max(alloc.min_size());
                 }
                 constant_occupancy::run(alloc, params)
+            }
+            Workload::MixedLayout => {
+                mixed_layout::run(alloc, MixedLayoutParams::paper(threads, size).scaled(scale))
             }
         }
     }
@@ -286,7 +294,8 @@ impl Harness {
                     let result = sweep.workload.run(&alloc, threads, size, sweep.scale);
                     let m = Measurement::new(sweep.workload.name(), kind.name(), size, result)
                         .with_cache(alloc.cache_stats())
-                        .with_backend_ops(alloc.stats());
+                        .with_backend_ops(alloc.stats())
+                        .with_capacities(alloc.cache_class_capacities());
                     if self.verbose {
                         eprintln!("[nbbs-bench]   -> {m}");
                         if let Some(cache) = &m.cache {

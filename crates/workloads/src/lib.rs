@@ -13,6 +13,7 @@
 //! | [`larson`] | Larson server workload | Fig. 10 |
 //! | [`constant_occupancy`] | Constant Occupancy (the paper's own) | Fig. 11 |
 //! | all of the above at page granularity | kernel-level comparison | Fig. 12 |
+//! | [`mixed_layout`] | Mixed Layout/realloc churn through the `nbbs-alloc` facade | Fig. 13 (ours) |
 //!
 //! [`harness`] sweeps allocators × thread counts × request sizes and collects
 //! [`measure::Measurement`]s; [`report`] renders the measurements as the same
@@ -29,6 +30,7 @@ pub mod harness;
 pub mod larson;
 pub mod linux_scalability;
 pub mod measure;
+pub mod mixed_layout;
 pub mod report;
 pub mod rng;
 pub mod thread_test;

@@ -58,6 +58,10 @@ pub struct Measurement {
     /// built with the `op-stats` feature; reports use this to show how much
     /// CAS traffic the cache's spill path still generates.
     pub backend_ops: nbbs::OpStatsSnapshot,
+    /// Per-class magazine capacities of the cache layer at the end of the
+    /// run, as `(class_size, capacity)` pairs — the adaptive resize
+    /// controller's converged geometry; `None` for plain backends.
+    pub magazine_capacities: Option<Vec<(usize, usize)>>,
 }
 
 impl Measurement {
@@ -75,6 +79,7 @@ impl Measurement {
             result,
             cache: None,
             backend_ops: nbbs::OpStatsSnapshot::default(),
+            magazine_capacities: None,
         }
     }
 
@@ -89,6 +94,13 @@ impl Measurement {
     #[must_use]
     pub fn with_backend_ops(mut self, ops: nbbs::OpStatsSnapshot) -> Self {
         self.backend_ops = ops;
+        self
+    }
+
+    /// Attaches the cache layer's per-class magazine capacities.
+    #[must_use]
+    pub fn with_capacities(mut self, capacities: Option<Vec<(usize, usize)>>) -> Self {
+        self.magazine_capacities = capacities;
         self
     }
 

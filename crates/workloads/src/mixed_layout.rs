@@ -1,0 +1,292 @@
+//! The *Mixed Layout* churn workload (this reproduction's own) — the
+//! facade-level companion to the offset-level benchmarks.
+//!
+//! The paper's workloads speak the backend language (sizes in, offsets
+//! out).  Real programs speak `Layout`: they over-align, they `realloc`,
+//! and their frees race their allocations across threads.  This workload
+//! drives the `nbbs-alloc` facade over any backend with exactly that
+//! traffic: every thread keeps a pool of live blocks with randomized sizes
+//! *and alignments*, and each step either allocates a fresh block, releases
+//! a random one, or grows/shrinks one in place-or-moving through
+//! [`NbbsAllocator::grow`]/[`NbbsAllocator::shrink`] — verifying on every
+//! realloc that the block's stamp bytes survived.
+//!
+//! Because it runs through the facade, the workload exercises the full
+//! stack (tree → cache → facade): cached backends absorb the
+//! allocate/release churn in magazines, and the buddy geometry resolves
+//! most grows in place.  The `fig13` ablation uses it to compare the
+//! PR-0-style thin adapter against the cached facade.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use std::alloc::Layout;
+use std::ptr::NonNull;
+
+use nbbs_alloc::NbbsAllocator;
+use nbbs_sync::{CachePadded, CycleTimer};
+
+use crate::factory::SharedBackend;
+use crate::measure::WorkloadResult;
+use crate::rng::SplitMix64;
+
+/// Parameters of the Mixed Layout workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MixedLayoutParams {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Smallest request size in bytes (sizes are drawn log-uniformly from
+    /// `base_size << 0 ..= base_size << 5`, clamped to the backend maximum).
+    pub base_size: usize,
+    /// Largest alignment drawn (a power of two; alignments are drawn
+    /// log-uniformly from `1 ..= max_align`).
+    pub max_align: usize,
+    /// Percentage of steps (0–100) that grow or shrink a live block
+    /// instead of allocating/releasing.
+    pub realloc_percent: usize,
+    /// Live blocks each thread aims to keep in flight.
+    pub live_target: usize,
+    /// Steps per thread (one allocate, release, grow or shrink each).
+    pub ops_per_thread: u64,
+}
+
+impl MixedLayoutParams {
+    /// Default configuration for a thread count and base request size
+    /// (`size` plays the role the paper's 8/128/1024-byte panels play in
+    /// the other workloads).
+    pub fn paper(threads: usize, size: usize) -> Self {
+        MixedLayoutParams {
+            threads,
+            base_size: size.max(1),
+            max_align: 4096,
+            realloc_percent: 30,
+            live_target: 64,
+            ops_per_thread: 1_000_000,
+        }
+    }
+
+    /// Scales the per-thread step count by `scale` (minimum 1 000 steps).
+    #[must_use]
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.ops_per_thread = ((self.ops_per_thread as f64 * scale) as u64).max(1_000);
+        self
+    }
+}
+
+/// One live block as the worker tracks it (`usize` address so the record
+/// can cross the spawn boundary).
+struct Block {
+    addr: usize,
+    size: usize,
+    align: usize,
+    stamp: u8,
+}
+
+impl Block {
+    fn layout(&self) -> Layout {
+        Layout::from_size_align(self.size, self.align).expect("tracked layouts are valid")
+    }
+
+    fn ptr(&self) -> NonNull<u8> {
+        NonNull::new(self.addr as *mut u8).expect("tracked blocks are non-null")
+    }
+}
+
+/// Stamps the first and last byte of a block so realloc moves can be
+/// checked for content preservation.
+///
+/// # Safety
+///
+/// `block` must be live with at least `size` accessible bytes.
+unsafe fn stamp(block: NonNull<u8>, size: usize, value: u8) {
+    block.as_ptr().write(value);
+    block.as_ptr().add(size - 1).write(value);
+}
+
+/// Runs the workload against `alloc`, wrapped in a fresh facade + backing
+/// region, and returns the measured result.
+pub fn run(alloc: &SharedBackend, params: MixedLayoutParams) -> WorkloadResult {
+    let facade = Arc::new(NbbsAllocator::new(Arc::clone(alloc)));
+    run_with_facade(&facade, params)
+}
+
+/// Runs the workload over a caller-provided facade.
+///
+/// Benchmarks use this to hoist the facade construction — a zeroed backing
+/// region the size of the managed memory — out of the timed loop; `run` is
+/// the convenience wrapper that builds one per call.
+pub fn run_with_facade(
+    facade: &Arc<NbbsAllocator<SharedBackend>>,
+    params: MixedLayoutParams,
+) -> WorkloadResult {
+    assert!(params.threads > 0, "need at least one thread");
+    assert!(params.max_align.is_power_of_two(), "align must be 2^k");
+    let facade = Arc::clone(facade);
+    let max_want = facade.backend().max_size();
+    let barrier = Arc::new(Barrier::new(params.threads + 1));
+    let failed: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(
+        (0..params.threads)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+    );
+
+    let mut handles = Vec::with_capacity(params.threads);
+    for t in 0..params.threads {
+        let facade = Arc::clone(&facade);
+        let barrier = Arc::clone(&barrier);
+        let failed = Arc::clone(&failed);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(0x51ED ^ (t as u64).wrapping_mul(0x9E37_79B9));
+            let mut live: Vec<Block> = Vec::with_capacity(params.live_target + 1);
+            let mut local_failed = 0u64;
+            let mut next_stamp = t as u8;
+            barrier.wait();
+            for _ in 0..params.ops_per_thread {
+                let roll = rng.next_below(100);
+                if roll < params.realloc_percent && !live.is_empty() {
+                    // Grow or shrink a random live block to a fresh size,
+                    // keeping its alignment; check the stamp survived.
+                    let idx = rng.next_below(live.len());
+                    let block = &mut live[idx];
+                    let new_size = draw_size(&mut rng, params.base_size, max_want);
+                    let new_layout = Layout::from_size_align(new_size, block.align)
+                        .expect("drawn layouts are valid");
+                    let old_layout = block.layout();
+                    let result = unsafe {
+                        if new_size >= block.size {
+                            facade.grow(block.ptr(), old_layout, new_layout)
+                        } else {
+                            facade.shrink(block.ptr(), old_layout, new_layout)
+                        }
+                    };
+                    match result {
+                        Ok(moved) => {
+                            // SAFETY: the facade preserved the block's first
+                            // `min(old, new)` bytes (>= 1), so the leading
+                            // stamp must have survived the move.
+                            unsafe {
+                                assert_eq!(
+                                    moved.cast::<u8>().as_ptr().read(),
+                                    block.stamp,
+                                    "realloc lost the leading stamp"
+                                );
+                                block.addr = moved.cast::<u8>().as_ptr() as usize;
+                                block.size = new_size;
+                                stamp(block.ptr(), new_size, block.stamp);
+                            }
+                        }
+                        Err(_) => local_failed += 1,
+                    }
+                } else if live.len() < params.live_target {
+                    let align = (1usize
+                        << rng.next_below(params.max_align.trailing_zeros() as usize + 1))
+                    .min(max_want);
+                    let size = draw_size(&mut rng, params.base_size, max_want);
+                    let layout =
+                        Layout::from_size_align(size, align).expect("drawn layouts are valid");
+                    match facade.allocate(layout) {
+                        Ok(block) => {
+                            next_stamp = next_stamp.wrapping_add(1);
+                            // SAFETY: fresh exclusive block of >= size bytes.
+                            unsafe { stamp(block.cast(), size, next_stamp) };
+                            live.push(Block {
+                                addr: block.cast::<u8>().as_ptr() as usize,
+                                size,
+                                align,
+                                stamp: next_stamp,
+                            });
+                        }
+                        Err(_) => local_failed += 1,
+                    }
+                } else {
+                    let idx = rng.next_below(live.len());
+                    let block = live.swap_remove(idx);
+                    // SAFETY: the block is live and tracked with its layout.
+                    unsafe { facade.deallocate(block.ptr(), block.layout()) };
+                }
+            }
+            for block in live {
+                // SAFETY: as above.
+                unsafe { facade.deallocate(block.ptr(), block.layout()) };
+            }
+            failed[t].store(local_failed, Ordering::Relaxed);
+        }));
+    }
+
+    let timer = CycleTimer::start();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let (seconds, cycles) = timer.stop();
+
+    WorkloadResult {
+        threads: params.threads,
+        operations: params.ops_per_thread * params.threads as u64,
+        seconds,
+        cycles,
+        failed_allocs: failed.iter().map(|f| f.load(Ordering::Relaxed)).sum(),
+    }
+}
+
+/// Draws a request size: log-uniform over `base << 0 ..= base << 5`, at
+/// least 1 byte, clamped to the backend's per-request maximum.  Alignments
+/// are clamped to the same maximum at the draw site, so the facade's
+/// rounded request `max(size, align)` always stays servable.
+fn draw_size(rng: &mut SplitMix64, base: usize, max_want: usize) -> usize {
+    (base << rng.next_below(6)).max(1).min(max_want.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factory::{build, AllocatorKind};
+    use nbbs::{BuddyBackend, BuddyConfig};
+
+    fn cfg() -> BuddyConfig {
+        BuddyConfig::new(64 << 20, 8, 16 << 10).unwrap()
+    }
+
+    #[test]
+    fn runs_on_thin_and_cached_backends() {
+        for kind in [AllocatorKind::FourLevelNb, AllocatorKind::Cached4LvlNb] {
+            let alloc = build(kind, cfg());
+            let params = MixedLayoutParams {
+                threads: 2,
+                base_size: 64,
+                max_align: 1024,
+                realloc_percent: 30,
+                live_target: 16,
+                ops_per_thread: 3_000,
+            };
+            let result = run(&alloc, params);
+            assert_eq!(result.operations, 6_000, "allocator {kind}");
+            assert_eq!(result.failed_allocs, 0, "allocator {kind}");
+            assert_eq!(alloc.allocated_bytes(), 0, "allocator {kind} leaked");
+        }
+    }
+
+    #[test]
+    fn paper_params_scale() {
+        let p = MixedLayoutParams::paper(4, 128);
+        assert_eq!(p.base_size, 128);
+        assert_eq!(p.scaled(0.001).ops_per_thread, 1_000);
+    }
+
+    #[test]
+    fn over_aligned_traffic_stays_within_backend_limits() {
+        // max_align equal to the backend max: every draw must stay servable.
+        let alloc = build(AllocatorKind::FourLevelNb, cfg());
+        let params = MixedLayoutParams {
+            threads: 1,
+            base_size: 8,
+            max_align: 16 << 10,
+            realloc_percent: 50,
+            live_target: 8,
+            ops_per_thread: 2_000,
+        };
+        let result = run(&alloc, params);
+        assert_eq!(result.failed_allocs, 0);
+        assert_eq!(alloc.allocated_bytes(), 0);
+    }
+}

@@ -131,7 +131,7 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:<16} {:>8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>8} {:>8}\n",
+        "{:<22} {:<20} {:>8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}\n",
         "workload",
         "allocator",
         "bytes",
@@ -143,6 +143,7 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
         "drained",
         "shards",
         "spills",
+        "steals",
         "grows",
         "shrinks",
         "cas/op"
@@ -162,7 +163,7 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
             "-".to_string()
         };
         out.push_str(&format!(
-            "{:<22} {:<16} {:>8} {:>8} {:>8.1}% {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>8} {:>8}\n",
+            "{:<22} {:<20} {:>8} {:>8} {:>8.1}% {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}\n",
             m.workload,
             m.allocator,
             m.size,
@@ -174,10 +175,71 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
             c.drained,
             c.depot_shards,
             c.depot_spills,
+            c.depot_steals,
             c.resize_grows,
             c.resize_shrinks,
             cas_per_op
         ));
+    }
+    out
+}
+
+/// Formats a byte count the way the paper's tables do (`8`, `128`, `16K`).
+fn fmt_size(bytes: usize) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+        format!("{}K", bytes >> 10)
+    } else {
+        bytes.to_string()
+    }
+}
+
+/// Renders the per-class magazine capacities every cached measurement
+/// converged to: one row per measurement, one column per size class, so
+/// the adaptive resize controller's behaviour (which classes earned bigger
+/// magazines under bursts, which were shrunk by budget pressure) is
+/// visible at a glance in `nbbs-bench fig13 --paper`.  Returns an empty
+/// string when no measurement carries capacities.
+pub fn capacity_table(measurements: &[Measurement]) -> String {
+    let rows: Vec<&Measurement> = measurements
+        .iter()
+        .filter(|m| {
+            m.magazine_capacities
+                .as_ref()
+                .is_some_and(|c| !c.is_empty())
+        })
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let class_sizes: Vec<usize> = sorted_unique(
+        rows.iter()
+            .flat_map(|m| m.magazine_capacities.as_ref().expect("filtered to Some"))
+            .map(|&(size, _)| size),
+    );
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<20} {:>8} {:>8}",
+        "workload", "allocator", "bytes", "threads"
+    ));
+    for &size in &class_sizes {
+        out.push_str(&format!(" {:>6}", fmt_size(size)));
+    }
+    out.push('\n');
+    for m in rows {
+        out.push_str(&format!(
+            "{:<22} {:<20} {:>8} {:>8}",
+            m.workload, m.allocator, m.size, m.result.threads
+        ));
+        let caps = m.magazine_capacities.as_ref().expect("filtered to Some");
+        for &size in &class_sizes {
+            match caps.iter().find(|&&(s, _)| s == size) {
+                Some(&(_, cap)) => out.push_str(&format!(" {cap:>6}")),
+                None => out.push_str(&format!(" {:>6}", "-")),
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -361,8 +423,34 @@ mod tests {
         assert!(out.contains("75.0%"));
         assert!(out.contains("shards"), "shard column present");
         assert!(out.contains("spills"), "spill column present");
+        assert!(out.contains("steals"), "steal column present");
         // No op-stats counters attached: the CAS column shows a dash.
         assert!(out.lines().nth(1).unwrap().trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn capacity_table_lists_classes_in_order() {
+        let mut set = sample_set();
+        assert_eq!(capacity_table(&set), "");
+        set[0].allocator = "cached-4lvl-nb".into();
+        set[0].magazine_capacities = Some(vec![(8, 64), (16, 128), (16 << 10, 2)]);
+        set[1].allocator = "cached-1lvl-nb".into();
+        set[1].magazine_capacities = Some(vec![(8, 32), (16, 64)]);
+        let out = capacity_table(&set);
+        assert_eq!(out.lines().count(), 3, "header + two rows");
+        let header = out.lines().next().unwrap();
+        assert!(header.contains("16K"), "class sizes humanized: {header}");
+        let first = out.lines().nth(1).unwrap();
+        assert!(first.contains("cached-4lvl-nb"));
+        assert!(
+            first.trim_end().ends_with('2'),
+            "16K class capacity: {first}"
+        );
+        let second = out.lines().nth(2).unwrap();
+        assert!(
+            second.trim_end().ends_with('-'),
+            "missing class shows a dash: {second}"
+        );
     }
 
     #[test]

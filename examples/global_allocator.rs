@@ -1,26 +1,87 @@
-//! Using the non-blocking buddy as the program's global allocator.
+//! Using the cached NBBS facade as the program's global allocator.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example global_allocator
 //! ```
 //!
-//! The paper positions the NBBS as a back-end allocator; the thinnest
-//! possible front end is Rust's `#[global_allocator]` hook.  Requests that
-//! fit within the configured `max_size` are served from the buddy region;
-//! larger or over-aligned requests (and the allocations made while the
-//! region itself is being initialized) fall back to the system allocator.
+//! The program's `#[global_allocator]` is `nbbs_alloc::NbbsGlobalAlloc` —
+//! the full stack of this reproduction (lock-free buddy tree → per-thread
+//! magazine cache → layout-aware facade).  Every `Vec`, `String` and
+//! `HashMap` below is buddy memory; over-aligned requests are served by
+//! rounding to `max(size, align)` (power-of-two blocks are naturally
+//! aligned); `realloc` resolves in place whenever the granted block covers
+//! the new size; and threads drain their magazines back to the tree when
+//! they exit.
+//!
+//! For comparison, the deprecated PR-0 thin adapter (`nbbs::NbbsGlobalAlloc`,
+//! raw tree, `initializing` spin-flag) is instantiated as a plain value and
+//! fed the *same* concurrent burst through direct `GlobalAlloc` calls: its
+//! first-touch race sends part of the burst to the system allocator, so its
+//! buddy share comes out strictly below the facade's.
 
-use nbbs::NbbsGlobalAlloc;
+use std::alloc::{GlobalAlloc, Layout};
 use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+use nbbs_alloc::NbbsGlobalAlloc;
 
 // 64 MiB arena, 32-byte allocation units, 64 KiB largest buddy-served chunk.
 #[global_allocator]
 static GLOBAL: NbbsGlobalAlloc = NbbsGlobalAlloc::new(64 << 20, 32, 64 << 10);
 
+// The PR-0 thin adapter with the same geometry, *not* installed as the
+// program allocator — it only receives the measured burst.
+#[allow(deprecated)]
+static THIN: nbbs::NbbsGlobalAlloc = nbbs::NbbsGlobalAlloc::new(64 << 20, 32, 64 << 10);
+
+/// Pushes an identical 8-thread burst through `alloc` via direct
+/// `GlobalAlloc` calls — all threads released by one barrier, so the first
+/// allocations race the adapter's region construction — and returns the
+/// fraction of requested bytes served by the buddy.  Every fourth request
+/// is over-aligned (4 KiB boundary for a small payload).
+fn burst_buddy_share<A>(alloc: &'static A, owns: fn(*mut u8) -> bool) -> f64
+where
+    A: GlobalAlloc + Sync,
+{
+    const THREADS: usize = 8;
+    const REQUESTS: usize = 5_000;
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut buddy = 0u64;
+                let mut total = 0u64;
+                barrier.wait();
+                for i in 0..REQUESTS {
+                    let size = 32 + (i * 37 + t * 11) % 2048;
+                    let align = [8usize, 16, 64, 4096][i % 4];
+                    let layout = Layout::from_size_align(size, align).unwrap();
+                    unsafe {
+                        let p = alloc.alloc(layout);
+                        assert!(!p.is_null());
+                        assert_eq!(p as usize % align, 0);
+                        total += size as u64;
+                        if owns(p) {
+                            buddy += size as u64;
+                        }
+                        alloc.dealloc(p, layout);
+                    }
+                }
+                (buddy, total)
+            })
+        })
+        .collect();
+    let (buddy, total) = handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .fold((0u64, 0u64), |(b, t), (db, dt)| (b + db, t + dt));
+    buddy as f64 / total as f64
+}
+
 fn main() {
-    // Ordinary collection work — every Vec/String/HashMap allocation below
-    // max_size is served by the buddy.
+    // Ordinary collection work — served by the cached buddy.
     let mut map: HashMap<String, Vec<u64>> = HashMap::new();
     for i in 0..10_000u64 {
         map.entry(format!("bucket-{}", i % 64)).or_default().push(i);
@@ -32,7 +93,8 @@ fn main() {
         GLOBAL.buddy_allocated_bytes()
     );
 
-    // Spawn threads that churn through short-lived allocations concurrently.
+    // Thread churn: short-lived vectors, magazines absorb the round-trips,
+    // and each thread's slot drains back to the tree when it exits.
     let handles: Vec<_> = (0..4)
         .map(|t| {
             std::thread::spawn(move || {
@@ -48,8 +110,20 @@ fn main() {
     let churned: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
     println!("4 threads churned {churned} bytes of short-lived vectors");
 
-    // A deliberately huge allocation exceeds max_size and transparently goes
-    // to the system allocator.
+    // Growing a Vec inside its granted buddy block reallocs in place.
+    let mut grower: Vec<u8> = Vec::with_capacity(100); // granted 128 bytes
+    grower.extend(std::iter::repeat_n(0xA5u8, 100));
+    grower.reserve_exact(128 - 100); // still inside the granted block
+    let facade = GLOBAL.facade_stats().expect("facade is live");
+    println!(
+        "realloc behaviour so far: {} grows in place, {} moved ({:.0}% in place)",
+        facade.grows_in_place,
+        facade.grows_moved,
+        facade.grow_in_place_rate() * 100.0
+    );
+
+    // A deliberately huge allocation exceeds max_size and transparently
+    // goes to the system allocator.
     let big: Vec<u8> = vec![0u8; 1 << 20];
     println!(
         "1 MiB vector at {:p}: served by the buddy? {}",
@@ -57,9 +131,44 @@ fn main() {
         GLOBAL.owns(big.as_ptr() as *mut u8)
     );
 
+    // The facade-vs-thin-adapter comparison: identical concurrent bursts,
+    // with over-aligned requests mixed in.  The facade (OnceLock first
+    // touch) keeps the whole burst in the buddy; the thin adapter's
+    // `initializing` spin-flag waves losing first-touch threads off to the
+    // system allocator.
+    let facade_share = burst_buddy_share(&GLOBAL, |p| GLOBAL.owns(p));
+    let thin_share = burst_buddy_share(&THIN, |p| THIN.owns(p));
+    println!("\nbytes-served-by-buddy share over an 8-thread burst (incl. over-aligned):");
+    println!(
+        "  cached facade (nbbs-alloc)   {:>7.3}%",
+        facade_share * 100.0
+    );
+    println!(
+        "  thin adapter  (PR-0, nbbs)   {:>7.3}%",
+        thin_share * 100.0
+    );
+    if facade_share > thin_share {
+        println!("  -> the facade serves a strictly higher share from the buddy");
+    } else {
+        println!("  -> WARNING: expected the facade to serve a strictly higher share");
+    }
+
+    if let Some(cache) = GLOBAL.cache_stats() {
+        println!(
+            "\nmagazine cache: {:.1}% hit rate over {} allocations ({} backend refill chunks)",
+            cache.hit_rate() * 100.0,
+            cache.alloc_requests(),
+            cache.refilled
+        );
+    }
+
     drop(map);
     println!(
         "after dropping the map, buddy-served bytes: {}",
         GLOBAL.buddy_allocated_bytes()
+    );
+    println!(
+        "overall buddy share (whole program, by bytes): {:.1}%",
+        GLOBAL.buddy_share() * 100.0
     );
 }

@@ -5,10 +5,12 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! The example walks through the public API surface of the `nbbs` crate:
+//! The example walks through the public API surface of the stack:
 //! configuring an allocator, performing offset-based allocations, attaching
-//! real backing memory, inspecting occupancy, and sharing the allocator
-//! across threads without any locking.
+//! real backing memory, inspecting occupancy, sharing the allocator across
+//! threads without any locking, interposing the magazine cache
+//! (`nbbs-cache`), and topping it with the layout-aware facade
+//! (`nbbs-alloc`).
 
 use std::sync::Arc;
 
@@ -167,4 +169,48 @@ fn main() {
     assert_eq!(cached.allocated_bytes(), 0);
     cached.drain_all();
     assert_eq!(cached.backend().allocated_bytes(), 0);
+
+    // ------------------------------------------------------------------
+    // 7. The top of the stack: the layout-aware facade (`nbbs-alloc`).
+    //
+    //        tree (nbbs) -> magazine cache (nbbs-cache) -> facade
+    //
+    //    NbbsAllocator speaks Layout instead of sizes: over-aligned
+    //    requests are served by the buddy itself (round to max(size,
+    //    align) — power-of-two blocks are naturally aligned), and
+    //    grow/shrink resolve *in place* whenever the granted block already
+    //    covers the new layout (pure level math, no tree walk).  For
+    //    whole-program use, `nbbs_alloc::NbbsGlobalAlloc` packages this
+    //    stack for #[global_allocator]: lazy OnceLock construction,
+    //    System fail-over for oversized requests, and per-thread exit
+    //    drains — see examples/global_allocator.rs.
+    // ------------------------------------------------------------------
+    use nbbs_alloc::NbbsAllocator;
+    use std::alloc::Layout;
+
+    let facade = NbbsAllocator::new(MagazineCache::new(NbbsFourLevel::new(config)));
+    // A 64-byte payload on a 4 KiB boundary: one buddy block, no fallback.
+    let aligned = Layout::from_size_align(64, 4096).unwrap();
+    let block = facade.allocate(aligned).expect("plenty of space");
+    println!(
+        "facade served {} bytes at {:p} (4096-aligned: {})",
+        block.len(),
+        block.cast::<u8>().as_ptr(),
+        (block.cast::<u8>().as_ptr() as usize).is_multiple_of(4096)
+    );
+    unsafe { facade.deallocate(block.cast(), aligned) };
+
+    // Growing inside the granted block keeps the pointer (no copy).
+    let small = Layout::from_size_align(100, 8).unwrap(); // granted 128
+    let grown_layout = Layout::from_size_align(128, 8).unwrap();
+    let p = facade.allocate(small).expect("plenty of space");
+    let grown = unsafe { facade.grow(p.cast(), small, grown_layout) }.expect("fits in place");
+    assert_eq!(grown.cast::<u8>(), p.cast::<u8>());
+    unsafe { facade.deallocate(grown.cast(), grown_layout) };
+    let fstats = facade.facade_stats();
+    println!(
+        "facade realloc: {} in-place grows, {} moved",
+        fstats.grows_in_place, fstats.grows_moved
+    );
+    assert_eq!(facade.allocated_bytes(), 0);
 }

@@ -1,38 +1,64 @@
 //! A miniature web-server simulation in the spirit of the Larson benchmark
-//! (the motivation scenario of the paper's Figure 10).
+//! (the motivation scenario of the paper's Figure 10), rewritten onto the
+//! `nbbs-alloc` facade.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example web_server_sim [threads] [seconds]
 //! ```
 //!
-//! Three back-ends are compared: the 4-level non-blocking buddy, the same
-//! buddy behind a per-thread magazine cache (`nbbs-cache`, how a production
-//! server would deploy it), and the spin-locked tree baseline.
+//! Worker threads play request handlers driving the *layout-aware* facade —
+//! the API a real server's buffers actually need: each incoming "request"
+//! allocates a cache-line-aligned connection buffer and a response buffer
+//! that *grows in steps* as the handler streams the body
+//! ([`NbbsAllocator::grow`] resolves most of those steps in place, because
+//! buddy blocks over-provision to the next power of two), and completed
+//! responses are handed to other workers, so the freeing thread is often
+//! not the allocating thread.
 //!
-//! Worker threads play the role of request handlers: each incoming "request"
-//! allocates a connection buffer and a response buffer of request-dependent
-//! sizes from the shared back-end allocator, holds them for the lifetime of
-//! the request, and hands completed responses to other workers (so the
-//! freeing thread is often not the allocating thread).  The example prints a
-//! per-allocator throughput comparison between the non-blocking buddy and
-//! the spin-locked tree baseline — the same ordering Figure 10 shows.
+//! Three back-ends are compared underneath the same facade: the 4-level
+//! non-blocking buddy, the same buddy behind the magazine cache (how a
+//! production server would deploy it), and the spin-locked tree baseline —
+//! the same ordering Figure 10 shows, now measured at the facade level.
 
+use std::alloc::Layout;
+use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel};
+use nbbs_alloc::NbbsAllocator;
 use nbbs_baselines::CloudwuBuddy;
 use nbbs_cache::MagazineCache;
 use nbbs_workloads::rng::SplitMix64;
 
-/// One in-flight request: a connection buffer plus a response buffer.
+/// One in-flight request: a connection buffer plus a (grown) response
+/// buffer, tracked as raw addresses so requests can cross worker threads.
 struct Request {
-    conn_buf: usize,
-    resp_buf: usize,
+    conn: usize,
+    conn_layout: Layout,
+    resp: usize,
+    resp_layout: Layout,
+}
+
+/// Connection buffers sit on cache-line boundaries.
+const CONN_ALIGN: usize = 64;
+
+fn release(facade: &NbbsAllocator<Arc<dyn BuddyBackend>>, req: Request) {
+    unsafe {
+        facade.deallocate(
+            NonNull::new(req.conn as *mut u8).expect("tracked pointers are non-null"),
+            req.conn_layout,
+        );
+        facade.deallocate(
+            NonNull::new(req.resp as *mut u8).expect("tracked pointers are non-null"),
+            req.resp_layout,
+        );
+    }
 }
 
 fn simulate(alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: f64) -> u64 {
+    let facade = Arc::new(NbbsAllocator::new(Arc::clone(&alloc)));
     let stop = Arc::new(AtomicBool::new(false));
     let completed = Arc::new(AtomicU64::new(0));
     let exchange: Arc<crossbeam::queue::SegQueue<Request>> =
@@ -40,7 +66,7 @@ fn simulate(alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: f64) -> u64 {
 
     let handles: Vec<_> = (0..threads)
         .map(|t| {
-            let alloc = Arc::clone(&alloc);
+            let facade = Arc::clone(&facade);
             let stop = Arc::clone(&stop);
             let completed = Arc::clone(&completed);
             let exchange = Arc::clone(&exchange);
@@ -48,25 +74,63 @@ fn simulate(alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: f64) -> u64 {
                 let mut rng = SplitMix64::new(0xBEEF ^ t as u64);
                 let mut in_flight: Vec<Request> = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
-                    // Accept a new "request": headers up to 1 KiB, body up to 8 KiB.
+                    // Accept a new "request": headers up to 1 KiB on a cache
+                    // line; the response starts small and streams its body
+                    // in up-to-2 KiB chunks through grow().
                     let header = 64 + rng.next_below(960);
-                    let body = 256 + rng.next_below(8 << 10);
-                    let Some(conn_buf) = alloc.alloc(header) else {
+                    let conn_layout = Layout::from_size_align(header, CONN_ALIGN)
+                        .expect("sizes stay well-formed");
+                    let Ok(conn) = facade.allocate(conn_layout) else {
                         std::thread::yield_now();
                         continue;
                     };
-                    let Some(resp_buf) = alloc.alloc(body) else {
-                        alloc.dealloc(conn_buf);
+                    let mut resp_layout =
+                        Layout::from_size_align(256, 8).expect("sizes stay well-formed");
+                    let resp = match facade.allocate(resp_layout) {
+                        Ok(block) => block,
+                        Err(_) => {
+                            unsafe { facade.deallocate(conn.cast(), conn_layout) };
+                            std::thread::yield_now();
+                            continue;
+                        }
+                    };
+                    let mut resp_ptr: NonNull<u8> = resp.cast();
+                    // Stream the body: one to four grow steps.
+                    let mut ok = true;
+                    for _ in 0..1 + rng.next_below(4) {
+                        let new_size = resp_layout.size() + 256 + rng.next_below(2 << 10);
+                        let new_layout =
+                            Layout::from_size_align(new_size, 8).expect("sizes stay well-formed");
+                        match unsafe { facade.grow(resp_ptr, resp_layout, new_layout) } {
+                            Ok(grown) => {
+                                resp_ptr = grown.cast();
+                                resp_layout = new_layout;
+                            }
+                            Err(_) => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !ok {
+                        unsafe {
+                            facade.deallocate(conn.cast(), conn_layout);
+                            facade.deallocate(resp_ptr, resp_layout);
+                        }
                         std::thread::yield_now();
                         continue;
-                    };
-                    in_flight.push(Request { conn_buf, resp_buf });
+                    }
+                    in_flight.push(Request {
+                        conn: conn.cast::<u8>().as_ptr() as usize,
+                        conn_layout,
+                        resp: resp_ptr.as_ptr() as usize,
+                        resp_layout,
+                    });
 
                     // Retire an old request, either ours or one handed over
                     // by another worker.
                     if let Some(req) = exchange.pop() {
-                        alloc.dealloc(req.conn_buf);
-                        alloc.dealloc(req.resp_buf);
+                        release(&facade, req);
                         completed.fetch_add(1, Ordering::Relaxed);
                     }
                     if in_flight.len() > 64 {
@@ -75,15 +139,13 @@ fn simulate(alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: f64) -> u64 {
                             // Hand the response off to another worker.
                             exchange.push(req);
                         } else {
-                            alloc.dealloc(req.conn_buf);
-                            alloc.dealloc(req.resp_buf);
+                            release(&facade, req);
                             completed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
-                for req in in_flight {
-                    alloc.dealloc(req.conn_buf);
-                    alloc.dealloc(req.resp_buf);
+                for req in in_flight.drain(..) {
+                    release(&facade, req);
                 }
             })
         })
@@ -95,10 +157,16 @@ fn simulate(alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: f64) -> u64 {
         h.join().unwrap();
     }
     while let Some(req) = exchange.pop() {
-        alloc.dealloc(req.conn_buf);
-        alloc.dealloc(req.resp_buf);
+        release(&facade, req);
     }
-    assert_eq!(alloc.allocated_bytes(), 0, "no request may leak");
+    assert_eq!(facade.allocated_bytes(), 0, "no request may leak");
+    let stats = facade.facade_stats();
+    println!(
+        "    [response streaming: {} grows in place, {} moved ({:.0}% in place)]",
+        stats.grows_in_place,
+        stats.grows_moved,
+        stats.grow_in_place_rate() * 100.0
+    );
     // Return any magazine-cached buffers to the tree (no-op for uncached
     // backends) so the next candidate starts from pristine state.
     alloc.drain_cache();

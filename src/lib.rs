@@ -5,6 +5,8 @@
 //! crates so examples can use a single dependency root.
 
 pub use nbbs;
+pub use nbbs_alloc;
 pub use nbbs_baselines;
+pub use nbbs_cache;
 pub use nbbs_sync;
 pub use nbbs_workloads;
