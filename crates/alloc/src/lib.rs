@@ -46,7 +46,11 @@
 //! of leaking to `System`, fixing the deprecated core adapter's race), with
 //! a thread-local bypass latch so the cache's own bookkeeping allocations
 //! cannot recurse, and per-thread exit drains so short-lived threads return
-//! their magazines to the tree.
+//! their magazines to the tree.  Underneath the cache sits an `nbbs-numa`
+//! `NodeSet` — one buddy tree per NUMA node when configured with
+//! [`NbbsGlobalAlloc::with_nodes`], a zero-cost single node otherwise — and
+//! [`NbbsGlobalAlloc::print_stats_on_exit`] dumps buddy/system shares,
+//! grow-in-place rates and per-node service shares when the process ends.
 //!
 //! ```
 //! use std::alloc::Layout;

@@ -22,36 +22,21 @@ const GROW_SPILL_MAGAZINES: usize = 2;
 const REFILL_BATCH_MAX: usize = 64;
 
 /// Process-wide thread slot assignment shared by every cache instance:
-/// threads receive a monotone id on first use and map to a slot by masking,
-/// so with `slots >= thread count` every thread owns a private slot.
+/// threads map to a slot by masking their [`nbbs_sync::thread_ordinal`]
+/// (monotone, assigned on first use anywhere in the stack), so with
+/// `slots >= thread count` every thread owns a private slot.
 ///
 /// *Foreign* threads — any thread the cache owner never heard of, e.g. every
 /// thread of a program whose `#[global_allocator]` routes through the cache
-/// — get their slot the same way; the `Cell` is const-initialized and has no
-/// destructor, so the lookup never allocates and stays accessible even while
-/// other thread-locals are being torn down.  `try_with` covers the one
-/// platform-dependent corner (TLS already unmapped during late thread
-/// teardown) by parking such calls on slot 0: slots may be shared, so this
-/// is always correct, merely conservative — and a global allocator must not
-/// panic.
+/// — get their slot the same way; the ordinal lookup never allocates, stays
+/// accessible through thread teardown, and conservatively parks late-TLS
+/// calls on slot 0 (slots may be shared, so this is always correct — and a
+/// global allocator must not panic).  Because `nbbs-numa`'s synthetic
+/// home-node assignment derives from the *same* ordinal, a thread's slot
+/// group and its home node agree by construction.
 fn thread_slot(slots: usize) -> usize {
-    use std::cell::Cell;
-    static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static ID: Cell<usize> = const { Cell::new(usize::MAX) };
-    }
-    let id = ID
-        .try_with(|c| {
-            let mut id = c.get();
-            if id == usize::MAX {
-                id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
-                c.set(id);
-            }
-            id
-        })
-        .unwrap_or(0);
     // `slots` is a power of two.
-    id & (slots - 1)
+    nbbs_sync::thread_ordinal() & (slots - 1)
 }
 
 #[derive(Debug, Default)]
@@ -101,6 +86,12 @@ struct ClassCtl {
 /// Slots are grouped into shards (one depot shard per group, the analogue of
 /// per-NUMA-node depots), so full/empty magazine circulation stops at the
 /// group boundary instead of bouncing chunks across the whole machine.
+/// With [`CacheConfig::node_groups`] set, the shard set is further
+/// partitioned into per-NUMA-node banks keyed by the
+/// [`CacheConfig::node_of`] hook: every exchange (park, refill pop, steal)
+/// stays within the calling thread's bank, so a depot shard never spans
+/// nodes — the right configuration when the backend underneath is a
+/// multi-node `NodeSet`.
 ///
 /// Magazine capacities are *adaptive* (Bonwick's dynamic resizing): a class
 /// whose bursts keep spilling past its depot shard doubles its capacity (up
@@ -136,10 +127,20 @@ pub struct MagazineCache<A: BuddyBackend> {
     /// `class_count` classes are cached in total.
     class_count: usize,
     slots: Box<[CachePadded<Slot>]>,
-    /// Depot shards; slot `s` exchanges magazines with shard
-    /// `s & shard_mask` only.
+    /// Depot shards, partitioned into `group_count` contiguous banks of
+    /// `group_shards` shards each (one bank per NUMA-node group; a single
+    /// machine-wide bank by default).  A thread on group `g` in slot `s`
+    /// exchanges magazines with shard
+    /// `g * group_shards + (s & group_shard_mask)` only — magazine traffic
+    /// (parks, refill pops, steals) never crosses the bank boundary, so a
+    /// shard never mixes chunks from two nodes.
     shards: Box<[CachePadded<DepotShard>]>,
-    shard_mask: usize,
+    /// Number of node-group banks (`CacheConfig::node_groups`, power of two).
+    group_count: usize,
+    /// Shards per bank (power of two).
+    group_shards: usize,
+    /// `group_shards - 1`: the within-bank shard mask.
+    group_shard_mask: usize,
     /// Adaptive capacity controllers, one per class.
     ctl: Box<[ClassCtl]>,
     /// Resolved byte budget (caps adaptive magazine growth; split across
@@ -199,6 +200,8 @@ impl<A: BuddyBackend> MagazineCache<A> {
             })
             .collect();
         let shard_count = config.resolved_shards();
+        let group_count = config.resolved_groups();
+        let group_shards = shard_count / group_count;
         let depot_capacity = match config.flush_policy {
             FlushPolicy::Depot => config.depot_magazines,
             FlushPolicy::Direct => 0,
@@ -212,7 +215,9 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 spills: AtomicUsize::new(0),
             })
             .collect();
-        let budget = config.resolved_budget(geo.total_memory());
+        // Budget from the backend's *logical* span: a multi-node NodeSet
+        // reports a widened (power-of-two) geometry but manages less.
+        let budget = config.resolved_budget(backend.total_memory());
         MagazineCache {
             backend,
             name,
@@ -220,7 +225,9 @@ impl<A: BuddyBackend> MagazineCache<A> {
             class_count,
             slots,
             shards,
-            shard_mask: shard_count - 1,
+            group_count,
+            group_shards,
+            group_shard_mask: group_shards - 1,
             ctl,
             budget,
             shard_budget: budget / shard_count,
@@ -254,9 +261,33 @@ impl<A: BuddyBackend> MagazineCache<A> {
         self.shards.len()
     }
 
+    /// Number of node-group banks the depot shards are partitioned into.
+    pub fn node_group_count(&self) -> usize {
+        self.group_count
+    }
+
+    /// The node-group bank of the calling thread (always 0 without
+    /// [`CacheConfig::node_groups`]).
+    fn current_group(&self) -> usize {
+        if self.group_count == 1 {
+            0
+        } else {
+            // `group_count` is a power of two.
+            self.config.node_of.map_or(0, |f| f.call()) & (self.group_count - 1)
+        }
+    }
+
+    /// The depot shard a given slot exchanges magazines with, for the
+    /// calling thread: its node-group bank, then its slot's shard within
+    /// the bank.
+    #[inline]
+    fn shard_of(&self, slot_idx: usize) -> usize {
+        self.current_group() * self.group_shards + (slot_idx & self.group_shard_mask)
+    }
+
     /// The depot shard the calling thread exchanges magazines with.
     pub fn current_shard(&self) -> usize {
-        thread_slot(self.slots.len()) & self.shard_mask
+        self.shard_of(thread_slot(self.slots.len()))
     }
 
     /// Full magazines currently parked in depot shard `shard` (approximate
@@ -349,7 +380,9 @@ impl<A: BuddyBackend> MagazineCache<A> {
     /// so a steal costs one tagged CAS per probed shard and never turns
     /// into a sweep; the byte accounting is the regular pop/credit pair
     /// (the victim shard is debited by `pop_full`, the caller's slot
-    /// credits on load).
+    /// credits on load).  The scan stays inside the caller's node-group
+    /// bank: with one shard per group there is nothing to steal, by design
+    /// — cached chunks never cross the node boundary through the depot.
     fn steal_full_magazine(
         &self,
         shard_idx: usize,
@@ -359,8 +392,10 @@ impl<A: BuddyBackend> MagazineCache<A> {
         if !self.config.depot_steal {
             return None;
         }
-        for d in 1..self.shards.len() {
-            let victim = (shard_idx + d) & self.shard_mask;
+        let bank = shard_idx & !self.group_shard_mask;
+        let local = shard_idx & self.group_shard_mask;
+        for d in 1..self.group_shards {
+            let victim = bank + ((local + d) & self.group_shard_mask);
             if let Some(full) = self.shards[victim].pop_full(class, class_size) {
                 self.counters.depot_steals.fetch_add(1, Ordering::Relaxed);
                 return Some(full);
@@ -414,8 +449,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
         // (a full magazine in via one lock-free pop, our empty `loaded` out —
         // recirculated as the spare for the next overflow rotation).
         if self.config.flush_policy == FlushPolicy::Depot {
-            if let Some(full) = self.shards[slot_idx & self.shard_mask].pop_full(class, class_size)
-            {
+            if let Some(full) = self.shards[self.shard_of(slot_idx)].pop_full(class, class_size) {
                 // The popped magazine's chunks move from the shard's byte
                 // counter (debited by `pop_full`) to this slot's.
                 slot.bytes
@@ -450,7 +484,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
         drop(mags);
 
         if self.config.flush_policy == FlushPolicy::Depot {
-            let shard_idx = slot_idx & self.shard_mask;
+            let shard_idx = self.shard_of(slot_idx);
             if let Some(mut full) = self.steal_full_magazine(shard_idx, class, class_size) {
                 let off = full.pop().expect("stolen magazines are full");
                 let remaining = full.len() * class_size;
@@ -589,7 +623,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
         let class_size = self.class_size(class);
         if self.config.flush_policy == FlushPolicy::Depot {
             let in_flight = full.len() * class_size;
-            let shard = &self.shards[slot_idx & self.shard_mask];
+            let shard = &self.shards[self.shard_of(slot_idx)];
             if shard.bytes() + in_flight <= self.shard_budget {
                 match shard.push_full(class, class_size, full) {
                     Ok(()) => {
@@ -819,6 +853,12 @@ impl<A: BuddyBackend> BuddyBackend for MagazineCache<A> {
 
     fn geometry(&self) -> &Geometry {
         self.backend.geometry()
+    }
+
+    fn total_memory(&self) -> usize {
+        // Forwarded rather than derived from the geometry: a multi-node
+        // backend's logical span is smaller than its widened geometry.
+        self.backend.total_memory()
     }
 
     fn alloc(&self, size: usize) -> Option<usize> {

@@ -32,6 +32,14 @@ pub enum ConfigError {
         /// Maximum supported depth.
         limit: u32,
     },
+    /// A widened multi-node geometry ([`crate::Geometry::widened`]) would
+    /// exceed the address space.
+    WidenedTotalOverflow {
+        /// Per-node managed bytes.
+        per_node: usize,
+        /// Widened slot count (node count rounded up to a power of two).
+        slots: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -54,6 +62,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::TooDeep { depth, limit } => {
                 write!(f, "tree depth {depth} exceeds the supported limit {limit}")
+            }
+            ConfigError::WidenedTotalOverflow { per_node, slots } => {
+                write!(
+                    f,
+                    "widened region ({per_node} B x {slots} slots) overflows the address space"
+                )
             }
         }
     }

@@ -213,6 +213,43 @@ impl Geometry {
         let start = self.offset_of(n);
         (start, start + self.size_of(n))
     }
+
+    /// The *widened* multi-node geometry spanning `node_count` instances of
+    /// this geometry.
+    ///
+    /// Multi-node deployments (`nbbs-numa`'s `NodeSet`) pack the node index
+    /// into the high bits of a global offset: node `i` owns the range
+    /// `[i << widening_shift(), (i + 1) << widening_shift())`.  To keep the
+    /// global offset space a valid power-of-two buddy geometry (so a
+    /// `NodeSet` can itself implement `BuddyBackend`), the node count is
+    /// rounded up to the next power of two — offsets in the phantom tail
+    /// beyond the real nodes are simply never produced.  `min_size` and
+    /// `max_size` carry over unchanged: a single request is always served by
+    /// one node, so the per-request ceiling does not widen.
+    ///
+    /// Fails when the widened region would exceed the supported tree depth
+    /// or overflow `usize`.
+    pub fn widened(&self, node_count: usize) -> Result<Geometry, crate::error::ConfigError> {
+        let slots = node_count.max(1).next_power_of_two();
+        let widened_total = self.total_memory.checked_mul(slots).ok_or(
+            crate::error::ConfigError::WidenedTotalOverflow {
+                per_node: self.total_memory,
+                slots,
+            },
+        )?;
+        let config = BuddyConfig::new(widened_total, self.min_size, self.max_size)?;
+        Ok(Geometry::new(&config))
+    }
+
+    /// The shift that packs a node index into (and extracts it out of) a
+    /// widened global offset: `log2(total_memory)` of the per-node geometry.
+    ///
+    /// `global = (node << shift) | local` and `node = global >> shift`,
+    /// `local = global & (total_memory - 1)` — pure arithmetic, no search.
+    #[inline]
+    pub fn widening_shift(&self) -> u32 {
+        self.total_memory.trailing_zeros()
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +378,40 @@ mod tests {
         assert!(!g.is_ancestor_or_self(3, 9));
         assert!(!g.is_ancestor_or_self(9, 4));
         assert!(!g.is_ancestor_or_self(8, 9));
+    }
+
+    #[test]
+    fn widened_geometry_rounds_nodes_to_a_power_of_two() {
+        let g = geo(1 << 16, 64, 1 << 12);
+        assert_eq!(g.widening_shift(), 16);
+        for (nodes, slots) in [(1usize, 1usize), (2, 2), (3, 4), (4, 4), (5, 8)] {
+            let w = g.widened(nodes).unwrap();
+            assert_eq!(w.total_memory(), slots << 16, "{nodes} nodes");
+            assert_eq!(w.min_size(), 64);
+            assert_eq!(w.max_size(), 1 << 12);
+            // Granted sizes are unchanged by widening: a request is always
+            // served by one node.
+            for req in [1usize, 64, 100, 4096] {
+                assert_eq!(w.granted_size(req), g.granted_size(req), "req {req}");
+            }
+            assert_eq!(w.granted_size(1 << 13), None, "per-node ceiling kept");
+        }
+    }
+
+    #[test]
+    fn widened_geometry_rejects_overflow_and_excess_depth() {
+        use crate::error::ConfigError;
+        let g = geo(1 << 16, 64, 1 << 12);
+        assert!(matches!(
+            g.widened(usize::MAX / 4),
+            Err(ConfigError::WidenedTotalOverflow { .. })
+        ));
+        // Depth cap: widening a deep tree past MAX_DEPTH must fail cleanly.
+        let deep = geo(1 << 30, 1, 1 << 10);
+        assert!(matches!(
+            deep.widened(1 << 4),
+            Err(ConfigError::TooDeep { .. })
+        ));
     }
 
     #[test]

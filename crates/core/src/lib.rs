@@ -30,7 +30,10 @@
 //!   adapter remains for compatibility; programs should use the `nbbs-alloc`
 //!   crate's layout-aware, magazine-cached facade instead.)
 //! * [`MultiInstance`] — a NUMA-style multi-instance router, mirroring how the
-//!   Linux kernel deploys one buddy instance per NUMA node.
+//!   Linux kernel deploys one buddy instance per NUMA node.  (Deprecated: the
+//!   `nbbs-numa` crate's `NodeSet` carries the same routing but implements
+//!   [`BuddyBackend`] over a widened geometry — [`Geometry::widened`] — so the
+//!   cache and facade layers stack on top of it unchanged.)
 //! * [`verify`] — runtime checkers for the paper's safety properties (no two
 //!   live allocations overlap; a free releases exactly what was allocated).
 //!
@@ -113,6 +116,8 @@ pub use geometry::Geometry;
 #[allow(deprecated)]
 pub use global::NbbsGlobalAlloc;
 pub use locked::{LockedBuddy, LockedFourLevel, LockedOneLevel};
+pub use multi::nearest_first_order;
+#[allow(deprecated)]
 pub use multi::MultiInstance;
 pub use onelvl::NbbsOneLevel;
 pub use region::BuddyRegion;

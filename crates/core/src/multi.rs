@@ -9,6 +9,13 @@
 //! explore the opposite end of the spectrum: route each thread to a home
 //! instance and fall back to the other instances only when the home one is
 //! exhausted (mirroring the kernel's zone fallback order).
+//!
+//! `MultiInstance` is **deprecated** in favour of the `nbbs-numa` crate's
+//! `NodeSet`, which carries the same per-node routing but implements
+//! [`BuddyBackend`] itself over a *widened* geometry
+//! ([`Geometry::widened`]), so the magazine cache and the `nbbs-alloc`
+//! facade stack on top of it unchanged.  The distance-aware fallback order
+//! the two share lives here as [`nearest_first_order`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -17,17 +24,46 @@ use crate::geometry::Geometry;
 use crate::stats::OpStatsSnapshot;
 use crate::traits::BuddyBackend;
 
+/// The distance-aware fallback order over `n` nodes starting at `start`:
+/// the start node first, then its neighbours by increasing ring distance,
+/// alternating sides (`start`, `start+1`, `start-1`, `start+2`, `start-2`,
+/// …, wrapping modulo `n`).
+///
+/// This mirrors how a NUMA zone list prefers close nodes: the old
+/// `MultiInstance` scan walked `start, start+1, …, start+n-1`, which made
+/// the node *just before* the start the **last** candidate even though it is
+/// distance 1 away on the ring.  Every node is yielded exactly once.
+pub fn nearest_first_order(start: usize, n: usize) -> impl Iterator<Item = usize> {
+    debug_assert!(n > 0, "need at least one node");
+    let start = if n == 0 { 0 } else { start % n };
+    (0..n).map(move |k| {
+        // k = 0 → start; odd k → +((k+1)/2); even k → -(k/2).
+        let d = k.div_ceil(2);
+        if k % 2 == 1 {
+            (start + d) % n
+        } else {
+            (start + n - (d % n)) % n
+        }
+    })
+}
+
 /// A set of buddy instances with per-thread home routing and fallback.
 ///
 /// Offsets returned by [`MultiInstance::alloc`] are *global*: instance `i`
 /// owns the range `[i * total, (i+1) * total)`, so a single `usize` still
 /// identifies both the instance and the chunk, and `dealloc` needs no extra
 /// bookkeeping — exactly how physical frame numbers identify their NUMA node.
+#[deprecated(
+    since = "0.1.0",
+    note = "use nbbs-numa's NodeSet: it implements BuddyBackend over a widened \
+            geometry, so the magazine cache and the allocator facade stack on top"
+)]
 pub struct MultiInstance<A> {
     instances: Vec<A>,
     next_home: AtomicUsize,
 }
 
+#[allow(deprecated)]
 impl<A: BuddyBackend> MultiInstance<A> {
     /// Builds a multi-instance allocator from identically-configured
     /// instances.
@@ -87,13 +123,13 @@ impl<A: BuddyBackend> MultiInstance<A> {
     }
 
     /// Allocates from the calling thread's home instance, falling back to the
-    /// other instances in order when the home instance cannot satisfy the
-    /// request.  Returns a *global* offset.
+    /// other instances in [`nearest_first_order`] (closest ring neighbours
+    /// first, like a NUMA zone list) when the home instance cannot satisfy
+    /// the request.  Returns a *global* offset.
     pub fn alloc(&self, size: usize) -> Option<usize> {
         let n = self.instances.len();
         let home = self.home_instance();
-        for k in 0..n {
-            let i = (home + k) % n;
+        for i in nearest_first_order(home, n) {
             if let Some(off) = self.instances[i].alloc(size) {
                 return Some(i * self.instance_memory() + off);
             }
@@ -212,23 +248,50 @@ impl<A: BuddyBackend> MultiInstance<A> {
     pub fn stats(&self) -> OpStatsSnapshot {
         let mut acc = OpStatsSnapshot::default();
         for i in &self.instances {
-            let s = i.stats();
-            acc.allocs += s.allocs;
-            acc.frees += s.frees;
-            acc.failed_allocs += s.failed_allocs;
-            acc.cas_ops += s.cas_ops;
-            acc.cas_failures += s.cas_failures;
-            acc.nodes_skipped += s.nodes_skipped;
+            acc.merge(&i.stats());
         }
         acc
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{BuddyConfig, NbbsFourLevel, NbbsOneLevel};
     use std::sync::Arc;
+
+    #[test]
+    fn nearest_first_order_is_a_distance_symmetric_permutation() {
+        for n in 1..=9usize {
+            for start in 0..n {
+                let order: Vec<usize> = nearest_first_order(start, n).collect();
+                assert_eq!(order[0], start, "start node first (n={n})");
+                let mut seen: Vec<usize> = order.clone();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..n).collect::<Vec<_>>(), "permutation (n={n})");
+                // Ring distance is non-decreasing along the order.
+                let dist = |i: usize| {
+                    let d = (i + n - start) % n;
+                    d.min(n - d)
+                };
+                for w in order.windows(2) {
+                    assert!(
+                        dist(w[1]) >= dist(w[0]),
+                        "distance must not decrease: {order:?} (n={n}, start={start})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrapped_neighbour_is_an_early_fallback() {
+        // The old 0..n scan made instance n-1 the *last* candidate for a
+        // thread homed on 0, although it is distance 1 on the ring.
+        let order: Vec<usize> = nearest_first_order(0, 4).collect();
+        assert_eq!(order, vec![0, 1, 3, 2]);
+    }
 
     fn instances(n: usize, total: usize) -> MultiInstance<NbbsOneLevel> {
         MultiInstance::new(

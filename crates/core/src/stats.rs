@@ -70,6 +70,18 @@ impl OpStatsSnapshot {
             self.cas_failures as f64 / self.cas_ops as f64
         }
     }
+
+    /// Accumulates `other` into `self`, counter by counter — the
+    /// [`CacheStatsSnapshot::merge`] analogue multi-instance deployments
+    /// use to report one aggregated view across per-node backends.
+    pub fn merge(&mut self, other: &OpStatsSnapshot) {
+        self.allocs += other.allocs;
+        self.frees += other.frees;
+        self.failed_allocs += other.failed_allocs;
+        self.cas_ops += other.cas_ops;
+        self.cas_failures += other.cas_failures;
+        self.nodes_skipped += other.nodes_skipped;
+    }
 }
 
 impl fmt::Display for OpStatsSnapshot {

@@ -66,6 +66,11 @@ pub trait BuddyBackend: Send + Sync {
     fn try_dealloc(&self, offset: usize) -> Result<(), FreeError>;
 
     /// Total managed memory in bytes.
+    ///
+    /// Defaults to the geometry's span; multi-node backends override it to
+    /// their *logical* span (a widened geometry rounds the node count up to
+    /// a power of two, and the phantom tail manages nothing), and wrappers
+    /// forward it so backing-memory layers never commit phantom bytes.
     fn total_memory(&self) -> usize {
         self.geometry().total_memory()
     }
@@ -196,6 +201,9 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for std::sync::Arc<T> {
     fn try_dealloc(&self, offset: usize) -> Result<(), FreeError> {
         (**self).try_dealloc(offset)
     }
+    fn total_memory(&self) -> usize {
+        (**self).total_memory()
+    }
     fn allocated_bytes(&self) -> usize {
         (**self).allocated_bytes()
     }
@@ -237,6 +245,9 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for &T {
     }
     fn try_dealloc(&self, offset: usize) -> Result<(), FreeError> {
         (**self).try_dealloc(offset)
+    }
+    fn total_memory(&self) -> usize {
+        (**self).total_memory()
     }
     fn allocated_bytes(&self) -> usize {
         (**self).allocated_bytes()

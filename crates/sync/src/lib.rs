@@ -19,6 +19,9 @@
 //!   substrate of the `nbbs-cache` magazine layer.
 //! * [`cycles`] — a serializing time-stamp-counter reader used to reproduce
 //!   the clock-cycle metric of Figure 12.
+//! * [`thread_ordinal`] — process-wide monotone thread ids, shared by the
+//!   cache's thread slots and `nbbs-numa`'s synthetic home-node assignment
+//!   so both layers agree on which threads are "the same".
 //!
 //! Everything here is dependency-free; `unsafe` is confined to the interior
 //! of the synchronization primitives (the lock and stack value cells) and
@@ -29,6 +32,7 @@ pub mod cycles;
 pub mod pad;
 pub mod spinlock;
 pub mod ticket;
+pub mod tid;
 pub mod treiber;
 
 pub use backoff::Backoff;
@@ -36,4 +40,5 @@ pub use cycles::{cycles_now, CycleTimer};
 pub use pad::CachePadded;
 pub use spinlock::{SpinLock, SpinLockGuard};
 pub use ticket::{TicketLock, TicketLockGuard};
+pub use tid::thread_ordinal;
 pub use treiber::BoundedStack;

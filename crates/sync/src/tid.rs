@@ -1,0 +1,56 @@
+//! Process-wide monotone thread ordinals.
+//!
+//! Several layers of the stack key per-thread state by a small dense id —
+//! the magazine cache's thread slots (`nbbs-cache`), the synthetic
+//! home-node assignment (`nbbs-numa`).  Keeping the counter *here*, in the
+//! one crate both depend on, guarantees they see the **same** id for the
+//! same thread: a thread's cache slot and its synthetic home node are
+//! derived from one ordinal, so slot-group banking and node routing agree
+//! by construction.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The calling thread's process-wide ordinal: a monotone id handed out on
+/// first use (0, 1, 2, …), stable for the thread's lifetime.
+///
+/// Panic-free through every phase of thread teardown: the thread-local is
+/// const-initialized (no destructor), and if TLS is already unmapped the
+/// call conservatively returns 0 — callers use the ordinal to pick a slot
+/// or node, where sharing entry 0 is always correct, merely conservative.
+pub fn thread_ordinal() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ORDINAL: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    ORDINAL
+        .try_with(|c| {
+            let mut id = c.get();
+            if id == usize::MAX {
+                id = NEXT.fetch_add(1, Ordering::Relaxed);
+                c.set(id);
+            }
+            id
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_within_a_thread_and_distinct_across_threads() {
+        let mine = thread_ordinal();
+        assert_eq!(mine, thread_ordinal(), "stable for the thread's lifetime");
+        let others: Vec<usize> = (0..4)
+            .map(|_| std::thread::spawn(thread_ordinal))
+            .map(|h| h.join().unwrap())
+            .collect();
+        let mut all = others.clone();
+        all.push(mine);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 5, "every thread gets its own ordinal: {all:?}");
+    }
+}

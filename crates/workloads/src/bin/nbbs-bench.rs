@@ -9,7 +9,8 @@
 //!   fig9            Thread Test execution times         (Figure 9)
 //!   fig10           Larson throughput                   (Figure 10)
 //!   fig11           Constant Occupancy execution times  (Figure 11)
-//!   fig12           Kernel-buddy comparison, cycles     (Figure 12)
+//!   fig12           Kernel-buddy comparison, cycles, plus the multi-node
+//!                   NodeSet sweep (threads x nodes x skew)   (Figure 12)
 //!   fig13           Magazine-cache ablation: cached vs uncached backends
 //!   all             All of the above
 //!   ablation-scan   Scan-start policy ablation (first-fit vs scattered)
@@ -25,6 +26,7 @@
 //!   --sizes <list>    Comma-separated request sizes in bytes
 //!   --allocators <l>  Comma-separated allocator names
 //!   --csv <path>      Also write raw measurements as CSV
+//!   --json <path>     Also write JSON lines (incl. per-node share tables)
 //!   --series <path>   Also write gnuplot-style series
 //!   --quiet           Suppress progress output
 //! ```
@@ -35,10 +37,12 @@ use std::sync::Arc;
 
 use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel, ScanPolicy};
 use nbbs_cache::{CacheConfig, MagazineCache};
+use nbbs_numa::{NodePolicy, NodeSet, Topology};
 use nbbs_workloads::factory::{AllocatorKind, SharedBackend};
 use nbbs_workloads::harness::{FigureSpec, Harness, Metric, SweepConfig, Workload};
 use nbbs_workloads::linux_scalability::{self, LinuxScalabilityParams};
 use nbbs_workloads::measure::Measurement;
+use nbbs_workloads::numa_skew::{self, NumaSkewParams};
 use nbbs_workloads::{constant_occupancy, report};
 
 #[derive(Debug, Clone)]
@@ -48,6 +52,7 @@ struct Options {
     sizes: Option<Vec<usize>>,
     allocators: Option<Vec<AllocatorKind>>,
     csv_path: Option<String>,
+    json_path: Option<String>,
     series_path: Option<String>,
     verbose: bool,
 }
@@ -60,6 +65,7 @@ impl Default for Options {
             sizes: None,
             allocators: None,
             csv_path: None,
+            json_path: None,
             series_path: None,
             verbose: true,
         }
@@ -120,6 +126,10 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                 i += 1;
                 opts.csv_path = Some(args.get(i).ok_or("--csv needs a path")?.clone());
             }
+            "--json" => {
+                i += 1;
+                opts.json_path = Some(args.get(i).ok_or("--json needs a path")?.clone());
+            }
             "--series" => {
                 i += 1;
                 opts.series_path = Some(args.get(i).ok_or("--series needs a path")?.clone());
@@ -165,6 +175,77 @@ fn run_figure(figure: FigureSpec, opts: &Options) -> Vec<Measurement> {
         println!("Magazine-cache behaviour:");
         print!("{cache}");
     }
+    measurements
+}
+
+/// The multi-node half of Figure 12 (this reproduction's own): the paper's
+/// headline deployment is one buddy instance per NUMA node with home-node
+/// allocation and remote fallback, so this sweep drives an `nbbs-numa`
+/// `NodeSet<NbbsFourLevel>` (page-granular per-node arenas, synthetic
+/// topology for reproducibility) across threads × node counts × home-node
+/// hit ratios and prints the per-node share table: how much each node
+/// served locally, how much as a remote fallback, and what failed.
+fn fig12_numa(opts: &Options) -> Vec<Measurement> {
+    println!("\n=== Figure 12 (multi-node): one buddy per node — threads x nodes x home-ratio ===");
+    // Honour the CLI filters like every figure sweep: an --allocators list
+    // without the numa kind skips the multi-node half entirely, and --sizes
+    // overrides the default page-sized requests.
+    if let Some(allocators) = &opts.allocators {
+        if !allocators.contains(&AllocatorKind::Numa4LvlNb) {
+            println!("(skipped: --allocators does not include numa-4lvl-nb)");
+            return Vec::new();
+        }
+    }
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![4, 8]);
+    let sizes = opts.sizes.clone().unwrap_or_else(|| vec![4096]);
+    let mut measurements = Vec::new();
+    for nodes in [2usize, 4] {
+        // Page-granular per-node arenas in the spirit of the kernel setup;
+        // metadata only, no backing memory is touched.
+        let per_node = BuddyConfig::new(512 << 20, 4096, 128 << 10).unwrap();
+        for &size in &sizes {
+            if size > per_node.max_size() {
+                println!(
+                    "(size {size} exceeds the per-node request ceiling {}; skipped)",
+                    per_node.max_size()
+                );
+                continue;
+            }
+            for &t in &threads {
+                for ratio in [1.0f64, 0.5] {
+                    let set = Arc::new(
+                        NodeSet::with_topology(
+                            (0..nodes).map(|_| NbbsFourLevel::new(per_node)).collect(),
+                            Topology::synthetic(nodes),
+                            NodePolicy::HomeFirst,
+                        )
+                        .with_name("numa-4lvl-nb"),
+                    );
+                    let params = NumaSkewParams::paper(t, size)
+                        .scaled(opts.scale)
+                        .with_home_ratio(ratio);
+                    let workload = format!("numa-skew/n={nodes}/home={:.0}%", ratio * 100.0);
+                    if opts.verbose {
+                        eprintln!("[nbbs-bench] {workload} threads={t} allocator=numa-4lvl-nb ...");
+                    }
+                    let result = numa_skew::run_on_nodes(&set, params);
+                    let m = Measurement::new(workload, "numa-4lvl-nb", size, result)
+                        .with_backend_ops(set.stats())
+                        .with_node_shares(Some(set.node_stats()));
+                    if opts.verbose {
+                        eprintln!("[nbbs-bench]   -> {m}");
+                    }
+                    measurements.push(m);
+                }
+            }
+        }
+    }
+    print!("{}", report::text_table(&measurements, Metric::Seconds));
+    println!(
+        "Per-node allocation shares (remote = allocations a node served as \
+         fallback for requests that started elsewhere):"
+    );
+    print!("{}", report::node_share_table(&measurements));
     measurements
 }
 
@@ -274,6 +355,11 @@ fn write_outputs(
         std::fs::write(path, report::csv(measurements))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote CSV to {path}");
+    }
+    if let Some(path) = &opts.json_path {
+        std::fs::write(path, report::json_lines(measurements))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote JSON lines to {path}");
     }
     if let Some(path) = &opts.series_path {
         std::fs::write(path, report::figure_series(measurements, metric))
@@ -408,6 +494,7 @@ fn list() {
         Workload::Larson,
         Workload::ConstantOccupancy,
         Workload::MixedLayout,
+        Workload::NumaSkew,
     ] {
         println!("  {:<20} metric: {}", w.name(), w.primary_metric().label());
     }
@@ -415,6 +502,7 @@ fn list() {
     for &f in FigureSpec::all() {
         println!("  {}", f.title());
     }
+    println!("  Figure 12 also sweeps the multi-node NodeSet deployment (threads x nodes x home-ratio) with a per-node share table");
     println!("  Figure 13: Magazine-cache ablation - cached vs uncached backends, facade churn, per-class capacities, depot-steal A/B (this reproduction's own)");
 }
 
@@ -446,16 +534,18 @@ fn main() -> ExitCode {
             run_figure(FigureSpec::Fig11, &opts),
             FigureSpec::Fig11.metric(),
         ),
-        "fig12" => (
-            run_figure(FigureSpec::Fig12, &opts),
-            FigureSpec::Fig12.metric(),
-        ),
+        "fig12" => {
+            let mut measurements = run_figure(FigureSpec::Fig12, &opts);
+            measurements.extend(fig12_numa(&opts));
+            (measurements, FigureSpec::Fig12.metric())
+        }
         "fig13" => (fig13_cache_ablation(&opts), Metric::Seconds),
         "all" => {
             let mut all = Vec::new();
             for &figure in FigureSpec::all() {
                 all.extend(run_figure(figure, &opts));
             }
+            all.extend(fig12_numa(&opts));
             all.extend(fig13_cache_ablation(&opts));
             (all, Metric::Seconds)
         }

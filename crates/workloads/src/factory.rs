@@ -9,6 +9,7 @@ use nbbs::{
 };
 use nbbs_baselines::{CloudwuBuddy, LinuxBuddy};
 use nbbs_cache::{CacheConfig, MagazineCache};
+use nbbs_numa::{NodePolicy, NodeSet, Topology};
 
 /// A shareable, dynamically-typed back-end allocator.
 pub type SharedBackend = Arc<dyn BuddyBackend>;
@@ -35,6 +36,13 @@ pub enum AllocatorKind {
     /// The 1-level non-blocking buddy behind a per-thread magazine cache
     /// (`cached-1lvl-nb`).
     Cached1LvlNb,
+    /// One 4-level non-blocking buddy per NUMA node behind an `nbbs-numa`
+    /// `NodeSet` (`numa-4lvl-nb`): one instance per detected node
+    /// (honouring `NBBS_NUMA_NODES`; at least two synthetic nodes on
+    /// single-node hosts), each managing an equal power-of-two slice of the
+    /// configured arena, with home-first routing and nearest-first remote
+    /// fallback.
+    Numa4LvlNb,
 }
 
 impl AllocatorKind {
@@ -71,6 +79,7 @@ impl AllocatorKind {
             AllocatorKind::LinuxBuddy,
             AllocatorKind::Cached4LvlNb,
             AllocatorKind::Cached1LvlNb,
+            AllocatorKind::Numa4LvlNb,
         ]
     }
 
@@ -96,6 +105,7 @@ impl AllocatorKind {
             AllocatorKind::LinuxBuddy => "linux-buddy",
             AllocatorKind::Cached4LvlNb => "cached-4lvl-nb",
             AllocatorKind::Cached1LvlNb => "cached-1lvl-nb",
+            AllocatorKind::Numa4LvlNb => "numa-4lvl-nb",
         }
     }
 
@@ -103,9 +113,14 @@ impl AllocatorKind {
     ///
     /// The cached variants are *almost* non-blocking: the backend below them
     /// is lock-free, but magazine hits briefly hold a per-thread-slot spin
-    /// lock, so they do not qualify.
+    /// lock, so they do not qualify.  The multi-node router qualifies: its
+    /// routing is pure arithmetic plus relaxed counters over lock-free
+    /// per-node trees.
     pub fn is_non_blocking(self) -> bool {
-        matches!(self, AllocatorKind::FourLevelNb | AllocatorKind::OneLevelNb)
+        matches!(
+            self,
+            AllocatorKind::FourLevelNb | AllocatorKind::OneLevelNb | AllocatorKind::Numa4LvlNb
+        )
     }
 
     /// Whether the configuration layers a magazine cache over its backend.
@@ -136,8 +151,9 @@ impl FromStr for AllocatorKind {
             "linux-buddy" => Ok(AllocatorKind::LinuxBuddy),
             "cached-4lvl-nb" => Ok(AllocatorKind::Cached4LvlNb),
             "cached-1lvl-nb" => Ok(AllocatorKind::Cached1LvlNb),
+            "numa-4lvl-nb" => Ok(AllocatorKind::Numa4LvlNb),
             other => Err(format!(
-                "unknown allocator '{other}' (expected one of: 4lvl-nb, 1lvl-nb, 4lvl-sl, 1lvl-sl, buddy-sl, linux-buddy, cached-4lvl-nb, cached-1lvl-nb)"
+                "unknown allocator '{other}' (expected one of: 4lvl-nb, 1lvl-nb, 4lvl-sl, 1lvl-sl, buddy-sl, linux-buddy, cached-4lvl-nb, cached-1lvl-nb, numa-4lvl-nb)"
             )),
         }
     }
@@ -168,7 +184,37 @@ pub fn build_cached(kind: AllocatorKind, config: BuddyConfig, cache: CacheConfig
             cache,
             "cached-1lvl-nb",
         )),
+        AllocatorKind::Numa4LvlNb => Arc::new(build_node_set(config)),
     }
+}
+
+/// Builds the `numa-4lvl-nb` configuration: one `NbbsFourLevel` per
+/// detected node (env-overridable; at least two so single-node hosts still
+/// exercise the routing).  Each node receives an equal power-of-two slice
+/// of the configured arena — `total >> ceil(log2(nodes))` — so with a
+/// non-power-of-two node count the aggregate stays *at most* the configured
+/// total rather than inflating it, keeping sweeps comparable with the
+/// single-arena kinds.
+fn build_node_set(config: BuddyConfig) -> NodeSet<NbbsFourLevel> {
+    let mut nodes = Topology::detect().node_count().max(2);
+    // Each node must still be able to serve max_size-d requests; shrink the
+    // node count rather than the per-request ceiling when the arena is tiny.
+    while nodes > 1 && config.total_memory() / nodes.next_power_of_two() < config.max_size() {
+        nodes -= 1;
+    }
+    let per_node = BuddyConfig::new(
+        config.total_memory() / nodes.next_power_of_two(),
+        config.min_size(),
+        config.max_size(),
+    )
+    .expect("power-of-two slice of a valid config is valid")
+    .with_scan_policy(config.scan_policy());
+    NodeSet::with_topology(
+        (0..nodes).map(|_| NbbsFourLevel::new(per_node)).collect(),
+        Topology::synthetic(nodes),
+        NodePolicy::HomeFirst,
+    )
+    .with_name("numa-4lvl-nb")
 }
 
 #[cfg(test)]
@@ -223,6 +269,23 @@ mod tests {
         assert!(!AllocatorKind::LinuxBuddy.is_non_blocking());
         assert!(!AllocatorKind::OneLevelSl.is_non_blocking());
         assert!(!AllocatorKind::Cached4LvlNb.is_non_blocking());
+        assert!(AllocatorKind::Numa4LvlNb.is_non_blocking());
+        assert!(!AllocatorKind::Numa4LvlNb.is_cached());
+    }
+
+    #[test]
+    fn numa_kind_splits_the_arena_across_nodes() {
+        let alloc = build(AllocatorKind::Numa4LvlNb, cfg());
+        assert_eq!(alloc.name(), "numa-4lvl-nb");
+        // The widened geometry preserves the per-request ceiling, so the
+        // kind is interchangeable with the single-arena ones in sweeps.
+        assert_eq!(alloc.max_size(), cfg().max_size());
+        assert_eq!(alloc.min_size(), cfg().min_size());
+        let off = alloc
+            .alloc(cfg().max_size())
+            .expect("a node serves max_size");
+        alloc.dealloc(off);
+        assert_eq!(alloc.allocated_bytes(), 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::larson::{self, LarsonParams};
 use crate::linux_scalability::{self, LinuxScalabilityParams};
 use crate::measure::{Measurement, WorkloadResult};
 use crate::mixed_layout::{self, MixedLayoutParams};
+use crate::numa_skew::{self, NumaSkewParams};
 use crate::thread_test::{self, ThreadTestParams};
 
 /// The four benchmarks of the paper's evaluation.
@@ -25,6 +26,11 @@ pub enum Workload {
     /// Mixed Layout/realloc churn through the `nbbs-alloc` facade
     /// (this reproduction's own; part of the Figure 13 ablation).
     MixedLayout,
+    /// Cross-node traffic with a configurable home-node hit ratio (this
+    /// reproduction's own; part of the Figure 12 multi-node sweep).  Over a
+    /// plain backend the remote share is Larson-style cross-thread freeing;
+    /// over an `nbbs-numa` `NodeSet` the hand-offs cross node boundaries.
+    NumaSkew,
 }
 
 impl Workload {
@@ -36,6 +42,7 @@ impl Workload {
             Workload::Larson => "larson",
             Workload::ConstantOccupancy => "constant-occupancy",
             Workload::MixedLayout => "mixed-layout",
+            Workload::NumaSkew => "numa-skew",
         }
     }
 
@@ -78,6 +85,9 @@ impl Workload {
             }
             Workload::MixedLayout => {
                 mixed_layout::run(alloc, MixedLayoutParams::paper(threads, size).scaled(scale))
+            }
+            Workload::NumaSkew => {
+                numa_skew::run(alloc, NumaSkewParams::paper(threads, size).scaled(scale))
             }
         }
     }

@@ -13,6 +13,7 @@
 //! | [`larson`] | Larson server workload | Fig. 10 |
 //! | [`constant_occupancy`] | Constant Occupancy (the paper's own) | Fig. 11 |
 //! | all of the above at page granularity | kernel-level comparison | Fig. 12 |
+//! | [`numa_skew`] | Cross-node traffic with a configurable home-node hit ratio over `nbbs-numa` node sets | Fig. 12 (ours) |
 //! | [`mixed_layout`] | Mixed Layout/realloc churn through the `nbbs-alloc` facade | Fig. 13 (ours) |
 //!
 //! [`harness`] sweeps allocators × thread counts × request sizes and collects
@@ -31,6 +32,7 @@ pub mod larson;
 pub mod linux_scalability;
 pub mod measure;
 pub mod mixed_layout;
+pub mod numa_skew;
 pub mod report;
 pub mod rng;
 pub mod thread_test;

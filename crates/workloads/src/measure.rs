@@ -62,6 +62,12 @@ pub struct Measurement {
     /// run, as `(class_size, capacity)` pairs — the adaptive resize
     /// controller's converged geometry; `None` for plain backends.
     pub magazine_capacities: Option<Vec<(usize, usize)>>,
+    /// Per-node telemetry of a multi-node (`nbbs-numa` `NodeSet`) backend at
+    /// the end of the run — allocation shares, remote-fallback and failure
+    /// counts per node; `None` for single-arena backends.  Recorded in the
+    /// JSON output ([`Measurement::to_json`]) so benchmark snapshots capture
+    /// the multi-node trajectory.
+    pub node_shares: Option<Vec<nbbs_numa::NodeStatsSnapshot>>,
 }
 
 impl Measurement {
@@ -80,6 +86,7 @@ impl Measurement {
             cache: None,
             backend_ops: nbbs::OpStatsSnapshot::default(),
             magazine_capacities: None,
+            node_shares: None,
         }
     }
 
@@ -102,6 +109,63 @@ impl Measurement {
     pub fn with_capacities(mut self, capacities: Option<Vec<(usize, usize)>>) -> Self {
         self.magazine_capacities = capacities;
         self
+    }
+
+    /// Attaches a multi-node backend's per-node telemetry.
+    #[must_use]
+    pub fn with_node_shares(mut self, shares: Option<Vec<nbbs_numa::NodeStatsSnapshot>>) -> Self {
+        self.node_shares = shares;
+        self
+    }
+
+    /// Renders the measurement as one self-contained JSON object (one line,
+    /// no trailing newline) — the stable snapshot format for
+    /// `BENCH_*.json`-style records, including the per-node share table of
+    /// multi-node runs.
+    ///
+    /// Hand-rolled (the workspace is offline, no serde): every emitted
+    /// field is numeric or a plain identifier-ish string, escaped minimally.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = format!(
+            "{{\"workload\":\"{}\",\"allocator\":\"{}\",\"size\":{},\"threads\":{},\
+             \"operations\":{},\"seconds\":{:.6},\"kops_per_sec\":{:.3},\"cycles\":{},\
+             \"failed_allocs\":{}",
+            esc(&self.workload),
+            esc(&self.allocator),
+            self.size,
+            self.result.threads,
+            self.result.operations,
+            self.result.seconds,
+            self.result.kops_per_sec(),
+            self.result.cycles,
+            self.result.failed_allocs
+        );
+        if let Some(shares) = &self.node_shares {
+            out.push_str(",\"node_shares\":[");
+            for (i, n) in shares.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"node\":{},\"allocated_bytes\":{},\"local_allocs\":{},\
+                     \"remote_allocs\":{},\"failed_allocs\":{}}}",
+                    n.node, n.allocated_bytes, n.local_allocs, n.remote_allocs, n.failed_allocs
+                ));
+            }
+            out.push(']');
+        }
+        if let Some(cache) = &self.cache {
+            out.push_str(&format!(
+                ",\"cache\":{{\"hits\":{},\"misses\":{},\"flushed\":{},\"drained\":{},\
+                 \"depot_shards\":{}}}",
+                cache.hits, cache.misses, cache.flushed, cache.drained, cache.depot_shards
+            ));
+        }
+        out.push('}');
+        out
     }
 
     /// CSV header matching [`Measurement::to_csv_row`].
@@ -206,5 +270,35 @@ mod tests {
         assert!(s.contains("thread-test"));
         assert!(s.contains("buddy-sl"));
         assert!(s.contains("1024"));
+    }
+
+    #[test]
+    fn json_records_node_shares_when_present() {
+        let m = Measurement::new("numa-skew", "numa-4lvl-nb", 128, sample());
+        let bare = m.to_json();
+        assert!(bare.starts_with('{') && bare.ends_with('}'));
+        assert!(bare.contains("\"workload\":\"numa-skew\""));
+        assert!(!bare.contains("node_shares"), "absent when not attached");
+        let m = m.with_node_shares(Some(vec![
+            nbbs_numa::NodeStatsSnapshot {
+                node: 0,
+                allocated_bytes: 0,
+                local_allocs: 90,
+                remote_allocs: 10,
+                failed_allocs: 0,
+            },
+            nbbs_numa::NodeStatsSnapshot {
+                node: 1,
+                allocated_bytes: 64,
+                local_allocs: 80,
+                remote_allocs: 20,
+                failed_allocs: 1,
+            },
+        ]));
+        let json = m.to_json();
+        assert!(json.contains("\"node_shares\":[{\"node\":0,"));
+        assert!(json.contains("\"remote_allocs\":20"));
+        assert!(json.contains("\"failed_allocs\":1}]"));
+        assert!(!json.contains('\n'), "one line per measurement");
     }
 }

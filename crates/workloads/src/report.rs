@@ -13,6 +13,17 @@ use std::collections::BTreeSet;
 use crate::harness::Metric;
 use crate::measure::Measurement;
 
+/// Renders all measurements as JSON lines (one object per row,
+/// [`Measurement::to_json`]) — the `BENCH_*.json` snapshot format.
+pub fn json_lines(measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    for m in measurements {
+        out.push_str(&m.to_json());
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders all measurements as CSV (header + one row per measurement).
 pub fn csv(measurements: &[Measurement]) -> String {
     let mut out = String::from(Measurement::csv_header());
@@ -240,6 +251,49 @@ pub fn capacity_table(measurements: &[Measurement]) -> String {
             }
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Renders the per-node share table of every measurement that carries
+/// multi-node telemetry (`nbbs-numa` `NodeSet` backends): for each node its
+/// share of served allocations, the local/remote-fallback split, and
+/// failures.  Returns an empty string when no measurement is multi-node.
+pub fn node_share_table(measurements: &[Measurement]) -> String {
+    let rows: Vec<&Measurement> = measurements
+        .iter()
+        .filter(|m| m.node_shares.as_ref().is_some_and(|s| !s.is_empty()))
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:<16} {:>8} {:>8} {:>5} {:>8} {:>10} {:>10} {:>8}\n",
+        "workload", "allocator", "bytes", "threads", "node", "share", "local", "remote", "failed"
+    ));
+    for m in rows {
+        let shares = m.node_shares.as_ref().expect("filtered to Some");
+        let total: u64 = shares.iter().map(|n| n.served()).sum();
+        for n in shares {
+            let share = if total == 0 {
+                0.0
+            } else {
+                n.served() as f64 / total as f64 * 100.0
+            };
+            out.push_str(&format!(
+                "{:<24} {:<16} {:>8} {:>8} {:>5} {:>7.1}% {:>10} {:>10} {:>8}\n",
+                m.workload,
+                m.allocator,
+                m.size,
+                m.result.threads,
+                n.node,
+                share,
+                n.local_allocs,
+                n.remote_allocs,
+                n.failed_allocs
+            ));
+        }
     }
     out
 }
@@ -477,6 +531,45 @@ mod tests {
             out.contains("0.50"),
             "cas/op = 500k CAS / 1M workload ops rendered: {out}"
         );
+    }
+
+    #[test]
+    fn node_share_table_lists_one_row_per_node() {
+        let mut set = sample_set();
+        assert_eq!(node_share_table(&set), "");
+        set[0].allocator = "numa-4lvl-nb".into();
+        set[0].node_shares = Some(vec![
+            nbbs_numa::NodeStatsSnapshot {
+                node: 0,
+                allocated_bytes: 0,
+                local_allocs: 75,
+                remote_allocs: 0,
+                failed_allocs: 0,
+            },
+            nbbs_numa::NodeStatsSnapshot {
+                node: 1,
+                allocated_bytes: 0,
+                local_allocs: 20,
+                remote_allocs: 5,
+                failed_allocs: 2,
+            },
+        ]);
+        let out = node_share_table(&set);
+        assert_eq!(out.lines().count(), 3, "header + two node rows");
+        assert!(out.contains("remote"), "remote-fallback column present");
+        assert!(out.contains("75.0%"), "node 0 share rendered: {out}");
+        assert!(out.contains("25.0%"), "node 1 share rendered: {out}");
+        let node1 = out.lines().nth(2).unwrap();
+        assert!(node1.trim_end().ends_with('2'), "failure count: {node1}");
+    }
+
+    #[test]
+    fn json_lines_one_object_per_measurement() {
+        let out = json_lines(&sample_set());
+        assert_eq!(out.trim().lines().count(), 6);
+        for line in out.trim().lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! configuring an allocator, performing offset-based allocations, attaching
 //! real backing memory, inspecting occupancy, sharing the allocator across
 //! threads without any locking, interposing the magazine cache
-//! (`nbbs-cache`), and topping it with the layout-aware facade
-//! (`nbbs-alloc`).
+//! (`nbbs-cache`), topping it with the layout-aware facade (`nbbs-alloc`),
+//! and carrying the whole stack across NUMA nodes (`nbbs-numa`).
 
 use std::sync::Arc;
 
@@ -213,4 +213,42 @@ fn main() {
         fstats.grows_in_place, fstats.grows_moved
     );
     assert_eq!(facade.allocated_bytes(), 0);
+
+    // ------------------------------------------------------------------
+    // 8. Multi-node (NUMA) deployment: `nbbs-numa`'s NodeSet owns one
+    //    buddy instance per node under a single widened geometry — the
+    //    node index lives in the high bits of every offset, so ownership
+    //    is two shifts — and is itself a BuddyBackend.  The same cache and
+    //    facade therefore carry across nodes unchanged: allocations route
+    //    to the calling thread's home node (sysfs topology, or an
+    //    NBBS_NUMA_NODES override, or a deterministic synthetic
+    //    assignment) with nearest-first remote fallback, and frees return
+    //    to the owning node from any thread.  For #[global_allocator]
+    //    use, `NbbsGlobalAlloc::new(..).with_nodes(0)` deploys this whole
+    //    stack per detected node — see examples/numa_multi_instance.rs.
+    // ------------------------------------------------------------------
+    use nbbs_numa::{NodePolicy, NodeSet, Topology};
+
+    let numa_facade = NbbsAllocator::new(MagazineCache::new(NodeSet::with_topology(
+        (0..2).map(|_| NbbsFourLevel::new(config)).collect(),
+        Topology::synthetic(2),
+        NodePolicy::HomeFirst,
+    )));
+    let layout = Layout::from_size_align(256, 64).unwrap();
+    let block = numa_facade.allocate(layout).expect("plenty of space");
+    let node_set = numa_facade.backend().backend();
+    println!(
+        "multi-node facade over {} nodes served {} bytes (home node {})",
+        node_set.node_count(),
+        block.len(),
+        node_set.home_node()
+    );
+    unsafe { numa_facade.deallocate(block.cast(), layout) };
+    numa_facade.backend().drain_all();
+    let shares = node_set.node_stats();
+    println!(
+        "per-node service counts: {:?}",
+        shares.iter().map(|s| s.served()).collect::<Vec<_>>()
+    );
+    assert_eq!(numa_facade.allocated_bytes(), 0);
 }

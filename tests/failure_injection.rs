@@ -3,7 +3,9 @@
 //! multi-instance fallback behaviour.
 
 use nbbs::error::{AllocError, FreeError};
-use nbbs::{BuddyBackend, BuddyConfig, MultiInstance, NbbsOneLevel};
+#[allow(deprecated)]
+use nbbs::MultiInstance;
+use nbbs::{BuddyBackend, BuddyConfig, NbbsOneLevel};
 use nbbs_workloads::factory::{build, AllocatorKind};
 use nbbs_workloads::rng::SplitMix64;
 
@@ -155,6 +157,7 @@ fn fragmentation_induced_oom_is_transient_not_permanent() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn multi_instance_falls_back_and_reports_exhaustion() {
     let instances: Vec<NbbsOneLevel> = (0..3)
         .map(|_| NbbsOneLevel::new(BuddyConfig::new(4096, 64, 4096).unwrap()))

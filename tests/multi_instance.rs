@@ -3,6 +3,11 @@
 //! in order, and global-offset releases must return each chunk to the
 //! instance that owns it — including when every instance sits behind a
 //! magazine cache.
+//!
+//! `MultiInstance` is deprecated in favour of `nbbs_numa::NodeSet` (see
+//! `tests/numa_nodeset.rs` for the successor's coverage); this suite stays
+//! green to pin the compatibility shim's behaviour until it is removed.
+#![allow(deprecated)]
 
 use std::sync::Arc;
 
@@ -28,7 +33,8 @@ fn exhausted_home_spills_to_instances_in_fallback_order() {
         assert_eq!(m.owner_of(off), home);
         held.push(off);
     }
-    // Routed allocations now spill; the fallback order is home+1, home+2.
+    // Routed allocations now spill in nearest-first ring order: distance 1
+    // clockwise, then distance 1 anticlockwise (= home+2 for 3 instances).
     let first_spill = m.alloc(4096).expect("fallback instance has room");
     assert_eq!(
         m.owner_of(first_spill),
@@ -41,6 +47,29 @@ fn exhausted_home_spills_to_instances_in_fallback_order() {
     assert!(m.alloc(64).is_none());
     held.push(first_spill);
     held.push(second_spill);
+    for off in held {
+        m.dealloc(off);
+    }
+    assert_eq!(m.allocated_bytes(), 0);
+}
+
+#[test]
+fn fallback_respects_ring_distance_with_an_even_instance_count() {
+    // Four instances is where the old `0..n` scan and nearest-first
+    // diverge: for a thread homed on h, the *wrapped* neighbour h-1 must be
+    // probed before the distance-2 instance h+2.
+    let m = instances(4, 4096);
+    let home = m.home_instance();
+    let mut held = Vec::new();
+    while let Some(off) = m.alloc_on(home, 4096) {
+        held.push(off);
+    }
+    held.push(m.alloc_on((home + 1) % 4, 4096).expect("room"));
+    // Home and home+1 are full: the next routed allocation must take the
+    // wrapped distance-1 neighbour, not march on to home+2.
+    let spill = m.alloc(4096).expect("two instances still have room");
+    assert_eq!(m.owner_of(spill), (home + 3) % 4, "wrapped neighbour first");
+    held.push(spill);
     for off in held {
         m.dealloc(off);
     }

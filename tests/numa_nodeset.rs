@@ -1,0 +1,370 @@
+//! Differential and cross-node routing tests of the `nbbs-numa` stack:
+//! `NbbsAllocator<NodeSet<NbbsFourLevel>>` against the System-mirror oracle
+//! (the `tests/facade_alloc.rs` harness re-targeted at the multi-node
+//! backend), plus cross-node free routing with and without the magazine
+//! cache interposed.
+
+use std::alloc::Layout;
+use std::collections::BTreeMap;
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel};
+use nbbs_alloc::NbbsAllocator;
+use nbbs_cache::{verify_cached_empty, MagazineCache};
+use nbbs_numa::{NodePolicy, NodeSet, Topology};
+
+const PER_NODE: usize = 1 << 18;
+const MIN: usize = 16;
+const MAX: usize = 1 << 13;
+const NODES: usize = 3; // deliberately not a power of two: widening rounds to 4
+
+fn node_set(nodes: usize) -> NodeSet<NbbsFourLevel> {
+    let config = BuddyConfig::new(PER_NODE, MIN, MAX).unwrap();
+    NodeSet::with_topology(
+        (0..nodes).map(|_| NbbsFourLevel::new(config)).collect(),
+        Topology::synthetic(nodes),
+        NodePolicy::HomeFirst,
+    )
+}
+
+fn facade() -> NbbsAllocator<MagazineCache<NodeSet<NbbsFourLevel>>> {
+    NbbsAllocator::new(MagazineCache::new(node_set(NODES)))
+}
+
+/// One step of a generated layout workload (mirrors `facade_alloc.rs`).
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc {
+        size: usize,
+        align_log: u32,
+        zeroed: bool,
+    },
+    Free(usize),
+    Realloc {
+        idx: usize,
+        size: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u64..u64::MAX).prop_map(|bits| Op::Alloc {
+            size: 1 + (bits % 5000) as usize,
+            align_log: ((bits >> 24) % 13) as u32, // 1 B .. 4 KiB
+            zeroed: (bits >> 40) & 1 == 1,
+        }),
+        2 => (0usize..64).prop_map(Op::Free),
+        3 => (0u64..u64::MAX).prop_map(|bits| Op::Realloc {
+            idx: (bits % 64) as usize,
+            size: 1 + ((bits >> 16) % 5000) as usize,
+        }),
+    ]
+}
+
+/// A live facade block plus its `System`-side mirror of expected contents.
+struct LiveBlock {
+    ptr: NonNull<u8>,
+    layout: Layout,
+    mirror: Vec<u8>,
+}
+
+impl LiveBlock {
+    fn contents_match(&self) -> bool {
+        let actual = unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.layout.size()) };
+        actual == self.mirror.as_slice()
+    }
+}
+
+fn fill(block: &mut LiveBlock, seed: usize) {
+    for (i, byte) in block.mirror.iter_mut().enumerate() {
+        *byte = (seed ^ i).wrapping_mul(0x9E) as u8;
+    }
+    unsafe {
+        std::ptr::copy_nonoverlapping(
+            block.mirror.as_ptr(),
+            block.ptr.as_ptr(),
+            block.mirror.len(),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The multi-node facade agrees with the System-mirror oracle over
+    /// arbitrary allocate/grow/shrink/deallocate sequences: contents
+    /// preserved, alignment honoured, no overlap across node boundaries.
+    #[test]
+    fn numa_facade_matches_system_oracle(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let alloc = facade();
+        let mut live: Vec<LiveBlock> = Vec::new();
+        let mut event = 0usize;
+        for op in ops {
+            event += 1;
+            match op {
+                Op::Alloc { size, align_log, zeroed } => {
+                    let layout = Layout::from_size_align(size, 1 << align_log).unwrap();
+                    let block = if zeroed {
+                        alloc.allocate_zeroed(layout)
+                    } else {
+                        alloc.allocate(layout)
+                    };
+                    let Ok(block) = block else { continue }; // transient OOM
+                    let ptr = block.cast::<u8>();
+                    prop_assert!(block.len() >= size);
+                    prop_assert_eq!(ptr.as_ptr() as usize % layout.align(), 0);
+                    if zeroed {
+                        let bytes = unsafe {
+                            std::slice::from_raw_parts(ptr.as_ptr(), block.len())
+                        };
+                        prop_assert!(bytes.iter().all(|&b| b == 0));
+                    }
+                    let mut fresh = LiveBlock { ptr, layout, mirror: vec![0u8; size] };
+                    fill(&mut fresh, event);
+                    live.push(fresh);
+                }
+                Op::Free(k) => {
+                    if live.is_empty() { continue; }
+                    let block = live.swap_remove(k % live.len());
+                    prop_assert!(block.contents_match(), "contents intact at release");
+                    unsafe { alloc.deallocate(block.ptr, block.layout) };
+                }
+                Op::Realloc { idx, size } => {
+                    if live.is_empty() { continue; }
+                    let idx = idx % live.len();
+                    let block = &mut live[idx];
+                    let new_layout =
+                        Layout::from_size_align(size, block.layout.align()).unwrap();
+                    let result = unsafe {
+                        if size >= block.layout.size() {
+                            alloc.grow(block.ptr, block.layout, new_layout)
+                        } else {
+                            alloc.shrink(block.ptr, block.layout, new_layout)
+                        }
+                    };
+                    let Ok(moved) = result else { continue }; // transient OOM
+                    let kept = block.layout.size().min(size);
+                    block.ptr = moved.cast::<u8>();
+                    block.layout = new_layout;
+                    prop_assert_eq!(block.ptr.as_ptr() as usize % new_layout.align(), 0);
+                    let survived = unsafe {
+                        std::slice::from_raw_parts(block.ptr.as_ptr(), kept)
+                    };
+                    prop_assert_eq!(survived, &block.mirror[..kept]);
+                    block.mirror.resize(size, 0);
+                    fill(block, event);
+                }
+            }
+            for block in &live {
+                prop_assert!(block.contents_match(), "no live block was clobbered");
+            }
+        }
+        for block in live.drain(..) {
+            prop_assert!(block.contents_match());
+            unsafe { alloc.deallocate(block.ptr, block.layout) };
+        }
+        prop_assert_eq!(alloc.allocated_bytes(), 0, "everything returned");
+        // Drain the cache and check every node's tree came back clean.
+        alloc.backend().drain_all();
+        let set = alloc.backend().backend();
+        prop_assert_eq!(set.allocated_bytes(), 0);
+        for i in 0..set.node_count() {
+            nbbs::verify::audit_empty(set.node(i)).assert_clean();
+        }
+    }
+}
+
+/// Bare cross-node free routing: blocks allocated on an explicit node are
+/// freed from a thread homed elsewhere, and land back on the owner.
+#[test]
+fn cross_node_frees_route_to_the_owning_node() {
+    let set = Arc::new(node_set(4));
+    // Allocate a batch on every node explicitly from this thread.
+    let mut offs = Vec::new();
+    for node in 0..4 {
+        for _ in 0..16 {
+            let off = set.alloc_on(node, 1024).expect("fresh node has room");
+            assert_eq!(set.owner_of(off), node);
+            offs.push(off);
+        }
+    }
+    let per_before = set.allocated_bytes_per_node();
+    assert_eq!(per_before, vec![16 * 1024; 4]);
+    // Free everything from a different (spawned) thread, whichever node it
+    // is homed on: pure offset arithmetic must return each chunk home.
+    let freer_set = Arc::clone(&set);
+    std::thread::spawn(move || {
+        for off in offs {
+            freer_set.dealloc(off);
+        }
+    })
+    .join()
+    .unwrap();
+    assert_eq!(set.allocated_bytes_per_node(), vec![0; 4]);
+    // Every node can serve its maximal chunk again: nothing leaked across.
+    for node in 0..4 {
+        let off = set
+            .alloc_on(node, PER_NODE.min(MAX))
+            .expect("capacity back");
+        set.dealloc(off);
+    }
+    for i in 0..4 {
+        nbbs::verify::audit_empty(set.node(i)).assert_clean();
+    }
+}
+
+/// Audits every node of a cache-over-`NodeSet` stack: the caller-live map
+/// (global offsets) is merged with the cache's parked chunks — parked is
+/// live to the trees — and projected onto each node's local offsets.  The
+/// multi-node equivalent of `nbbs_cache::verify_cached`, which needs a
+/// single inspectable tree and so cannot see through the router.
+fn audit_nodes_cached(
+    cache: &MagazineCache<NodeSet<NbbsFourLevel>>,
+    live: &BTreeMap<usize, usize>,
+) {
+    let mut merged = live.clone();
+    for (off, size) in cache.cached_chunks() {
+        assert!(
+            merged.insert(off, size).is_none(),
+            "offset {off} reached two owners (parked twice, or parked while caller-live)"
+        );
+    }
+    let set = cache.backend();
+    for node in 0..set.node_count() {
+        let node_live: BTreeMap<usize, usize> = merged
+            .iter()
+            .filter(|&(&off, _)| set.owner_of(off) == node)
+            .map(|(&off, &size)| (set.split(off).1, size))
+            .collect();
+        nbbs::verify::audit(set.node(node), &node_live, true).assert_clean();
+    }
+}
+
+/// Cross-node traffic *through the cache*: a thread homed on one node
+/// allocates, a thread homed elsewhere frees; the remote chunks park in the
+/// freeing thread's magazines, the cached per-node audit stays clean
+/// throughout, and a full drain returns every chunk to its owning tree.
+#[test]
+fn cached_cross_node_traffic_drains_clean() {
+    let cache = Arc::new(MagazineCache::new(node_set(2)));
+
+    // Producer thread: allocate a pile of chunks (its home node serves
+    // them, possibly with fallback).
+    let producer = Arc::clone(&cache);
+    let offs: Vec<usize> = std::thread::spawn(move || {
+        (0..200)
+            .map(|i| {
+                let size = MIN << (i % 4);
+                producer.alloc(size).expect("plenty of room")
+            })
+            .collect()
+    })
+    .join()
+    .unwrap();
+
+    // Mid-flight: caller-live blocks plus refill-parked chunks must cover
+    // every occupied tree node, on both trees.
+    let set_live: BTreeMap<usize, usize> = offs
+        .iter()
+        .enumerate()
+        .map(|(i, &off)| (off, MIN << (i % 4)))
+        .collect();
+    audit_nodes_cached(&cache, &set_live);
+
+    // Consumer thread: free everything; remote chunks flow through *its*
+    // magazines.
+    let consumer = Arc::clone(&cache);
+    std::thread::spawn(move || {
+        for off in offs {
+            consumer.dealloc(off);
+        }
+    })
+    .join()
+    .unwrap();
+    assert_eq!(cache.allocated_bytes(), 0, "nothing user-live");
+
+    // With parked chunks still in magazines, the cached audit is the one
+    // that must pass (a bare audit would flag them as stray occupancy).
+    audit_nodes_cached(&cache, &BTreeMap::new());
+
+    // Draining pushes every parked chunk back through the arithmetic free
+    // routing to its owner tree.
+    cache.drain_all();
+    audit_nodes_cached(&cache, &BTreeMap::new());
+    let set = cache.backend();
+    assert_eq!(set.allocated_bytes_per_node(), vec![0; 2]);
+    for i in 0..2 {
+        nbbs::verify::audit_empty(set.node(i)).assert_clean();
+    }
+}
+
+/// Per-node caches under the router (the other nesting direction):
+/// `NodeSet<MagazineCache<NbbsFourLevel>>` routes, caches per node, and
+/// each node's `verify_cached_empty` stays clean after cross-node churn.
+#[test]
+fn per_node_caches_verify_clean_after_cross_node_churn() {
+    let config = BuddyConfig::new(PER_NODE, MIN, MAX).unwrap();
+    let set = Arc::new(NodeSet::with_topology(
+        (0..2)
+            .map(|_| MagazineCache::new(NbbsFourLevel::new(config)))
+            .collect::<Vec<_>>(),
+        Topology::synthetic(2),
+        NodePolicy::HomeFirst,
+    ));
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let set = Arc::clone(&set);
+            std::thread::spawn(move || {
+                let mut live = Vec::new();
+                for i in 0..2_000usize {
+                    let size = MIN << ((i + t) % 4);
+                    if let Some(off) = set.alloc(size) {
+                        live.push(off);
+                    }
+                    if live.len() > 24 {
+                        // Free in FIFO order: chunks frequently return from
+                        // a different thread phase than allocated them.
+                        set.dealloc(live.remove(0));
+                    }
+                }
+                for off in live {
+                    set.dealloc(off);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(set.allocated_bytes(), 0);
+    // The merged cache telemetry is visible through the router.
+    assert!(set.cache_stats().expect("per-node caches").alloc_requests() > 0);
+    for node in 0..2 {
+        verify_cached_empty(set.node(node)).assert_clean();
+    }
+    set.drain_cache();
+    for node in 0..2 {
+        assert_eq!(set.node(node).backend().allocated_bytes(), 0);
+        nbbs::verify::audit_empty(set.node(node).backend()).assert_clean();
+    }
+}
+
+/// The facade's oversize fail-over stays per-node: a request above the
+/// per-node ceiling is rejected by the widened geometry (`TooLarge`), never
+/// silently split across nodes.
+#[test]
+fn oversize_requests_fail_over_per_node() {
+    let alloc = facade();
+    let too_big = Layout::from_size_align(MAX + 1, 8).unwrap();
+    assert!(alloc.allocate(too_big).is_err(), "above per-node max_size");
+    assert_eq!(alloc.granted_size(too_big), None);
+    // At exactly the per-node ceiling the buddy serves it.
+    let ceiling = Layout::from_size_align(MAX, 8).unwrap();
+    let block = alloc.allocate(ceiling).expect("per-node max is servable");
+    assert_eq!(block.len(), MAX);
+    unsafe { alloc.deallocate(block.cast(), ceiling) };
+    assert_eq!(alloc.allocated_bytes(), 0);
+}
