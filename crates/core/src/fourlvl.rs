@@ -35,8 +35,95 @@
 //! The allocation/release logic is otherwise identical to
 //! [`crate::onelvl::NbbsOneLevel`] (Algorithms 1–4), with the per-node CAS
 //! replaced by a CAS over the containing 64-bit bunch word.
+//!
+//! ## Memory ordering
+//!
+//! Why is `AcqRel` on every CAS (with `Acquire` loads) sufficient?  The
+//! argument is written against the step semantics of the `nbbs-model`
+//! checker — one shared-memory access commits per scheduler step, i.e.
+//! sequential consistency — and then closes the gap between
+//! release/acquire and SC explicitly:
+//!
+//! 1. **Every status mutation is an RMW; there are no blind stores to
+//!    bunch words.**  All writes in `try_alloc_node`, `free_node` and
+//!    `unmark` are `compare_exchange(AcqRel, Acquire)` loops.  RMWs on one
+//!    word are totally ordered (each reads the latest value in the word's
+//!    modification order), so per word the metadata is a linearizable
+//!    state machine: a CAS can never act on a stale snapshot — staleness
+//!    makes it fail and retry.  The only plain store is the `index[]`
+//!    publication after a successful allocation; it is `Release`, and it
+//!    is read (`Acquire`) only on the free path of the same chunk, whose
+//!    offset must have been handed from allocator to releaser through
+//!    some external happens-before edge anyway (the same contract
+//!    `dealloc` always had).
+//!
+//! 2. **Cross-word ordering comes from release/acquire transitivity along
+//!    each climb.**  A release executes: coalescing-bit CAS on the parent
+//!    boundary slot (phase 1), clear CAS on the chunk's own word (phase
+//!    2), then the `unmark` climb (phase 3).  Each is sequenced after the
+//!    previous on the releasing thread and each is `AcqRel`: any thread
+//!    whose acquire operation observes a later write of that chain
+//!    synchronizes-with it and therefore also observes every earlier
+//!    write.  Concretely, an allocation that sees phase 2's cleared word
+//!    (its `try_alloc_node` CAS succeeds from the all-clear state) is
+//!    guaranteed to see phase 1's coalescing bit when it climbs to the
+//!    parent — which is exactly what `clean_coal` relies on to revoke the
+//!    in-flight release.
+//!
+//! 3. **Decision loads are validated by a gating CAS, so
+//!    RA-weaker-than-SC behaviours cannot commit a wrong transition.**
+//!    Release/acquire admits store-buffering-like outcomes that SC
+//!    forbids, but only for *plain* loads racing writes on different
+//!    words.  The algorithm has two such decision loads: the level scan's
+//!    is-free check (`node_is_free`) and the release climb's
+//!    `subtree_slots_busy`.  Both are advisory: the scan's verdict is
+//!    re-validated atomically by the `try_alloc_node` CAS (which requires
+//!    the *entire* slot range clear at commit time), and
+//!    `subtree_slots_busy`'s verdict is gated by the `is_coal` check
+//!    inside `unmark`'s CAS loop on the parent word — if any interfering
+//!    allocation got there first, its `clean_coal` makes the gate fail
+//!    and the climb aborts.  A stale read therefore causes at worst a
+//!    conservative refusal (the branch bit is cleared by the *last*
+//!    releaser instead, whose gate CAS serializes against the
+//!    interference), never a lost or duplicated chunk.
+//!
+//! The gate in (3) is load-bearing and subtle: the coalescing bit on a
+//! bunch boundary is **branch-granular, not per-releaser** — two releases
+//! climbing out of the same bunch share it, so a releaser can pass the
+//! gate on a sibling's coalescing bit.  That is sound *only* because
+//! `subtree_slots_busy` inspects the whole bunch, including the slots the
+//! releaser itself freed in phase 2: an earlier version excluded the
+//! freed node's own slot range and was blind to its re-allocation — the
+//! `nbbs-model` checker found a 3-thread schedule (release/release of two
+//! buddies racing an allocation that reuses the first-freed leaf) where
+//! the first releaser consumed the second's coalescing bit and cleared
+//! the ancestor's branch-occupancy bit under a live chunk, leaving the
+//! chunk's ancestors readable as free (overlap hazard; quiescent echo: a
+//! stray `OCC|COAL` boundary bit — the ROADMAP's residual-race symptom).
+//!
+//! Under `--cfg nbbs_model` the atomics below become shadow atomics and
+//! the `nbbs-model` crate enumerates every SC interleaving of these
+//! accesses for 2–3 threads over the minimal non-degenerate geometry (two
+//! leaves sharing a bunch word, one boundary into the root word):
+//! release/release and release/allocate are exhaustively clean (176 / 58
+//! sleep-set-distinct schedules; pruning cross-validated by a 36,300-run
+//! unpruned sweep), and release/release/allocate is clean exhaustively
+//! (195,600 sleep-set-distinct schedules, one-time run) and under a sound
+//! preemption-bound-3 search (19,864 schedules, no pruning) on every push
+//! — while the same bounded search run against either historical bug (the
+//! PR-1 early-break or the `unmark` exclusion) produces a replayable
+//! witness within the first ~1,300 schedules.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+// Under `--cfg nbbs_model` every atomic the algorithm touches becomes a
+// *shadow* atomic (same API, every access a scheduler yield point) so the
+// `nbbs-model` crate can enumerate interleavings of the CAS climbs below.
+// The default build aliases the very same names to `std::sync::atomic`:
+// type aliases only, zero cost in production.
+#[cfg(nbbs_model)]
+use nbbs_sync::shadow::{AtomicU32, AtomicU64, AtomicUsize};
+use std::sync::atomic::Ordering;
+#[cfg(not(nbbs_model))]
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize};
 
 use crate::config::{BuddyConfig, ScanPolicy};
 use crate::error::FreeError;
@@ -344,20 +431,27 @@ impl NbbsFourLevel {
         !slots_any_busy(word, slot, width)
     }
 
-    /// Do the stored slots under `subtree_root` contain any busy bit outside
-    /// the range covered by `exclude`?
+    /// Do the stored slots under `subtree_root` contain any busy bit?
     ///
     /// This is the bunch-granular aggregate of the per-level buddy checks the
     /// 1-level algorithm performs while climbing inside the four levels
     /// folded into one word: a release may propagate past `subtree_root` only
-    /// if nothing else inside its bunch is occupied.
-    fn other_slots_busy(&self, subtree_root: usize, exclude: usize) -> bool {
-        let (w, slot, width) = self.bgeo.locate(subtree_root);
-        let (we, eslot, ewidth) = self.bgeo.locate(exclude);
-        debug_assert_eq!(w, we, "exclude must live in the same bunch");
-        let word = self.words[w].load(Ordering::Acquire);
-        let mask = spread(BUSY, slot, width) & !range_mask(eslot, ewidth);
-        word & mask != 0
+    /// if nothing inside its bunch is occupied.
+    ///
+    /// Deliberately **no exclusion** of the releasing thread's own node: by
+    /// the time `unmark` runs, phase 2 has already cleared that node's
+    /// slots, so a busy bit there means the node was *re-allocated* by a
+    /// concurrent `try_alloc_node` — exactly the case in which the climb
+    /// must stop.  An earlier version excluded the freed node's slot range
+    /// and was blind to that reuse: with two releases sharing the
+    /// branch-granular coalescing bit on the bunch boundary, the first
+    /// releaser could consume the second's coalescing bit and clear the
+    /// ancestor's branch-occupancy bit while the re-allocated chunk was
+    /// live — leaving a live chunk under ancestors that read free (found
+    /// by the `nbbs-model` checker's free/free/alloc config; see the
+    /// memory-ordering argument in the module docs).
+    fn subtree_slots_busy(&self, subtree_root: usize) -> bool {
+        !self.node_is_free(subtree_root)
     }
 
     /// `TRYALLOC`, bunch edition: occupy node `n` (writing BUSY into every
@@ -508,17 +602,19 @@ impl NbbsFourLevel {
     /// `UNMARK`, bunch edition.
     ///
     /// The release may clear a stored ancestor's branch-occupancy bit only if
-    /// nothing else remains allocated inside the bunch it is climbing out of
-    /// ([`Self::other_slots_busy`] aggregates the per-level buddy checks of
-    /// the 1-level algorithm) and the coalescing bit set by
-    /// [`Self::free_node`] is still in place (otherwise a concurrent
-    /// allocation has already reused the branch).
+    /// nothing remains allocated inside the bunch it is climbing out of
+    /// ([`Self::subtree_slots_busy`] aggregates the per-level buddy checks
+    /// of the 1-level algorithm; the releasing thread's own slots were
+    /// cleared by phase 2, so a busy bit anywhere — including where the
+    /// freed chunk used to live — denotes a live allocation and stops the
+    /// climb) and the coalescing bit set by [`Self::free_node`] is still in
+    /// place (otherwise a concurrent allocation has already reused the
+    /// branch).
     fn unmark(&self, n: usize, upper_level: u32) {
         let geo = *self.geometry();
         let mut child_root = self.bgeo.bunch_root(n);
-        let mut exclude = n;
         while child_root > 1 && geo.level_of(child_root) > upper_level {
-            if self.other_slots_busy(child_root, exclude) {
+            if self.subtree_slots_busy(child_root) {
                 return;
             }
             let parent_node = child_root >> 1;
@@ -546,7 +642,6 @@ impl NbbsFourLevel {
             if is_occ_buddy(new_status, child_root) {
                 return;
             }
-            exclude = parent_node;
             child_root = self.bgeo.bunch_root(parent_node);
         }
     }
@@ -610,6 +705,40 @@ impl NbbsFourLevel {
     /// Operation statistics (zeros unless the `op-stats` feature is on).
     pub fn op_stats(&self) -> OpStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Labels for every shadow-atomic cell of this instance, as
+    /// `(address, label)` pairs — used by the `nbbs-model` crate to print
+    /// schedule witnesses in terms of bunch words (`word[w]@Lk`), `index[]`
+    /// entries and the allocated-bytes counter instead of raw addresses.
+    ///
+    /// Only exists under `--cfg nbbs_model`; the addresses are those the
+    /// shadow scheduler observes at yield points.
+    #[cfg(nbbs_model)]
+    pub fn model_addr_labels(&self) -> Vec<(usize, String)> {
+        let mut labels = vec![(self.allocated.model_addr(), "allocated".to_string())];
+        for (w, word) in self.words.iter().enumerate() {
+            // Recover the root level of the bunch this word belongs to so
+            // the label shows which tree levels a CAS on it covers.
+            let bucket = self
+                .bgeo
+                .word_offset
+                .iter()
+                .rposition(|&off| off <= w)
+                .unwrap_or(0);
+            let root_level = bucket as u32 * BUNCH_LEVELS;
+            labels.push((
+                word.model_addr(),
+                format!(
+                    "word[{w}]@L{root_level}..{}",
+                    self.bgeo.floor_level(root_level)
+                ),
+            ));
+        }
+        for (u, cell) in self.index.iter().enumerate() {
+            labels.push((cell.model_addr(), format!("index[{u}]")));
+        }
+        labels
     }
 }
 

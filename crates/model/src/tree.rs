@@ -1,0 +1,379 @@
+//! Model-checking configurations over the real 4-level tree.
+//!
+//! Only compiled under `--cfg nbbs_model`, which switches `nbbs::fourlvl`
+//! onto the shadow atomics so every bunch-word / `index[]` / counter access
+//! becomes a scheduler yield point.
+//!
+//! ## Geometry
+//!
+//! All configs run on the **minimal non-degenerate one-boundary
+//! geometry**: 256 bytes at 8-byte units, whole-region max — a depth-5
+//! tree whose leaves (level 5) are stored two-per-bunch-word (bunch roots
+//! at level 4), with levels 0–3 folded into the root bunch word.  Buddy
+//! leaves 32 and 33 share bunch word 1, so a release of either exercises
+//! the *intra-bunch* `other_slots_busy` aggregate against its sibling's
+//! slot **and** crosses exactly one bunch boundary: the
+//! coalescing/occupancy bits of node 8 (slot 0 of the root word) —
+//! precisely the interplay the PR-1 release/release bug lived in and the
+//! word the residual `OCC|COAL` stray bit was once observed on (ROADMAP).
+//! A depth-4 tree would be smaller but *degenerate*: its leaves live in
+//! single-slot words, `other_slots_busy` at the departure bunch is
+//! vacuously false, and the historical bug is unreachable — verified by
+//! re-injecting the PR-1 bug, which depth 4 misses and this geometry
+//! catches.  First-fit scanning keeps every run deterministic.
+//!
+//! ## What is checked after every complete schedule
+//!
+//! 1. the `nbbs::verify` audit against the exact expected live set
+//!    (quiescent mode: stray occupancy *and* stray coalescing bits fail);
+//! 2. an exact **free-bitmap oracle**: for every allocation unit, the
+//!    tree's derived statuses must agree with the oracle bitmap recomputed
+//!    from the live set;
+//! 3. `allocated_bytes` equals the live sum;
+//! 4. a **stranded-capacity probe**: after draining the live set, a
+//!    whole-region allocation must succeed — the residual race's symptom
+//!    is precisely a stray boundary bit making this impossible.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use nbbs::status::OCC;
+use nbbs::verify::audit;
+use nbbs::{BuddyConfig, NbbsFourLevel, ScanPolicy};
+
+use crate::{Explorer, Program};
+
+/// Total bytes of the model geometry (depth-5 tree at 8-byte units:
+/// leaves are stored two per bunch word, so buddy releases interact both
+/// inside their shared word and across the boundary into the root word).
+pub const TOTAL: usize = 256;
+/// Allocation-unit size.
+pub const UNIT: usize = 8;
+
+/// Per-run state: the tree plus one result cell per logical thread (each
+/// thread only touches its own cell, so the mutexes are never contended
+/// across a scheduler grant).
+pub struct TreeState {
+    /// The real allocator, compiled onto shadow atomics.
+    pub tree: NbbsFourLevel,
+    /// `allocs[tid]` records the offset returned by thread `tid`'s
+    /// allocation (if that thread allocates).
+    pub allocs: Vec<Mutex<Option<Option<usize>>>>,
+}
+
+/// The minimal one-boundary tree, first-fit for determinism.
+fn tiny_tree() -> NbbsFourLevel {
+    NbbsFourLevel::new(
+        BuddyConfig::new(TOTAL, UNIT, TOTAL)
+            .expect("model geometry")
+            .with_scan_policy(ScanPolicy::FirstFit),
+    )
+}
+
+/// Builds the per-run state: `setup_allocs` unit chunks pre-allocated at
+/// offsets 0, 8, … (first-fit guarantees the placement), unscheduled.
+fn base_state(setup_allocs: usize, threads: usize) -> TreeState {
+    let tree = tiny_tree();
+    for i in 0..setup_allocs {
+        let off = tree.alloc(UNIT).expect("setup alloc");
+        assert_eq!(off, i * UNIT, "first-fit setup placement");
+    }
+    TreeState {
+        tree,
+        allocs: (0..threads).map(|_| Mutex::new(None)).collect(),
+    }
+}
+
+/// Checks the quiescent final state against the expected live set
+/// (`offset -> requested size`).
+pub fn check_final(state: &TreeState, live: &BTreeMap<usize, usize>) -> Result<(), String> {
+    let tree = &state.tree;
+    let geo = *tree.geometry();
+
+    // 1. The paper's safety properties, including stray occupancy and
+    //    stray coalescing bits (quiescent audit).
+    let report = audit(tree, live, true);
+    if !report.is_clean() {
+        return Err(format!("verify audit failed: {:?}", report.violations));
+    }
+
+    // 2. Exact free-bitmap oracle: unit-granular occupancy derived from the
+    //    tree must equal the bitmap recomputed from the live set.
+    for unit in 0..geo.unit_count() {
+        let byte = unit * geo.min_size();
+        let expected = live.iter().any(|(&off, &req)| {
+            let granted = geo.granted_size(req).expect("live size validated by audit");
+            off <= byte && byte < off + granted
+        });
+        let mut node = geo.leaf_of_offset(byte);
+        let mut actual = false;
+        loop {
+            if tree.node_status(node) & OCC != 0 {
+                actual = true;
+                break;
+            }
+            if node <= 1 {
+                break;
+            }
+            node >>= 1;
+        }
+        if expected != actual {
+            return Err(format!(
+                "free-bitmap mismatch at unit {unit}: oracle says {}, tree says {}",
+                if expected { "allocated" } else { "free" },
+                if actual { "allocated" } else { "free" },
+            ));
+        }
+    }
+
+    // 3. The byte counter agrees with the live set.
+    let expected_bytes: usize = live
+        .iter()
+        .map(|(_, &req)| geo.granted_size(req).expect("validated"))
+        .sum();
+    if tree.allocated_bytes() != expected_bytes {
+        return Err(format!(
+            "allocated_bytes = {}, live set says {expected_bytes}",
+            tree.allocated_bytes()
+        ));
+    }
+
+    // 4. Stranded-capacity probe: drain the live set; full coalescing must
+    //    make the whole region allocatable again.  A stray OCC|COAL
+    //    boundary bit — the residual race's symptom — fails exactly here.
+    for &off in live.keys() {
+        tree.dealloc(off);
+    }
+    match tree.alloc(TOTAL) {
+        Some(0) => Ok(()),
+        other => Err(format!(
+            "stranded capacity: whole-region alloc returned {other:?} after draining the live set"
+        )),
+    }
+}
+
+/// Two releases racing in one shared bunch word *and* over the shared
+/// bunch boundary: thread 0 frees the chunk at offset 0 (leaf 32), thread
+/// 1 frees offset 8 (leaf 33).  The two leaves are the stored slots of
+/// bunch word 1 (root 16), so each release's `other_slots_busy` check
+/// aggregates over its sibling's in-flight state, and both climbs target
+/// node 8's slot in the root bunch word.  This is the release/release
+/// shape of the residual race (and of the fixed PR-1 bug).
+pub fn free_free() -> Program<TreeState> {
+    Program::new(
+        || base_state(2, 2),
+        |s: &TreeState| check_final(s, &BTreeMap::new()),
+    )
+    .thread(|s: &TreeState| s.tree.dealloc(0))
+    .thread(|s: &TreeState| s.tree.dealloc(UNIT))
+    .labels(|s: &TreeState| s.tree.model_addr_labels())
+}
+
+/// A release racing an allocation: thread 0 frees offset 0 while thread 1
+/// allocates a unit chunk (taking leaf 32 or 33 depending on the
+/// schedule).  Exercises `clean_coal` stealing the coalescing bit from the
+/// in-flight release and the release's `is_coal` refusal in `unmark`.
+pub fn free_alloc() -> Program<TreeState> {
+    Program::new(
+        || base_state(1, 2),
+        |s: &TreeState| {
+            let r = s.allocs[1]
+                .lock()
+                .unwrap()
+                .expect("thread 1 ran to completion");
+            let off = r.ok_or("allocation failed although free leaves were always available")?;
+            check_final(s, &BTreeMap::from([(off, UNIT)]))
+        },
+    )
+    .thread(|s: &TreeState| s.tree.dealloc(0))
+    .thread(|s: &TreeState| {
+        let r = s.tree.alloc(UNIT);
+        *s.allocs[1].lock().unwrap() = Some(r);
+    })
+    .labels(|s: &TreeState| s.tree.model_addr_labels())
+}
+
+/// Both buddy releases (the second one's climb is dominated by its
+/// `unmark` interplay with the first) racing a concurrent allocation that
+/// can *reuse the first-freed leaf* — the 3-thread shape closest to the
+/// soak workload that surfaced the stray bit, and the config that caught
+/// the `unmark` exclusion bug (a releaser blind to the re-allocation of
+/// its own freed slot consuming a sibling release's branch-granular
+/// coalescing bit; see the fourlvl module docs).  Per-push CI runs it
+/// under a preemption bound ([`recommended_explorer`]); the exhaustive
+/// space is 195,600 sleep-set-distinct schedules (~3 min in release,
+/// verified clean once after the fix), the bound-3 space 19,864.
+pub fn free_unmark_alloc() -> Program<TreeState> {
+    Program::new(
+        || base_state(2, 3),
+        |s: &TreeState| {
+            let r = s.allocs[2]
+                .lock()
+                .unwrap()
+                .expect("thread 2 ran to completion");
+            let off = r.ok_or("allocation failed although free leaves were always available")?;
+            check_final(s, &BTreeMap::from([(off, UNIT)]))
+        },
+    )
+    .thread(|s: &TreeState| s.tree.dealloc(0))
+    .thread(|s: &TreeState| s.tree.dealloc(UNIT))
+    .thread(|s: &TreeState| {
+        let r = s.tree.alloc(UNIT);
+        *s.allocs[2].lock().unwrap() = Some(r);
+    })
+    .labels(|s: &TreeState| s.tree.model_addr_labels())
+}
+
+/// The search settings each config is meant to run under: exhaustive for
+/// the 2-thread spaces, preemption-bounded (CHESS-style, bound 3) for the
+/// 3-thread space.  Sleep-set inheritance is automatically off under a
+/// bound (the combination would under-approximate the advertised bound;
+/// see [`Explorer::sleep_sets`]), so the bounded search is a *sound*
+/// bound-3 enumeration.  Bound 3 is no arbitrary smoke level: both
+/// historical bugs of this protocol — the PR-1 phase-1 early break and
+/// the `unmark` exclusion blindness — produce witnesses well inside it
+/// (the exclusion bug falls within the first ~1,300 schedules), and it
+/// keeps the per-push search at a few seconds.
+///
+/// The 3-thread space has also been explored **exhaustively** once after
+/// the exclusion fix (195,600 sleep-set-distinct schedules, ~3 min in
+/// release, all clean — 2026-07); the per-push bound-3 run (19,864
+/// schedules) is the regression guard, not the proof.
+pub fn recommended_explorer(threads: usize) -> Explorer {
+    if threads <= 2 {
+        Explorer::exhaustive()
+    } else {
+        Explorer::with_preemption_bound(3)
+    }
+}
+
+/// Every shipped configuration: `(name, program, explorer)`.
+pub fn all_configs() -> Vec<(&'static str, Program<TreeState>, Explorer)> {
+    vec![
+        ("free-free", free_free(), recommended_explorer(2)),
+        ("free-alloc", free_alloc(), recommended_explorer(2)),
+        (
+            "free-unmark-alloc",
+            free_unmark_alloc(),
+            recommended_explorer(3),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Floors asserted by CI so a pruning regression cannot silently empty
+    /// the search (measured: free/free explores 176 sleep-set-distinct
+    /// schedules, free/alloc 58, free/unmark/alloc 19,864 at sound
+    /// preemption bound 3; anything far below says the explorer stopped
+    /// exploring).
+    const FREE_FREE_MIN_SCHEDULES: u64 = 100;
+    const FREE_ALLOC_MIN_SCHEDULES: u64 = 30;
+    const FREE_UNMARK_ALLOC_MIN_SCHEDULES: u64 = 10_000;
+
+    fn run(name: &str, prog: &Program<TreeState>, explorer: &Explorer, floor: u64) {
+        let report = explorer.explore(prog);
+        eprintln!(
+            "model [{name}]: {} schedules explored ({} pruned, {} overflows, max depth {})",
+            report.schedules, report.pruned_runs, report.overflows, report.max_depth
+        );
+        // A violation panics here with the replayable witness (choices +
+        // rendered step trace).
+        report.assert_clean();
+        assert!(
+            report.schedules >= floor,
+            "[{name}] pruning regression: only {} schedules explored (floor {floor})",
+            report.schedules
+        );
+        assert_eq!(report.overflows, 0, "[{name}] runs hit the step cap");
+        assert!(!report.truncated, "[{name}] search truncated");
+    }
+
+    #[test]
+    fn free_free_over_one_boundary_is_exhaustively_clean() {
+        run(
+            "free-free",
+            &free_free(),
+            &recommended_explorer(2),
+            FREE_FREE_MIN_SCHEDULES,
+        );
+    }
+
+    #[test]
+    fn free_alloc_over_one_boundary_is_exhaustively_clean() {
+        run(
+            "free-alloc",
+            &free_alloc(),
+            &recommended_explorer(2),
+            FREE_ALLOC_MIN_SCHEDULES,
+        );
+    }
+
+    #[test]
+    fn free_unmark_alloc_is_clean_within_preemption_bound() {
+        run(
+            "free-unmark-alloc",
+            &free_unmark_alloc(),
+            &recommended_explorer(3),
+            FREE_UNMARK_ALLOC_MIN_SCHEDULES,
+        );
+    }
+
+    /// Cross-check of the sleep-set pruning: with pruning OFF the explorer
+    /// walks every raw interleaving of the free/free space.  It must still
+    /// be clean (pruning never hides a violation because equivalent traces
+    /// share their final state) and must explore strictly more schedules
+    /// than the pruned search.
+    #[test]
+    fn free_free_unpruned_cross_check() {
+        let unpruned = Explorer {
+            sleep_sets: false,
+            ..Explorer::exhaustive()
+        };
+        let report = unpruned.explore(&free_free());
+        eprintln!(
+            "model [free-free, no pruning]: {} schedules explored",
+            report.schedules
+        );
+        report.assert_clean();
+        assert!(
+            report.schedules > FREE_FREE_MIN_SCHEDULES,
+            "unpruned search must dominate the pruned one ({})",
+            report.schedules
+        );
+        assert_eq!(report.overflows, 0);
+    }
+
+    /// An injected mutation witness: if the final tree is *forced* dirty,
+    /// the checker must produce a replayable witness rather than pass —
+    /// guards the checking half the clean-pass tests cannot cover.
+    #[test]
+    fn injected_stray_bit_produces_a_replayable_witness() {
+        // Same shape as free_free, but the check is handed a live set that
+        // claims nothing was freed — every schedule must then fail the
+        // audit, and the first witness must replay to the same failure.
+        let prog = Program::new(
+            || base_state(2, 2),
+            |s: &TreeState| {
+                // Deliberately wrong oracle: claims offset 0 is still live.
+                check_final(s, &BTreeMap::from([(0, UNIT)]))
+            },
+        )
+        .thread(|s: &TreeState| s.tree.dealloc(0))
+        .thread(|s: &TreeState| s.tree.dealloc(UNIT))
+        .labels(|s: &TreeState| s.tree.model_addr_labels());
+        let explorer = Explorer::exhaustive();
+        let report = explorer.explore(&prog);
+        assert!(!report.is_clean(), "mutated oracle must be caught");
+        let witness = &report.violations[0];
+        assert!(
+            witness.rendered_trace.contains("word[0]"),
+            "trace labels bunch words:\n{}",
+            witness.rendered_trace
+        );
+        let (_, result) = explorer.replay(&prog, &witness.choices);
+        assert!(result.is_err(), "witness must replay to the same failure");
+    }
+}

@@ -139,6 +139,24 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(usize, u64, u32, u16, u8);
 
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
 /// A weighted union of strategies (backs the `prop_oneof!` macro).
 pub struct WeightedUnion<T> {
     arms: Vec<(u32, BoxedStrategy<T>)>,

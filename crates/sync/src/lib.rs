@@ -22,6 +22,11 @@
 //! * [`thread_ordinal`] — process-wide monotone thread ids, shared by the
 //!   cache's thread slots and `nbbs-numa`'s synthetic home-node assignment
 //!   so both layers agree on which threads are "the same".
+//! * [`shadow`] — instrumented counterparts of the `std::sync::atomic`
+//!   types whose every access is a yield point reporting to a deterministic
+//!   scheduler; `nbbs::fourlvl` compiles against them under
+//!   `--cfg nbbs_model` so the `nbbs-model` crate can enumerate every
+//!   interleaving of the lock-free tree's CAS climbs.
 //!
 //! Everything here is dependency-free; `unsafe` is confined to the interior
 //! of the synchronization primitives (the lock and stack value cells) and
@@ -30,6 +35,7 @@
 pub mod backoff;
 pub mod cycles;
 pub mod pad;
+pub mod shadow;
 pub mod spinlock;
 pub mod ticket;
 pub mod tid;

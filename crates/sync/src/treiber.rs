@@ -98,6 +98,21 @@ impl<T> BoundedStack<T> {
     /// Panics if `capacity` cannot be indexed by `u32` (the head word packs
     /// the slot index into 32 bits).
     pub fn new(capacity: usize) -> Self {
+        Self::with_initial_tag(capacity, 0)
+    }
+
+    /// [`BoundedStack::new`], but with both list heads starting at version
+    /// tag `tag` instead of 0.
+    ///
+    /// A white-box test hook: the 32-bit tag is what defeats ABA, and its
+    /// arithmetic is *wrapping* (`tag.wrapping_add(1)` on every successful
+    /// CAS), so correctness must hold across the `u32::MAX -> 0` wrap.
+    /// Reaching the wrap organically takes 2^32 operations; starting the
+    /// tags just below `u32::MAX` lets the wraparound tests cross it in a
+    /// handful of operations.  Behaviour is otherwise identical to `new` —
+    /// tags are never compared for order, only for (in)equality inside the
+    /// packed CAS word.
+    pub fn with_initial_tag(capacity: usize, tag: u32) -> Self {
         assert!(
             capacity < NIL as usize,
             "BoundedStack capacity {capacity} exceeds the u32 index space"
@@ -111,10 +126,18 @@ impl<T> BoundedStack<T> {
             .collect();
         BoundedStack {
             slots,
-            free: AtomicU64::new(pack(0, if capacity == 0 { NIL } else { 0 })),
-            full: AtomicU64::new(pack(0, NIL)),
+            free: AtomicU64::new(pack(tag, if capacity == 0 { NIL } else { 0 })),
+            full: AtomicU64::new(pack(tag, NIL)),
             len: AtomicUsize::new(0),
         }
+    }
+
+    /// Current `(free-list tag, full-list tag)` pair — exposed for the
+    /// wraparound tests to assert the tags actually crossed `u32::MAX`.
+    pub fn version_tags(&self) -> (u32, u32) {
+        let (free_tag, _) = unpack(self.free.load(Ordering::Acquire));
+        let (full_tag, _) = unpack(self.full.load(Ordering::Acquire));
+        (free_tag, full_tag)
     }
 
     /// Maximum number of values the stack holds.

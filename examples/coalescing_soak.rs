@@ -11,7 +11,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release --example coalescing_soak [variant] [threads] [iters] [depth] [rounds]
+//! cargo run --release --example coalescing_soak [variant] [threads] [iters] [depth] [rounds] [seed]
 //! ```
 //! `variant` is `4lvl` (default) or `1lvl`; `depth` sizes the tree
 //! (`total = 8 << depth` bytes, 8-byte units, whole-region max requests, so
@@ -19,6 +19,15 @@
 //! soak (default 2M — expect hours for a full soak, interrupt freely; CI
 //! runs a few thousand rounds as a smoke test so the residual race keeps
 //! being hunted continuously).
+//!
+//! `seed` is the base RNG seed every round derives its per-thread streams
+//! from.  It defaults to the wall clock, is printed **up front** and again
+//! on failure together with the failing round, and re-running with the
+//! same seed replays the identical per-thread request sequences — the OS
+//! interleaving is still nondeterministic, but a CI hit is no longer lost:
+//! the printed `(seed, round)` pair pins down the exact workload to
+//! re-soak.  (For *deterministic* schedule replay use the `nbbs-model`
+//! checker, which enumerates interleavings instead of sampling them.)
 
 use std::sync::Arc;
 
@@ -33,13 +42,14 @@ fn run<A: BuddyBackend + 'static>(
     iters: usize,
     max_order: usize,
     rounds: u64,
+    base_seed: u64,
 ) {
     for round in 0..rounds {
         let a = Arc::new(make());
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let a = Arc::clone(&a);
-                let seed = round.wrapping_mul(0x9E37_79B9) ^ ((t as u64) << 32);
+                let seed = base_seed ^ round.wrapping_mul(0x9E37_79B9) ^ ((t as u64) << 32);
                 std::thread::spawn(move || {
                     let mut rng = SplitMix64::new(seed);
                     let mut live = Vec::new();
@@ -70,7 +80,9 @@ fn run<A: BuddyBackend + 'static>(
             .filter(|&(_, s)| s != 0)
             .collect();
         if !dirty.is_empty() {
-            println!("round {round} threads={threads} iters={iters}:");
+            println!(
+                "REPRO: seed {base_seed:#018x} round {round} threads={threads} iters={iters}:"
+            );
             for (n, s) in dirty {
                 println!(
                     "  node {n:4} level {} status {s:#04x} {}",
@@ -98,6 +110,29 @@ fn main() {
     let iters: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(300);
     let depth: u32 = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(9);
     let rounds: u64 = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(2_000_000);
+    let base_seed: u64 = args
+        .get(5)
+        .map(|s| {
+            // Hex only with an explicit 0x prefix: every all-digit string
+            // is also valid hex, so a hex-first parse would silently
+            // reinterpret decimal seeds.
+            match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).unwrap(),
+                None => s.parse().unwrap(),
+            }
+        })
+        .unwrap_or_else(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5EED_5EED)
+        });
+    // Printed up front so a CI hit (or an interrupted soak) is always
+    // attributable to a reproducible (seed, round) pair.
+    println!(
+        "coalescing_soak: variant={variant} threads={threads} iters={iters} \
+         depth={depth} rounds={rounds} seed={base_seed:#018x}"
+    );
     let total = 8usize << depth;
     let cfg = BuddyConfig::new(total, 8, total).unwrap();
     let max_order = depth as usize + 1;
@@ -109,6 +144,7 @@ fn main() {
             iters,
             max_order,
             rounds,
+            base_seed,
         ),
         "1lvl" => run(
             move || NbbsOneLevel::new(cfg),
@@ -117,6 +153,7 @@ fn main() {
             iters,
             max_order,
             rounds,
+            base_seed,
         ),
         other => panic!("unknown variant {other}"),
     }

@@ -267,3 +267,145 @@ fn cross_thread_release_through_the_facade() {
     facade.backend().drain_cache();
     assert_eq!(facade.backend().backend().allocated_bytes(), 0);
 }
+
+/// First-principles oracle for [`BuddyBackend::granted_size_for`],
+/// recomputed from the geometry parameters alone: the granted size is the
+/// next power of two of the request, floored at the unit size, and `None`
+/// past the per-request maximum.
+fn oracle_granted(req: usize, min: usize, max: usize) -> Option<usize> {
+    if req > max {
+        None
+    } else {
+        Some(req.max(1).next_power_of_two().max(min))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `granted_size_for` agrees with the geometry oracle at and around
+    /// every class boundary — on the bare tree, through the magazine
+    /// cache, and on the widened `NodeSet` geometry (whose per-node
+    /// request ceiling must survive the widening) — and the facade's
+    /// grow/shrink in-place decisions agree with the decisions the oracle
+    /// predicts, including over-aligned layouts.
+    #[test]
+    fn granted_size_for_matches_geometry_oracle(
+        case in (1usize..(MAX * 2), 0u32..14, 1usize..(MAX * 2), 0u32..14)
+    ) {
+        let (old_size, old_align_log, other_size, new_align_log) = case;
+
+        // --- 1. raw conformance, incl. exact powers and their neighbours --
+        let bare = NbbsFourLevel::new(BuddyConfig::new(TOTAL, MIN, MAX).unwrap());
+        let cached = MagazineCache::new(NbbsFourLevel::new(
+            BuddyConfig::new(TOTAL, MIN, MAX).unwrap(),
+        ));
+        let node_set = {
+            let config = BuddyConfig::new(TOTAL / 4, MIN, MAX / 4).unwrap();
+            // 3 nodes widen to 4; the phantom tail must not change grants.
+            nbbs_numa::NodeSet::with_topology(
+                (0..3).map(|_| NbbsFourLevel::new(config)).collect(),
+                nbbs_numa::Topology::synthetic(3),
+                nbbs_numa::NodePolicy::HomeFirst,
+            )
+        };
+        let mut probes = vec![1, MIN - 1, MIN, MIN + 1, MAX - 1, MAX, MAX + 1, old_size, other_size];
+        let mut class = MIN;
+        while class <= MAX {
+            probes.extend([class - 1, class, class + 1]);
+            class <<= 1;
+        }
+        for req in probes.drain(..) {
+            prop_assert_eq!(
+                bare.granted_size_for(req),
+                oracle_granted(req, MIN, MAX),
+                "bare tree diverged at request {}", req
+            );
+            prop_assert_eq!(
+                cached.granted_size_for(req),
+                oracle_granted(req, MIN, MAX),
+                "cached backend diverged at request {}", req
+            );
+            prop_assert_eq!(
+                node_set.granted_size_for(req),
+                oracle_granted(req, MIN, MAX / 4),
+                "widened NodeSet diverged at request {}", req
+            );
+        }
+
+        // --- 2. grow/shrink in-place decisions match the oracle ----------
+        let facade = facade();
+        let old_align = 1usize << old_align_log;
+        let new_align = 1usize << new_align_log;
+        let old_layout = Layout::from_size_align(old_size, old_align).unwrap();
+        let old_req = old_size.max(old_align);
+        let old_granted = match oracle_granted(old_req, MIN, MAX) {
+            Some(granted) => granted,
+            None => {
+                prop_assert!(facade.allocate(old_layout).is_err());
+                return;
+            }
+        };
+
+        // Grow: new size >= old size, arbitrary (possibly raised) alignment.
+        let grow_size = old_size.max(other_size);
+        let grow_layout = Layout::from_size_align(grow_size, new_align).unwrap();
+        let grow_req = grow_size.max(new_align);
+        let block = facade.allocate(old_layout).unwrap().cast::<u8>();
+        let before = facade.facade_stats();
+        match (unsafe { facade.grow(block, old_layout, grow_layout) }, oracle_granted(grow_req, MIN, MAX)) {
+            (Ok(new_block), Some(_)) => {
+                let after = facade.facade_stats();
+                let expect_in_place = grow_req <= old_granted;
+                prop_assert_eq!(
+                    after.grows_in_place - before.grows_in_place,
+                    expect_in_place as u64,
+                    "grow {:?} -> {:?}: oracle says in_place={}",
+                    old_layout, grow_layout, expect_in_place
+                );
+                prop_assert_eq!(
+                    after.grows_moved - before.grows_moved,
+                    !expect_in_place as u64
+                );
+                prop_assert_eq!(
+                    (new_block.cast::<u8>() == block),
+                    expect_in_place,
+                    "pointer identity must mirror the in-place decision"
+                );
+                unsafe { facade.deallocate(new_block.cast::<u8>(), grow_layout) };
+            }
+            // Oversize grow rejected; the original block stays live per the
+            // grow contract, so release it before the shrink phase.
+            (Err(_), None) => unsafe { facade.deallocate(block, old_layout) },
+            (Ok(_), None) => prop_assert!(false, "grow served a request past max_size"),
+            (Err(e), Some(_)) => prop_assert!(false, "servable grow failed: {e:?}"),
+        }
+
+        // Shrink: new size <= old size, arbitrary alignment (raising it can
+        // force a move even though the size shrinks).
+        let shrink_size = old_size.min(other_size);
+        let shrink_layout = Layout::from_size_align(shrink_size, new_align).unwrap();
+        let shrink_req = shrink_size.max(new_align);
+        let block = facade.allocate(old_layout).unwrap().cast::<u8>();
+        let before = facade.facade_stats();
+        let result = unsafe { facade.shrink(block, old_layout, shrink_layout) };
+        let after = facade.facade_stats();
+        let shrink_granted = oracle_granted(shrink_req, MIN, MAX).expect("shrink stays in range");
+        let must_move = shrink_req > old_granted;
+        let expect_in_place = !must_move && shrink_granted == old_granted;
+        let new_block = result.unwrap();
+        prop_assert_eq!(
+            after.shrinks_in_place - before.shrinks_in_place,
+            expect_in_place as u64,
+            "shrink {:?} -> {:?}: oracle says in_place={}",
+            old_layout, shrink_layout, expect_in_place
+        );
+        prop_assert_eq!(
+            after.shrinks_moved - before.shrinks_moved,
+            !expect_in_place as u64
+        );
+        prop_assert_eq!((new_block.cast::<u8>() == block), expect_in_place);
+        unsafe { facade.deallocate(new_block.cast::<u8>(), shrink_layout) };
+        prop_assert_eq!(facade.allocated_bytes(), 0);
+    }
+}

@@ -167,6 +167,108 @@ fn concurrent_storm_conserves_values() {
     }
 }
 
+/// Version-tag wraparound, sequentially: starting both heads just below
+/// `u32::MAX`, a few dozen operations march the 32-bit tags across the
+/// wrap while the stack keeps exact bounded-Vec semantics.  Tags are only
+/// ever compared for equality inside the packed CAS word, so the wrap must
+/// be invisible — this pins that down by differential against the oracle
+/// straddling the boundary.
+#[test]
+fn version_tag_wraparound_keeps_oracle_semantics() {
+    // Each push/pop bumps each head tag by at most one; 3 ops before the
+    // wrap, then enough traffic to carry both tags well past zero.
+    let stack: BoundedStack<u64> = BoundedStack::with_initial_tag(3, u32::MAX - 3);
+    let oracle = Oracle::new(3);
+    let (free0, full0) = stack.version_tags();
+    assert_eq!((free0, full0), (u32::MAX - 3, u32::MAX - 3));
+    let mut rng = SplitMix64::new(0x14A7_77A6);
+    for i in 0..200u64 {
+        if rng.next_u64() & 1 == 0 {
+            assert_eq!(stack.push(i), oracle.push(i), "push({i}) diverged");
+        } else {
+            assert_eq!(stack.pop(), oracle.pop(), "pop at op {i} diverged");
+        }
+        assert_eq!(stack.len(), oracle.len());
+    }
+    let (free_tag, full_tag) = stack.version_tags();
+    assert!(
+        free_tag < u32::MAX - 3 && full_tag < u32::MAX - 3,
+        "tags did not wrap (free {free_tag:#x}, full {full_tag:#x}) — the test \
+         lost its purpose"
+    );
+    let mut expected = Vec::new();
+    while let Some(v) = oracle.pop() {
+        expected.push(v);
+    }
+    assert_eq!(stack.drain(), expected);
+}
+
+/// Version-tag wraparound under concurrency: the conservation storm (the
+/// observable corollary of ABA-freedom — no lost, no duplicated values)
+/// run with the tags crossing `u32::MAX` mid-storm.  If the wrap broke the
+/// staleness check — e.g. a stale head matching again after the tag
+/// recycles — duplication or loss would show here exactly as it would for
+/// an untagged stack.
+#[test]
+fn version_tag_wraparound_still_catches_aba() {
+    const THREADS: usize = 6;
+    const ITERS: usize = 30_000;
+    // Tiny capacity maximizes slot recycling; the tags start close enough
+    // to the wrap that every thread's very first operations straddle it.
+    let stack: Arc<BoundedStack<u64>> =
+        Arc::new(BoundedStack::with_initial_tag(2, u32::MAX - THREADS as u32));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let stack = Arc::clone(&stack);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0x0ABA_0ABA ^ t as u64);
+                let mut popped = Vec::new();
+                let mut pushed = Vec::new();
+                for i in 0..ITERS {
+                    if rng.next_u64() & 1 == 0 {
+                        let v = ((t as u64) << 32) | i as u64;
+                        if stack.push(v).is_ok() {
+                            pushed.push(v);
+                        }
+                    } else if let Some(v) = stack.pop() {
+                        popped.push(v);
+                    }
+                }
+                (pushed, popped)
+            })
+        })
+        .collect();
+    let mut pushed: Vec<u64> = Vec::new();
+    let mut popped: Vec<u64> = Vec::new();
+    for h in handles {
+        let (pu, po) = h.join().unwrap();
+        pushed.extend(pu);
+        popped.extend(po);
+    }
+    popped.extend(stack.drain());
+    let (free_tag, full_tag) = stack.version_tags();
+    assert!(
+        free_tag < u32::MAX - THREADS as u32,
+        "free tag did not wrap ({free_tag:#x})"
+    );
+    assert!(
+        full_tag < u32::MAX - THREADS as u32,
+        "full tag did not wrap ({full_tag:#x})"
+    );
+    let pushed_set: HashSet<u64> = pushed.iter().copied().collect();
+    let popped_set: HashSet<u64> = popped.iter().copied().collect();
+    assert_eq!(pushed_set.len(), pushed.len(), "duplicate push accepted");
+    assert_eq!(
+        popped_set.len(),
+        popped.len(),
+        "a value was popped twice across the tag wrap (ABA duplication)"
+    );
+    assert_eq!(
+        pushed_set, popped_set,
+        "pushed and popped sets diverged across the tag wrap (lost values)"
+    );
+}
+
 /// The stack never exceeds its capacity even under concurrent pressure:
 /// accepted pushes minus completed pops can never exceed the slab.
 #[test]

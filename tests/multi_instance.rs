@@ -223,3 +223,59 @@ fn router_merges_cache_stats_and_drains_every_instance() {
     }
     assert!(m.cache_stats().unwrap().drained > 0);
 }
+
+/// Symmetry/completeness property of the shared fallback order, checked
+/// exhaustively for every ring size 1..=16 and every start node: the
+/// sequence is a permutation (every node exactly once) and the ring
+/// distances to the start are non-decreasing — no farther node is ever
+/// probed before a closer one.
+#[test]
+fn nearest_first_order_is_complete_and_distance_monotone_for_all_rings() {
+    for n in 1usize..=16 {
+        for start in 0..n {
+            let order: Vec<usize> = nbbs::nearest_first_order(start, n).collect();
+
+            // Completeness: a permutation of 0..n starting at `start`.
+            assert_eq!(order.len(), n, "ring {n} start {start}: wrong length");
+            let mut seen = vec![false; n];
+            for &node in &order {
+                assert!(node < n, "ring {n} start {start}: node {node} out of range");
+                assert!(
+                    !seen[node],
+                    "ring {n} start {start}: node {node} appears twice"
+                );
+                seen[node] = true;
+            }
+            assert_eq!(order[0], start, "the start node is probed first");
+
+            // Distance monotonicity on the ring (symmetric distance:
+            // min(clockwise, counter-clockwise)).
+            let ring_distance = |node: usize| {
+                let d = (node + n - start) % n;
+                d.min(n - d)
+            };
+            let distances: Vec<usize> = order.iter().map(|&node| ring_distance(node)).collect();
+            assert!(
+                distances.windows(2).all(|w| w[0] <= w[1]),
+                "ring {n} start {start}: distances not non-decreasing: {distances:?}"
+            );
+        }
+    }
+}
+
+/// The order is also start-shift equivariant: rotating the start rotates
+/// the whole sequence — no node is privileged beyond its distance.
+#[test]
+fn nearest_first_order_is_shift_equivariant() {
+    for n in 1usize..=16 {
+        let base: Vec<usize> = nbbs::nearest_first_order(0, n).collect();
+        for start in 0..n {
+            let shifted: Vec<usize> = nbbs::nearest_first_order(start, n).collect();
+            let expected: Vec<usize> = base.iter().map(|&v| (v + start) % n).collect();
+            assert_eq!(
+                shifted, expected,
+                "ring {n}: order at start {start} is not the rotated base order"
+            );
+        }
+    }
+}
