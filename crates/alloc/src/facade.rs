@@ -3,9 +3,12 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use nbbs::error::AllocError;
 use nbbs::{BuddyBackend, BuddyRegion};
+use nbbs_obs::{size_detail, OpKind, OpOutcome, Recorder};
+use nbbs_sync::cycles_now;
 
 /// Point-in-time copy of the facade's realloc counters.
 ///
@@ -76,6 +79,10 @@ pub struct NbbsAllocator<A: BuddyBackend> {
     grows_moved: AtomicU64,
     shrinks_in_place: AtomicU64,
     shrinks_moved: AtomicU64,
+    /// Optional latency recorder: every *public* facade operation records
+    /// exactly one event (a moved grow is one `Grow`, not a
+    /// `Grow` + `Alloc` + `Free`).  `None` skips all timestamp reads.
+    obs: Option<Arc<Recorder>>,
 }
 
 impl<A: BuddyBackend> NbbsAllocator<A> {
@@ -87,7 +94,26 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             grows_moved: AtomicU64::new(0),
             shrinks_in_place: AtomicU64::new(0),
             shrinks_moved: AtomicU64::new(0),
+            obs: None,
         }
+    }
+
+    /// Attaches a latency recorder: `allocate`/`deallocate`/`grow`/`shrink`
+    /// record one [`nbbs_obs::OpKind`] event each.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.obs = Some(recorder);
+        self
+    }
+
+    /// Sets or clears the latency recorder in place.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.obs = recorder;
+    }
+
+    /// The attached latency recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.obs.as_ref()
     }
 
     /// The wrapped backend (e.g. the `MagazineCache` layer).
@@ -142,6 +168,23 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
     /// caller may use every byte of it, and may pass any layout whose
     /// request rounds to the same granted size to [`NbbsAllocator::deallocate`].
     pub fn allocate(&self, layout: Layout) -> Result<NonNull<[u8]>, AllocError> {
+        let t0 = self.obs.as_ref().map(|_| cycles_now());
+        let out = self.allocate_inner(layout);
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.record_since(
+                OpKind::Alloc,
+                t0,
+                size_detail(Self::request_size(layout)),
+                OpOutcome::from_ok(out.is_ok()),
+            );
+        }
+        out
+    }
+
+    /// [`NbbsAllocator::allocate`] without the latency recording — the
+    /// building block `grow`/`shrink` use so a moved realloc records as one
+    /// event of its own kind.
+    fn allocate_inner(&self, layout: Layout) -> Result<NonNull<[u8]>, AllocError> {
         let want = Self::request_size(layout);
         let granted = self
             .backend()
@@ -175,6 +218,24 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
     /// `layout` must round to the same granted size as the layout it was
     /// allocated (or last grown/shrunk) with.
     pub unsafe fn deallocate(&self, ptr: NonNull<u8>, layout: Layout) {
+        let t0 = self.obs.as_ref().map(|_| cycles_now());
+        self.deallocate_inner(ptr, layout);
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.record_since(
+                OpKind::Free,
+                t0,
+                size_detail(Self::request_size(layout)),
+                OpOutcome::Ok,
+            );
+        }
+    }
+
+    /// [`NbbsAllocator::deallocate`] without the latency recording.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`NbbsAllocator::deallocate`].
+    unsafe fn deallocate_inner(&self, ptr: NonNull<u8>, layout: Layout) {
         debug_assert!(self.region.contains(ptr), "pointer outside the region");
         debug_assert!(self.granted_size(layout).is_some());
         self.region.dealloc_bytes(ptr);
@@ -198,6 +259,25 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
         old_layout: Layout,
         new_layout: Layout,
     ) -> Result<NonNull<[u8]>, AllocError> {
+        let t0 = self.obs.as_ref().map(|_| cycles_now());
+        let out = self.grow_inner(ptr, old_layout, new_layout);
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.record_since(
+                OpKind::Grow,
+                t0,
+                size_detail(Self::request_size(new_layout)),
+                OpOutcome::from_ok(out.is_ok()),
+            );
+        }
+        out
+    }
+
+    unsafe fn grow_inner(
+        &self,
+        ptr: NonNull<u8>,
+        old_layout: Layout,
+        new_layout: Layout,
+    ) -> Result<NonNull<[u8]>, AllocError> {
         debug_assert!(new_layout.size() >= old_layout.size());
         let new_want = Self::request_size(new_layout);
         if let Some(granted) = self
@@ -212,7 +292,7 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
                 return Ok(NonNull::slice_from_raw_parts(ptr, granted));
             }
         }
-        let new_block = self.allocate(new_layout)?;
+        let new_block = self.allocate_inner(new_layout)?;
         // SAFETY: distinct blocks; the old block holds `old_layout.size()`
         // initialized-or-caller-owned bytes and the new one is larger.
         std::ptr::copy_nonoverlapping(
@@ -220,7 +300,7 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             new_block.cast::<u8>().as_ptr(),
             old_layout.size(),
         );
-        self.deallocate(ptr, old_layout);
+        self.deallocate_inner(ptr, old_layout);
         self.grows_moved.fetch_add(1, Ordering::Relaxed);
         Ok(new_block)
     }
@@ -246,6 +326,25 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
         old_layout: Layout,
         new_layout: Layout,
     ) -> Result<NonNull<[u8]>, AllocError> {
+        let t0 = self.obs.as_ref().map(|_| cycles_now());
+        let out = self.shrink_inner(ptr, old_layout, new_layout);
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.record_since(
+                OpKind::Shrink,
+                t0,
+                size_detail(Self::request_size(new_layout)),
+                OpOutcome::from_ok(out.is_ok()),
+            );
+        }
+        out
+    }
+
+    unsafe fn shrink_inner(
+        &self,
+        ptr: NonNull<u8>,
+        old_layout: Layout,
+        new_layout: Layout,
+    ) -> Result<NonNull<[u8]>, AllocError> {
         debug_assert!(new_layout.size() <= old_layout.size());
         let new_want = Self::request_size(new_layout);
         let Some(granted) = self
@@ -265,14 +364,14 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             self.shrinks_in_place.fetch_add(1, Ordering::Relaxed);
             return Ok(NonNull::slice_from_raw_parts(ptr, granted));
         }
-        match self.allocate(new_layout) {
+        match self.allocate_inner(new_layout) {
             Ok(new_block) => {
                 std::ptr::copy_nonoverlapping(
                     ptr.as_ptr(),
                     new_block.cast::<u8>().as_ptr(),
                     new_layout.size(),
                 );
-                self.deallocate(ptr, old_layout);
+                self.deallocate_inner(ptr, old_layout);
                 self.shrinks_moved.fetch_add(1, Ordering::Relaxed);
                 Ok(new_block)
             }
@@ -483,6 +582,29 @@ mod tests {
         assert_eq!(shrunk.cast::<u8>(), p);
         assert_eq!(a.facade_stats().shrinks_in_place, 1);
         unsafe { a.deallocate(p, new) };
+    }
+
+    #[test]
+    fn recorder_times_each_public_op_once() {
+        let rec = Arc::new(Recorder::new());
+        let config = BuddyConfig::new(1 << 20, 64, 1 << 16).unwrap();
+        let a = NbbsAllocator::new(MagazineCache::new(NbbsFourLevel::new(config)))
+            .with_recorder(Arc::clone(&rec));
+        let old = Layout::from_size_align(100, 8).unwrap();
+        let block = a.allocate(old).unwrap();
+        let p = block.cast::<u8>();
+        let big = Layout::from_size_align(5000, 8).unwrap();
+        let grown = unsafe { a.grow(p, old, big).unwrap() };
+        let small = Layout::from_size_align(64, 8).unwrap();
+        let shrunk = unsafe { a.shrink(grown.cast(), big, small).unwrap() };
+        unsafe { a.deallocate(shrunk.cast(), small) };
+        // One event per public call: the moved grow and moved shrink must
+        // not double-record their internal alloc/free legs.
+        assert_eq!(rec.snapshot(OpKind::Alloc).total(), 1);
+        assert_eq!(rec.snapshot(OpKind::Grow).total(), 1);
+        assert_eq!(rec.snapshot(OpKind::Shrink).total(), 1);
+        assert_eq!(rec.snapshot(OpKind::Free).total(), 1);
+        assert_eq!(a.allocated_bytes(), 0);
     }
 
     #[test]

@@ -50,6 +50,7 @@ use std::sync::{Arc, OnceLock};
 use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel};
 use nbbs_cache::{drain_on_thread_exit, CacheConfig, DrainOnExit, MagazineCache, NodeOfFn};
 use nbbs_numa::{topology, NodePolicy, NodeSet, NodeStatsSnapshot, Topology};
+use nbbs_obs::{FacadeShare, MetricsRegistry, NodeShare, Recorder};
 
 use crate::facade::NbbsAllocator;
 use crate::FacadeStatsSnapshot;
@@ -106,6 +107,10 @@ struct State {
     facade: NbbsAllocator<Arc<CachedTree>>,
     cache: Arc<CachedTree>,
     exit_hook: Arc<ExitLatch>,
+    /// The stack's latency recorder, when recording was requested
+    /// ([`NbbsGlobalAlloc::with_recording`] or `NBBS_OBS=1`); shared by the
+    /// facade and the cache's slow paths.
+    recorder: Option<Arc<Recorder>>,
 }
 
 /// Global-allocator facade over the cached non-blocking buddy.
@@ -135,6 +140,9 @@ pub struct NbbsGlobalAlloc {
     /// Buddy instances to deploy: 1 = single node (the default), `n` =
     /// `n` synthetic nodes, 0 = one per detected NUMA node.
     nodes: usize,
+    /// Force latency recording on (also switchable per process with
+    /// `NBBS_OBS=1`).
+    recording: bool,
     state: OnceLock<Option<State>>,
     /// Bytes served from the buddy region (cumulative, by requested size).
     buddy_bytes: AtomicU64,
@@ -153,10 +161,25 @@ impl NbbsGlobalAlloc {
             min_size,
             max_size,
             nodes: 1,
+            recording: false,
             state: OnceLock::new(),
             buddy_bytes: AtomicU64::new(0),
             system_bytes: AtomicU64::new(0),
         }
+    }
+
+    /// Turns on latency recording for this allocator: the facade's
+    /// alloc/free/grow/shrink and the cache's miss/refill/flush paths feed
+    /// `nbbs-obs` histograms and the flight recorder, and
+    /// [`NbbsGlobalAlloc::stats_report`] gains a tail-latency section.
+    ///
+    /// Without this (and without `NBBS_OBS=1` in the environment) no
+    /// timestamp is ever read — the hot path is byte-identical to the
+    /// unobserved build.
+    #[must_use]
+    pub const fn with_recording(mut self) -> Self {
+        self.recording = true;
+        self
     }
 
     /// Deploys one buddy instance (of `total_memory` bytes each) per NUMA
@@ -239,8 +262,14 @@ impl NbbsGlobalAlloc {
                 } else {
                     (CacheConfig::default(), "cached-4lvl-nb")
                 };
-                let cache = Arc::new(MagazineCache::with_config_and_name(set, cache_config, name));
-                let facade = NbbsAllocator::new(Arc::clone(&cache));
+                let recorder = (self.recording
+                    || std::env::var_os("NBBS_OBS").is_some_and(|v| v != "0"))
+                .then(|| Arc::new(Recorder::new()));
+                let mut cache = MagazineCache::with_config_and_name(set, cache_config, name);
+                cache.set_recorder(recorder.clone());
+                let cache = Arc::new(cache);
+                let mut facade = NbbsAllocator::new(Arc::clone(&cache));
+                facade.set_recorder(recorder.clone());
                 let exit_hook = Arc::new(ExitLatch {
                     cache: Arc::clone(&cache),
                 });
@@ -248,6 +277,7 @@ impl NbbsGlobalAlloc {
                     facade,
                     cache,
                     exit_hook,
+                    recorder,
                 })
             })
             .as_ref()
@@ -356,64 +386,69 @@ impl NbbsGlobalAlloc {
         self.built_state().map(|s| s.cache.backend().node_stats())
     }
 
-    /// A human-readable telemetry dump: buddy/system byte share, the
-    /// facade's grow-in-place rate, cache hit rate, and per-node service
-    /// shares with remote-fallback counts.
-    ///
-    /// This is what [`NbbsGlobalAlloc::print_stats_on_exit`] writes to
-    /// stderr when the process ends.
-    pub fn stats_report(&self) -> String {
-        use std::fmt::Write as _;
+    /// The stack's latency recorder (present when built with
+    /// [`NbbsGlobalAlloc::with_recording`] or `NBBS_OBS=1`).
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.built_state().and_then(|s| s.recorder.as_ref())
+    }
+
+    /// The full telemetry of the stack as one unified
+    /// [`nbbs_obs::StackSnapshot`] — backend counters, cache counters,
+    /// magazine capacities, per-node shares, facade byte shares, and (when
+    /// recording) tail-latency percentiles per operation kind.
+    pub fn metrics(&self) -> nbbs_obs::StackSnapshot {
         let (buddy, system) = self.bytes_served();
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "[nbbs-alloc] served {buddy} B from the buddy, {system} B from System \
-             ({:.1}% buddy share)",
-            self.buddy_share() * 100.0
-        );
+        let mut facade = FacadeShare {
+            buddy_bytes: buddy,
+            system_bytes: system,
+            ..Default::default()
+        };
         if let Some(f) = self.facade_stats() {
-            let _ = writeln!(
-                out,
-                "[nbbs-alloc] realloc: {} grows in place, {} moved ({:.1}% in place); \
-                 {} shrinks in place, {} moved",
-                f.grows_in_place,
-                f.grows_moved,
-                f.grow_in_place_rate() * 100.0,
-                f.shrinks_in_place,
-                f.shrinks_moved
-            );
+            facade.grows_in_place = f.grows_in_place;
+            facade.grows_moved = f.grows_moved;
+            facade.shrinks_in_place = f.shrinks_in_place;
+            facade.shrinks_moved = f.shrinks_moved;
         }
-        if let Some(c) = self.cache_stats() {
-            let _ = writeln!(
-                out,
-                "[nbbs-alloc] cache: {:.1}% hit rate over {} allocations \
-                 ({} refilled, {} flushed)",
-                c.hit_rate() * 100.0,
-                c.alloc_requests(),
-                c.refilled,
-                c.flushed
+        let mut reg = MetricsRegistry::new("nbbs-alloc");
+        reg.set_facade(facade);
+        if let Some(state) = self.built_state() {
+            reg.observe_backend(&state.cache);
+            reg.set_nodes(
+                state
+                    .cache
+                    .backend()
+                    .node_stats()
+                    .iter()
+                    .map(|n| NodeShare {
+                        node: n.node,
+                        allocated_bytes: n.allocated_bytes as u64,
+                        local_allocs: n.local_allocs,
+                        remote_allocs: n.remote_allocs,
+                        failed_allocs: n.failed_allocs,
+                    })
+                    .collect(),
             );
+            if let Some(rec) = &state.recorder {
+                reg.set_recorder(Arc::clone(rec));
+            }
         }
-        if let Some(nodes) = self.node_stats() {
-            let total_served: u64 = nodes.iter().map(|n| n.served()).sum();
-            for n in &nodes {
-                let share = if total_served == 0 {
-                    0.0
-                } else {
-                    n.served() as f64 / total_served as f64 * 100.0
-                };
-                let _ = writeln!(
-                    out,
-                    "[nbbs-alloc] node {}: {:>5.1}% of allocations \
-                     ({} local, {} remote-fallback, {} failed, {} B live)",
-                    n.node,
-                    share,
-                    n.local_allocs,
-                    n.remote_allocs,
-                    n.failed_allocs,
-                    n.allocated_bytes
-                );
+        reg.snapshot()
+    }
+
+    /// A human-readable telemetry dump: buddy/system byte share, the
+    /// facade's grow-in-place rate, cache hit rate, per-node service shares
+    /// with remote-fallback counts, and — when recording — tail-latency
+    /// percentiles plus the flight recorder's recent-operation rings.
+    ///
+    /// Rendered by [`nbbs_obs::MetricsRegistry`] (the one exposition path
+    /// every binary in the workspace shares); this is what
+    /// [`NbbsGlobalAlloc::print_stats_on_exit`] writes to stderr when the
+    /// process ends.
+    pub fn stats_report(&self) -> String {
+        let mut out = self.metrics().text_table();
+        if let Some(rec) = self.recorder() {
+            if !rec.flight().is_empty() {
+                out.push_str(&rec.flight().render());
             }
         }
         out
@@ -767,6 +802,42 @@ mod tests {
         assert!(report.contains("node 0:"), "{report}");
         assert!(report.contains("node 1:"), "{report}");
         assert!(report.contains("remote-fallback"), "{report}");
+    }
+
+    #[test]
+    fn recording_build_reports_latency_and_flight() {
+        let a = NbbsGlobalAlloc::new(1 << 18, 64, 1 << 12).with_recording();
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(a.owns(p));
+            let q = a.realloc(p, layout, 2048); // moved grow
+            a.dealloc(q, Layout::from_size_align(2048, 8).unwrap());
+        }
+        assert!(a.recorder().is_some());
+        let report = a.stats_report();
+        assert!(report.contains("latency  alloc"), "{report}");
+        assert!(report.contains("latency  grow"), "{report}");
+        assert!(report.contains("[flight]"), "{report}");
+        let json = a.metrics().to_json();
+        assert!(json.contains("\"latency\":{"), "{json}");
+        assert!(json.contains("\"p99_ns\":"), "{json}");
+    }
+
+    #[test]
+    fn unobserved_build_reads_no_timestamps() {
+        let a = NbbsGlobalAlloc::new(1 << 16, 64, 1 << 10);
+        let layout = Layout::from_size_align(128, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            a.dealloc(p, layout);
+        }
+        // NBBS_OBS may be set in the environment running this suite; only
+        // assert the default-off contract when it is not.
+        if std::env::var_os("NBBS_OBS").is_none() {
+            assert!(a.recorder().is_none());
+            assert!(!a.stats_report().contains("latency"), "no latency section");
+        }
     }
 
     #[test]

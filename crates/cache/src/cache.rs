@@ -1,10 +1,12 @@
 //! The magazine cache front-end.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use nbbs::error::{AllocError, FreeError};
 use nbbs::{BuddyBackend, CacheStatsSnapshot, Geometry, TreeInspect};
-use nbbs_sync::{CachePadded, SpinLock};
+use nbbs_obs::{OpKind, OpOutcome, Recorder};
+use nbbs_sync::{cycles_now, CachePadded, SpinLock};
 
 use crate::config::{CacheConfig, FlushPolicy};
 use crate::depot::DepotShard;
@@ -159,6 +161,10 @@ pub struct MagazineCache<A: BuddyBackend> {
     /// hot paths (alloc/dealloc/park/refill) never take this lock.
     inspect_lock: SpinLock<()>,
     counters: Counters,
+    /// Optional latency recorder for the slow paths (miss, refill, flush).
+    /// `None` skips every timestamp read — the zero-cost-when-disabled
+    /// contract of `nbbs-obs`.
+    obs: Option<Arc<Recorder>>,
 }
 
 impl<A: BuddyBackend> MagazineCache<A> {
@@ -233,7 +239,29 @@ impl<A: BuddyBackend> MagazineCache<A> {
             shard_budget: budget / shard_count,
             inspect_lock: SpinLock::new(()),
             counters: Counters::default(),
+            obs: None,
         }
+    }
+
+    /// Attaches a latency recorder to the cache's slow paths: misses
+    /// ([`nbbs_obs::OpKind::CacheMiss`]), batched refills
+    /// ([`nbbs_obs::OpKind::CacheRefill`]) and whole-magazine flushes
+    /// ([`nbbs_obs::OpKind::CacheFlush`]).  Hits are deliberately not
+    /// timed — the hit path is the product, and two TSC reads per hit
+    /// would be the largest cost on it.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.obs = Some(recorder);
+        self
+    }
+
+    /// Sets or clears the slow-path recorder in place.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.obs = recorder;
+    }
+
+    /// The attached slow-path recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.obs.as_ref()
     }
 
     /// The wrapped backend.
@@ -518,7 +546,18 @@ impl<A: BuddyBackend> MagazineCache<A> {
 
         // Miss: batched refill from the backend.
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
-        let first = self.backend.alloc(class_size)?;
+        let t_miss = self.obs.as_ref().map(|_| cycles_now());
+        let first = self.backend.alloc(class_size);
+        if let (Some(rec), Some(t0)) = (&self.obs, t_miss) {
+            rec.record_since(
+                OpKind::CacheMiss,
+                t0,
+                class as u64,
+                OpOutcome::from_ok(first.is_some()),
+            );
+        }
+        let first = first?;
+        let t_refill = self.obs.as_ref().map(|_| cycles_now());
         let mut chunks = Vec::with_capacity(batch);
         for _ in 0..batch {
             match self.backend.alloc(class_size) {
@@ -555,6 +594,9 @@ impl<A: BuddyBackend> MagazineCache<A> {
             }
             for off in chunks {
                 self.backend.dealloc(off);
+            }
+            if let (Some(rec), Some(t0)) = (&self.obs, t_refill) {
+                rec.record_since(OpKind::CacheRefill, t0, refilled, OpOutcome::Ok);
             }
         }
         Some(first)
@@ -649,12 +691,15 @@ impl<A: BuddyBackend> MagazineCache<A> {
 
     /// Returns a magazine's chunks to the backend, counting them as flushed.
     fn flush_magazine(&self, mut mag: Magazine) {
+        let t0 = self.obs.as_ref().map(|_| cycles_now());
         let chunks = mag.take_all();
-        self.counters
-            .flushed
-            .fetch_add(chunks.len() as u64, Ordering::Relaxed);
+        let n = chunks.len() as u64;
+        self.counters.flushed.fetch_add(n, Ordering::Relaxed);
         for off in chunks {
             self.backend.dealloc(off);
+        }
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.record_since(OpKind::CacheFlush, t0, n, OpOutcome::Ok);
         }
     }
 

@@ -121,6 +121,42 @@ mod tests {
     }
 
     #[test]
+    fn recorder_times_miss_refill_and_flush() {
+        use nbbs_obs::{OpKind, Recorder};
+
+        let rec = Arc::new(Recorder::new());
+        let c = MagazineCache::with_config(
+            NbbsOneLevel::new(cfg()),
+            CacheConfig {
+                magazine_capacity: 2,
+                depot_magazines: 1,
+                slots: Some(1),
+                adaptive_resize: false,
+                ..CacheConfig::default()
+            },
+        )
+        .with_recorder(Arc::clone(&rec));
+
+        // First allocation of a class is a miss with a batched refill.
+        let off = c.alloc(64).unwrap();
+        assert_eq!(rec.snapshot(OpKind::CacheMiss).total(), 1);
+        assert_eq!(rec.snapshot(OpKind::CacheRefill).total(), 1);
+        c.dealloc(off);
+
+        // Overflow the tiny magazines until a whole magazine is flushed.
+        let held: Vec<_> = (0..16).filter_map(|_| c.alloc(64)).collect();
+        for off in held {
+            c.dealloc(off);
+        }
+        assert!(
+            rec.snapshot(OpKind::CacheFlush).total() > 0,
+            "overflow past the depot must reach flush_magazine"
+        );
+        // Every recorded kind also left a flight-recorder trace.
+        assert!(!c.recorder().unwrap().flight().is_empty());
+    }
+
+    #[test]
     fn batched_refill_populates_magazine() {
         let c = small_cache();
         let off = c.alloc(8).unwrap();

@@ -477,6 +477,8 @@ impl NbbsFourLevel {
                 break;
             }
             self.stats.record_cas_failure(1);
+            self.stats
+                .record_cas_failure_at(geo.level_of(n) as usize, 1);
             // The CAS may have failed because an unrelated slot of the same
             // word changed; re-evaluate from the top.
         }
@@ -507,6 +509,8 @@ impl NbbsFourLevel {
                     break;
                 }
                 self.stats.record_cas_failure(1);
+                self.stats
+                    .record_cas_failure_at(geo.level_of(parent_node) as usize, 1);
             }
             child_root = self.bgeo.bunch_root(parent_node);
         }
@@ -566,6 +570,8 @@ impl NbbsFourLevel {
                     break;
                 }
                 self.stats.record_cas_failure(1);
+                self.stats
+                    .record_cas_failure_at(geo.level_of(parent_node) as usize, 1);
             }
             if is_occ_buddy(old_status, child_root) && !is_coal_buddy(old_status, child_root) {
                 break;
@@ -591,6 +597,8 @@ impl NbbsFourLevel {
                 break;
             }
             self.stats.record_cas_failure(1);
+            self.stats
+                .record_cas_failure_at(geo.level_of(n) as usize, 1);
         }
 
         // Phase 3: propagate the release across the ancestor bunches.
@@ -638,6 +646,8 @@ impl NbbsFourLevel {
                     break;
                 }
                 self.stats.record_cas_failure(1);
+                self.stats
+                    .record_cas_failure_at(geo.level_of(parent_node) as usize, 1);
             }
             if is_occ_buddy(new_status, child_root) {
                 return;

@@ -202,6 +202,8 @@ impl NbbsOneLevel {
             .is_err()
         {
             self.stats.record_cas_failure(1);
+            self.stats
+                .record_cas_failure_at(self.geo.level_of(n) as usize, 1);
             return Err(n);
         }
 
@@ -228,6 +230,8 @@ impl NbbsOneLevel {
                     break;
                 }
                 self.stats.record_cas_failure(1);
+                self.stats
+                    .record_cas_failure_at(self.geo.level_of(current) as usize, 1);
                 // The failure may be benign (the sibling branch changed);
                 // re-read and retry — only an OCC ancestor aborts.
             }
@@ -274,6 +278,8 @@ impl NbbsOneLevel {
                     break;
                 }
                 self.stats.record_cas_failure(1);
+                self.stats
+                    .record_cas_failure_at(self.geo.level_of(current) as usize, 1);
             }
             if is_occ_buddy(old_val, runner) && !is_coal_buddy(old_val, runner) {
                 break;
@@ -317,6 +323,8 @@ impl NbbsOneLevel {
                     break;
                 }
                 self.stats.record_cas_failure(1);
+                self.stats
+                    .record_cas_failure_at(self.geo.level_of(current) as usize, 1);
             }
             if self.geo.level_of(current) <= upper_level || is_occ_buddy(new_val, child) {
                 return;

@@ -21,6 +21,14 @@ use std::sync::atomic::AtomicU64;
 #[cfg(feature = "op-stats")]
 use std::sync::atomic::Ordering;
 
+/// Number of tree levels the per-level CAS-failure heatmap resolves.
+///
+/// Deeper trees clamp their tail levels into the last bin; the paper's
+/// configurations (64 MiB / 8 B units ⇒ 24 levels would overflow — but CAS
+/// traffic concentrates near the leaves, and the reports label the last
+/// bin `N+`).
+pub const CAS_LEVELS: usize = 16;
+
 /// Cumulative operation counters for one allocator instance.
 #[derive(Debug, Default)]
 #[cfg_attr(not(feature = "op-stats"), allow(dead_code))]
@@ -31,6 +39,7 @@ pub struct OpStats {
     cas_ops: AtomicU64,
     cas_failures: AtomicU64,
     nodes_skipped: AtomicU64,
+    cas_failures_by_level: [AtomicU64; CAS_LEVELS],
 }
 
 /// A point-in-time copy of [`OpStats`].
@@ -48,6 +57,12 @@ pub struct OpStatsSnapshot {
     pub cas_failures: u64,
     /// Candidate nodes skipped during level scans because they were busy.
     pub nodes_skipped: u64,
+    /// CAS failures broken down by the tree level of the contended node
+    /// (level 0 = root; levels ≥ [`CAS_LEVELS`]−1 share the last bin) —
+    /// the contention heatmap of the fig13 cache table.  All zeros unless
+    /// the `op-stats` feature is enabled *and* the backend reports levels
+    /// (the tree allocators do; baselines leave it empty).
+    pub cas_failures_by_level: [u64; CAS_LEVELS],
 }
 
 impl OpStatsSnapshot {
@@ -81,6 +96,19 @@ impl OpStatsSnapshot {
         self.cas_ops += other.cas_ops;
         self.cas_failures += other.cas_failures;
         self.nodes_skipped += other.nodes_skipped;
+        for (a, b) in self
+            .cas_failures_by_level
+            .iter_mut()
+            .zip(other.cas_failures_by_level.iter())
+        {
+            *a += *b;
+        }
+    }
+
+    /// Whether any per-level CAS-failure bin is non-zero (reports hide the
+    /// heatmap column block otherwise).
+    pub fn has_level_contention(&self) -> bool {
+        self.cas_failures_by_level.iter().any(|&c| c != 0)
     }
 }
 
@@ -251,10 +279,24 @@ impl OpStats {
         /// Records `n` nodes skipped by the level scan.
         record_skip, nodes_skipped);
 
+    /// Records `n` CAS failures on a node at tree `level` (0 = root),
+    /// feeding the per-level contention heatmap in addition to the
+    /// aggregate `cas_failures` counter the caller records separately.
+    /// Levels beyond [`CAS_LEVELS`]−1 share the last bin.
+    #[inline(always)]
+    pub fn record_cas_failure_at(&self, _level: usize, _n: u64) {
+        #[cfg(feature = "op-stats")]
+        self.cas_failures_by_level[_level.min(CAS_LEVELS - 1)].fetch_add(_n, Ordering::Relaxed);
+    }
+
     /// Returns a copy of the current counter values.
     pub fn snapshot(&self) -> OpStatsSnapshot {
         #[cfg(feature = "op-stats")]
         {
+            let mut levels = [0u64; CAS_LEVELS];
+            for (out, c) in levels.iter_mut().zip(self.cas_failures_by_level.iter()) {
+                *out = c.load(Ordering::Relaxed);
+            }
             OpStatsSnapshot {
                 allocs: self.allocs.load(Ordering::Relaxed),
                 frees: self.frees.load(Ordering::Relaxed),
@@ -262,6 +304,7 @@ impl OpStats {
                 cas_ops: self.cas_ops.load(Ordering::Relaxed),
                 cas_failures: self.cas_failures.load(Ordering::Relaxed),
                 nodes_skipped: self.nodes_skipped.load(Ordering::Relaxed),
+                cas_failures_by_level: levels,
             }
         }
         #[cfg(not(feature = "op-stats"))]
@@ -304,6 +347,36 @@ mod tests {
         let snap = OpStatsSnapshot::default();
         assert_eq!(snap.cas_per_op(), 0.0);
         assert_eq!(snap.cas_failure_rate(), 0.0);
+        assert!(!snap.has_level_contention());
+    }
+
+    #[test]
+    fn per_level_failures_bin_and_clamp() {
+        let stats = OpStats::new();
+        stats.record_cas_failure_at(0, 1);
+        stats.record_cas_failure_at(3, 2);
+        stats.record_cas_failure_at(CAS_LEVELS + 7, 5); // clamps into the last bin
+        let snap = stats.snapshot();
+        if OpStats::enabled() {
+            assert_eq!(snap.cas_failures_by_level[0], 1);
+            assert_eq!(snap.cas_failures_by_level[3], 2);
+            assert_eq!(snap.cas_failures_by_level[CAS_LEVELS - 1], 5);
+            assert!(snap.has_level_contention());
+        } else {
+            assert!(!snap.has_level_contention());
+        }
+    }
+
+    #[test]
+    fn merge_accumulates_level_bins() {
+        let mut a = OpStatsSnapshot::default();
+        let mut b = OpStatsSnapshot::default();
+        a.cas_failures_by_level[2] = 3;
+        b.cas_failures_by_level[2] = 4;
+        b.cas_failures_by_level[9] = 1;
+        a.merge(&b);
+        assert_eq!(a.cas_failures_by_level[2], 7);
+        assert_eq!(a.cas_failures_by_level[9], 1);
     }
 
     #[test]
@@ -361,10 +434,8 @@ mod tests {
         let snap = OpStatsSnapshot {
             allocs: 1,
             frees: 1,
-            failed_allocs: 0,
             cas_ops: 4,
-            cas_failures: 0,
-            nodes_skipped: 0,
+            ..Default::default()
         };
         let s = snap.to_string();
         assert!(s.contains("allocs=1"));

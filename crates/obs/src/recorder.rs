@@ -1,0 +1,242 @@
+//! The recording handle threaded through the allocator stack.
+//!
+//! Every instrumentable layer (facade, cache, workload wrapper) holds an
+//! `Option<Arc<Recorder>>`.  When the option is `None` the layer takes **no
+//! timestamp at all** — the zero-cost-when-disabled discipline is expressed
+//! in the caller:
+//!
+//! ```ignore
+//! let t0 = self.obs.as_ref().map(|_| nbbs_sync::cycles_now());
+//! let out = self.inner_operation();
+//! if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+//!     rec.record_since(OpKind::Alloc, t0, detail, OpOutcome::from_ok(out.is_some()));
+//! }
+//! ```
+//!
+//! When enabled, one recording is two `rdtsc` reads, one relaxed
+//! `fetch_add`/`fetch_max` pair on a per-thread histogram shard, and one
+//! relaxed ring-buffer store for the flight recorder.
+
+use nbbs_sync::cycles_now;
+
+use crate::flight::FlightRecorder;
+use crate::hist::{bucket_index, HistogramSnapshot, LatencyHistogram};
+
+/// The operations the stack records, one histogram each.
+///
+/// The first four are facade/workload-level operations; the `Cache*` kinds
+/// are the magazine cache's backend-touching slow paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpKind {
+    /// An allocation observed at the facade or workload boundary.
+    Alloc = 0,
+    /// A release observed at the facade or workload boundary.
+    Free = 1,
+    /// An in-place-or-move grow at the facade.
+    Grow = 2,
+    /// An in-place-or-move shrink at the facade.
+    Shrink = 3,
+    /// A cache miss: the first backend allocation a miss performs.
+    CacheMiss = 4,
+    /// A magazine flush returning chunks to the backend.
+    CacheFlush = 5,
+    /// A batched backend refill after a miss.
+    CacheRefill = 6,
+}
+
+impl OpKind {
+    /// Number of kinds (the recorder keeps one histogram per kind).
+    pub const COUNT: usize = 7;
+
+    /// Every kind, in discriminant order.
+    pub const ALL: [OpKind; OpKind::COUNT] = [
+        OpKind::Alloc,
+        OpKind::Free,
+        OpKind::Grow,
+        OpKind::Shrink,
+        OpKind::CacheMiss,
+        OpKind::CacheFlush,
+        OpKind::CacheRefill,
+    ];
+
+    /// Short stable name used in reports and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Alloc => "alloc",
+            OpKind::Free => "free",
+            OpKind::Grow => "grow",
+            OpKind::Shrink => "shrink",
+            OpKind::CacheMiss => "cache_miss",
+            OpKind::CacheFlush => "cache_flush",
+            OpKind::CacheRefill => "cache_refill",
+        }
+    }
+
+    /// Inverse of the discriminant, for flight-recorder decoding.
+    pub fn from_index(i: u8) -> Option<OpKind> {
+        OpKind::ALL.get(i as usize).copied()
+    }
+}
+
+/// Whether a recorded operation succeeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum OpOutcome {
+    /// The operation completed.
+    Ok = 0,
+    /// The operation failed (out of memory, exhausted scan, moved realloc).
+    Failed = 1,
+}
+
+impl OpOutcome {
+    /// `Ok` for `true`, `Failed` for `false`.
+    pub fn from_ok(ok: bool) -> Self {
+        if ok {
+            OpOutcome::Ok
+        } else {
+            OpOutcome::Failed
+        }
+    }
+}
+
+/// The per-stack recording sink: one latency histogram per [`OpKind`] plus
+/// the flight recorder of recent operations.
+///
+/// Shared as `Arc<Recorder>` by every instrumented layer of one allocator
+/// stack, so a single snapshot sees the facade and the cache together.
+pub struct Recorder {
+    hists: [LatencyHistogram; OpKind::COUNT],
+    flight: FlightRecorder,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder {
+            hists: std::array::from_fn(|_| LatencyHistogram::new()),
+            flight: FlightRecorder::new(),
+        }
+    }
+
+    /// Records one operation that started at TSC value `start_cycles`.
+    ///
+    /// `detail` is a small payload shown in flight-recorder dumps — the
+    /// size-class log2 for alloc/free, the tree level for CAS events, etc.
+    #[inline]
+    pub fn record_since(&self, kind: OpKind, start_cycles: u64, detail: u64, outcome: OpOutcome) {
+        let dt = cycles_now().wrapping_sub(start_cycles);
+        self.record_cycles(kind, dt, detail, outcome);
+    }
+
+    /// Records one operation of known duration `cycles`.
+    #[inline]
+    pub fn record_cycles(&self, kind: OpKind, cycles: u64, detail: u64, outcome: OpOutcome) {
+        let bucket = bucket_index(cycles);
+        self.hists[kind as usize].record_with_bucket(cycles, bucket);
+        self.flight.push(kind, outcome, bucket as u8, detail);
+    }
+
+    /// The histogram of one operation kind.
+    pub fn histogram(&self, kind: OpKind) -> &LatencyHistogram {
+        &self.hists[kind as usize]
+    }
+
+    /// Snapshot of one kind's histogram.
+    pub fn snapshot(&self, kind: OpKind) -> HistogramSnapshot {
+        self.hists[kind as usize].snapshot()
+    }
+
+    /// Merged snapshot over a set of kinds (e.g. `Alloc` + `Free` for the
+    /// per-row tail-latency summary of a benchmark measurement).
+    pub fn merged_snapshot(&self, kinds: &[OpKind]) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for &k in kinds {
+            out.merge(&self.snapshot(k));
+        }
+        out
+    }
+
+    /// The flight recorder of recent operations.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("recorded", &self.merged_snapshot(&OpKind::ALL).total())
+            .finish()
+    }
+}
+
+/// The size-class detail payload: `⌈log2(size)⌉`, clamped to fit the
+/// flight-recorder detail field and read back as `~2^detail` bytes.
+#[inline]
+pub fn size_detail(size: usize) -> u64 {
+    (usize::BITS - size.saturating_sub(1).leading_zeros()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_indices() {
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i);
+            assert_eq!(OpKind::from_index(i as u8), Some(*k));
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(OpKind::from_index(OpKind::COUNT as u8), None);
+    }
+
+    #[test]
+    fn recording_lands_in_the_right_histogram() {
+        let rec = Recorder::new();
+        rec.record_cycles(OpKind::Alloc, 100, size_detail(128), OpOutcome::Ok);
+        rec.record_cycles(OpKind::Alloc, 200, size_detail(128), OpOutcome::Ok);
+        rec.record_cycles(OpKind::Free, 50, size_detail(128), OpOutcome::Ok);
+        assert_eq!(rec.snapshot(OpKind::Alloc).total(), 2);
+        assert_eq!(rec.snapshot(OpKind::Free).total(), 1);
+        assert_eq!(rec.snapshot(OpKind::Grow).total(), 0);
+        assert_eq!(
+            rec.merged_snapshot(&[OpKind::Alloc, OpKind::Free]).total(),
+            3
+        );
+        let events = rec.flight().events();
+        let total: usize = events.iter().map(|(_, evs)| evs.len()).sum();
+        assert_eq!(total, 3, "every recording leaves a flight event");
+    }
+
+    #[test]
+    fn record_since_measures_elapsed_cycles() {
+        let rec = Recorder::new();
+        let t0 = nbbs_sync::cycles_now();
+        let mut acc = 1u64;
+        for i in 1..10_000u64 {
+            acc = acc.wrapping_mul(i | 1);
+        }
+        std::hint::black_box(acc);
+        rec.record_since(OpKind::Alloc, t0, 0, OpOutcome::Ok);
+        let snap = rec.snapshot(OpKind::Alloc);
+        assert_eq!(snap.total(), 1);
+        assert!(snap.max > 0, "real work takes nonzero cycles");
+    }
+
+    #[test]
+    fn size_detail_is_log2ish() {
+        assert_eq!(size_detail(1), 0);
+        assert_eq!(size_detail(2), 1);
+        assert_eq!(size_detail(128), 7);
+        assert_eq!(size_detail(129), 8);
+        assert_eq!(size_detail(1 << 20), 20);
+    }
+}

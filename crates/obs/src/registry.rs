@@ -1,0 +1,560 @@
+//! The unified metrics registry.
+//!
+//! Five PRs grew per-layer counters — `OpStatsSnapshot` (tree),
+//! `CacheStatsSnapshot` and magazine capacities (cache), per-node shares
+//! (`nbbs-numa`), buddy/system byte shares and realloc counters (facade) —
+//! each snapshotted and printed ad hoc by whichever binary wanted them.
+//! [`MetricsRegistry`] collects all of them, plus the latency histograms of
+//! an attached [`Recorder`], into one typed [`StackSnapshot`] with a single
+//! text-table and a single hand-rolled JSON exposition, so every binary in
+//! the workspace reports identically.
+//!
+//! The crate sits *below* `nbbs-cache`/`nbbs-numa`/`nbbs-alloc` in the
+//! dependency graph, so the node and facade figures arrive through the
+//! neutral [`NodeShare`]/[`FacadeShare`] structs that the higher layers
+//! convert into.
+
+use std::sync::Arc;
+
+use nbbs::{BuddyBackend, CacheStatsSnapshot, OpStatsSnapshot, CAS_LEVELS};
+
+use crate::hist::LatencyPercentiles;
+use crate::recorder::{OpKind, Recorder};
+
+/// One NUMA node's service share — the dependency-neutral mirror of
+/// `nbbs_numa::NodeStatsSnapshot`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NodeShare {
+    /// Node index.
+    pub node: usize,
+    /// Bytes currently live on this node.
+    pub allocated_bytes: u64,
+    /// Allocations served to threads homed on this node.
+    pub local_allocs: u64,
+    /// Allocations served to remote threads (fallback traffic).
+    pub remote_allocs: u64,
+    /// Allocations this node could not serve.
+    pub failed_allocs: u64,
+}
+
+impl NodeShare {
+    /// Total allocations this node served.
+    pub fn served(&self) -> u64 {
+        self.local_allocs + self.remote_allocs
+    }
+}
+
+/// The facade layer's service figures — the dependency-neutral mirror of
+/// `nbbs-alloc`'s byte-share counters and `FacadeStatsSnapshot`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FacadeShare {
+    /// Cumulative bytes served from the buddy region (by requested size).
+    pub buddy_bytes: u64,
+    /// Cumulative bytes that fell through to the system allocator.
+    pub system_bytes: u64,
+    /// `grow` requests resolved inside the already-granted block.
+    pub grows_in_place: u64,
+    /// `grow` requests that had to move the allocation.
+    pub grows_moved: u64,
+    /// `shrink` requests resolved in place.
+    pub shrinks_in_place: u64,
+    /// `shrink` requests that moved.
+    pub shrinks_moved: u64,
+}
+
+impl FacadeShare {
+    /// Fraction of served bytes that came from the buddy (1.0 when nothing
+    /// was served).
+    pub fn buddy_share(&self) -> f64 {
+        let total = self.buddy_bytes + self.system_bytes;
+        if total == 0 {
+            1.0
+        } else {
+            self.buddy_bytes as f64 / total as f64
+        }
+    }
+
+    /// Fraction of grows resolved in place (0.0 when no grow ran).
+    pub fn grow_in_place_rate(&self) -> f64 {
+        let total = self.grows_in_place + self.grows_moved;
+        if total == 0 {
+            0.0
+        } else {
+            self.grows_in_place as f64 / total as f64
+        }
+    }
+}
+
+/// Everything one allocator stack reports, in one typed value.
+#[derive(Debug, Default, Clone)]
+pub struct StackSnapshot {
+    /// Stack label (allocator name, binary name, …).
+    pub label: String,
+    /// The backend tree's operation counters (zeros without `op-stats`).
+    pub backend_ops: OpStatsSnapshot,
+    /// Magazine-cache counters, if the stack has a cache layer.
+    pub cache: Option<CacheStatsSnapshot>,
+    /// Converged per-class magazine capacities, if the stack has a cache.
+    pub capacities: Option<Vec<(usize, usize)>>,
+    /// Per-node service shares (empty for single-arena stacks).
+    pub nodes: Vec<NodeShare>,
+    /// Facade byte shares and realloc counters, if the stack has a facade.
+    pub facade: Option<FacadeShare>,
+    /// Tail-latency summaries per recorded operation kind (only kinds with
+    /// at least one sample appear; ordered by [`OpKind::ALL`]).
+    pub latency: Vec<(OpKind, LatencyPercentiles)>,
+}
+
+impl StackSnapshot {
+    /// The latency summary of one kind, if it recorded any samples.
+    pub fn latency_of(&self, kind: OpKind) -> Option<&LatencyPercentiles> {
+        self.latency
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, p)| p)
+    }
+
+    /// Renders the snapshot as an aligned text table — the one report
+    /// format every binary in the workspace prints.
+    pub fn text_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== nbbs stack: {} ==", self.label);
+        if let Some(f) = &self.facade {
+            // Byte counters live on the global allocator; facades observed
+            // without them would render a meaningless "0 B / 0 B" line.
+            if f.buddy_bytes + f.system_bytes > 0 {
+                let _ = writeln!(
+                    out,
+                    "  facade   {} B buddy / {} B system ({:.1}% buddy share)",
+                    f.buddy_bytes,
+                    f.system_bytes,
+                    f.buddy_share() * 100.0
+                );
+            }
+            let _ = writeln!(
+                out,
+                "  facade   realloc: {} grows in place, {} moved ({:.1}% in place); \
+                 {} shrinks in place, {} moved",
+                f.grows_in_place,
+                f.grows_moved,
+                f.grow_in_place_rate() * 100.0,
+                f.shrinks_in_place,
+                f.shrinks_moved
+            );
+        }
+        if let Some(c) = &self.cache {
+            let _ = writeln!(
+                out,
+                "  cache    {:.1}% hit rate over {} allocations \
+                 ({} refilled, {} flushed, {} drained)",
+                c.hit_rate() * 100.0,
+                c.alloc_requests(),
+                c.refilled,
+                c.flushed,
+                c.drained
+            );
+            let _ = writeln!(
+                out,
+                "  cache    depot: {} exchanges over {} shards, {} spills, {} steals; \
+                 resize +{}/-{}",
+                c.depot_exchanges,
+                c.depot_shards,
+                c.depot_spills,
+                c.depot_steals,
+                c.resize_grows,
+                c.resize_shrinks
+            );
+        }
+        if let Some(caps) = &self.capacities {
+            let rendered: Vec<String> = caps
+                .iter()
+                .map(|(class, cap)| format!("{class}B\u{d7}{cap}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "  cache    magazine capacities: {}",
+                rendered.join(" ")
+            );
+        }
+        let ops = &self.backend_ops;
+        if ops.allocs + ops.frees + ops.cas_ops != 0 {
+            let _ = writeln!(
+                out,
+                "  backend  {} allocs, {} frees, {} failed; {} CAS \
+                 ({:.2} per op, {:.1}% failed), {} skipped",
+                ops.allocs,
+                ops.frees,
+                ops.failed_allocs,
+                ops.cas_ops,
+                ops.cas_per_op(),
+                ops.cas_failure_rate() * 100.0,
+                ops.nodes_skipped
+            );
+        }
+        if ops.has_level_contention() {
+            let last = (0..CAS_LEVELS)
+                .rev()
+                .find(|&i| ops.cas_failures_by_level[i] != 0)
+                .unwrap_or(0);
+            let bins: Vec<String> = (0..=last)
+                .map(|i| format!("L{i}:{}", ops.cas_failures_by_level[i]))
+                .collect();
+            let _ = writeln!(out, "  backend  CAS failures by level: {}", bins.join(" "));
+        }
+        if !self.nodes.is_empty() {
+            let total_served: u64 = self.nodes.iter().map(NodeShare::served).sum();
+            for n in &self.nodes {
+                let share = if total_served == 0 {
+                    0.0
+                } else {
+                    n.served() as f64 / total_served as f64 * 100.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  node {}:  {share:>5.1}% of allocations ({} local, {} remote-fallback, \
+                     {} failed, {} B live)",
+                    n.node, n.local_allocs, n.remote_allocs, n.failed_allocs, n.allocated_bytes
+                );
+            }
+        }
+        for (kind, p) in &self.latency {
+            let _ = writeln!(
+                out,
+                "  latency  {:<12} p50 {:>8} p90 {:>8} p99 {:>8} p99.9 {:>8} max {:>8} \
+                 (n={})",
+                kind.name(),
+                fmt_ns(p.p50_ns),
+                fmt_ns(p.p90_ns),
+                fmt_ns(p.p99_ns),
+                fmt_ns(p.p999_ns),
+                fmt_ns(p.max_ns),
+                p.count
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object (one line, no trailing
+    /// newline) — the exposition format of `BENCH_*.json` sidecar records.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"label\":\"{}\"", crate::json::esc(&self.label));
+        let ops = &self.backend_ops;
+        let _ = write!(
+            out,
+            ",\"backend_ops\":{{\"allocs\":{},\"frees\":{},\"failed_allocs\":{},\
+             \"cas_ops\":{},\"cas_failures\":{},\"nodes_skipped\":{}",
+            ops.allocs,
+            ops.frees,
+            ops.failed_allocs,
+            ops.cas_ops,
+            ops.cas_failures,
+            ops.nodes_skipped
+        );
+        if ops.has_level_contention() {
+            let bins: Vec<String> = ops
+                .cas_failures_by_level
+                .iter()
+                .map(|c| c.to_string())
+                .collect();
+            let _ = write!(out, ",\"cas_failures_by_level\":[{}]", bins.join(","));
+        }
+        out.push('}');
+        if let Some(c) = &self.cache {
+            let _ = write!(
+                out,
+                ",\"cache\":{{\"hits\":{},\"misses\":{},\"cached_frees\":{},\"flushed\":{},\
+                 \"refilled\":{},\"depot_exchanges\":{},\"drained\":{},\"depot_spills\":{},\
+                 \"depot_steals\":{},\"resize_grows\":{},\"resize_shrinks\":{},\
+                 \"depot_shards\":{}}}",
+                c.hits,
+                c.misses,
+                c.cached_frees,
+                c.flushed,
+                c.refilled,
+                c.depot_exchanges,
+                c.drained,
+                c.depot_spills,
+                c.depot_steals,
+                c.resize_grows,
+                c.resize_shrinks,
+                c.depot_shards
+            );
+        }
+        if let Some(caps) = &self.capacities {
+            let rendered: Vec<String> = caps
+                .iter()
+                .map(|(class, cap)| format!("[{class},{cap}]"))
+                .collect();
+            let _ = write!(out, ",\"magazine_capacities\":[{}]", rendered.join(","));
+        }
+        if !self.nodes.is_empty() {
+            let rendered: Vec<String> = self
+                .nodes
+                .iter()
+                .map(|n| {
+                    format!(
+                        "{{\"node\":{},\"allocated_bytes\":{},\"local_allocs\":{},\
+                         \"remote_allocs\":{},\"failed_allocs\":{}}}",
+                        n.node, n.allocated_bytes, n.local_allocs, n.remote_allocs, n.failed_allocs
+                    )
+                })
+                .collect();
+            let _ = write!(out, ",\"nodes\":[{}]", rendered.join(","));
+        }
+        if let Some(f) = &self.facade {
+            let _ = write!(
+                out,
+                ",\"facade\":{{\"buddy_bytes\":{},\"system_bytes\":{},\"grows_in_place\":{},\
+                 \"grows_moved\":{},\"shrinks_in_place\":{},\"shrinks_moved\":{}}}",
+                f.buddy_bytes,
+                f.system_bytes,
+                f.grows_in_place,
+                f.grows_moved,
+                f.shrinks_in_place,
+                f.shrinks_moved
+            );
+        }
+        if !self.latency.is_empty() {
+            let rendered: Vec<String> = self
+                .latency
+                .iter()
+                .map(|(k, p)| format!("\"{}\":{}", k.name(), p.to_json()))
+                .collect();
+            let _ = write!(out, ",\"latency\":{{{}}}", rendered.join(","));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Formats a nanosecond figure for the text table (`-` for NaN).
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "-".to_string()
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Collects the per-layer snapshots of one allocator stack and produces
+/// [`StackSnapshot`]s.
+///
+/// ```
+/// use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel};
+/// use nbbs_obs::MetricsRegistry;
+///
+/// let tree = NbbsFourLevel::new(BuddyConfig::new(1 << 20, 64, 1 << 16).unwrap());
+/// let a = tree.alloc(100).unwrap();
+/// tree.dealloc(a);
+///
+/// let mut reg = MetricsRegistry::new("example");
+/// reg.observe_backend(&tree);
+/// let snap = reg.snapshot();
+/// println!("{}", snap.text_table());
+/// assert!(snap.to_json().starts_with("{\"label\":\"example\""));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    label: String,
+    backend_ops: OpStatsSnapshot,
+    cache: Option<CacheStatsSnapshot>,
+    capacities: Option<Vec<(usize, usize)>>,
+    nodes: Vec<NodeShare>,
+    facade: Option<FacadeShare>,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry for the stack called `label`.
+    pub fn new(label: impl Into<String>) -> Self {
+        MetricsRegistry {
+            label: label.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Pulls everything a `dyn BuddyBackend` exposes: operation counters,
+    /// cache counters and magazine capacities.
+    pub fn observe_backend(&mut self, backend: &dyn BuddyBackend) -> &mut Self {
+        self.backend_ops = backend.stats();
+        self.cache = backend.cache_stats();
+        self.capacities = backend.cache_class_capacities();
+        self
+    }
+
+    /// Sets the backend operation counters directly.
+    pub fn set_backend_ops(&mut self, ops: OpStatsSnapshot) -> &mut Self {
+        self.backend_ops = ops;
+        self
+    }
+
+    /// Sets the cache counters directly.
+    pub fn set_cache(&mut self, cache: Option<CacheStatsSnapshot>) -> &mut Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the per-class magazine capacities directly.
+    pub fn set_capacities(&mut self, caps: Option<Vec<(usize, usize)>>) -> &mut Self {
+        self.capacities = caps;
+        self
+    }
+
+    /// Sets the per-node service shares.
+    pub fn set_nodes(&mut self, nodes: Vec<NodeShare>) -> &mut Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets the facade byte shares and realloc counters.
+    pub fn set_facade(&mut self, facade: FacadeShare) -> &mut Self {
+        self.facade = Some(facade);
+        self
+    }
+
+    /// Attaches the stack's latency recorder; its histograms are merged
+    /// into every subsequent [`MetricsRegistry::snapshot`].
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) -> &mut Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Produces the unified snapshot (histograms are merged now).
+    pub fn snapshot(&self) -> StackSnapshot {
+        let mut latency = Vec::new();
+        if let Some(rec) = &self.recorder {
+            for kind in OpKind::ALL {
+                let snap = rec.snapshot(kind);
+                if !snap.is_empty() {
+                    latency.push((kind, snap.percentiles()));
+                }
+            }
+        }
+        StackSnapshot {
+            label: self.label.clone(),
+            backend_ops: self.backend_ops,
+            cache: self.cache,
+            capacities: self.capacities.clone(),
+            nodes: self.nodes.clone(),
+            facade: self.facade,
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::OpOutcome;
+
+    #[test]
+    fn snapshot_unifies_every_layer() {
+        let rec = Arc::new(Recorder::new());
+        rec.record_cycles(OpKind::Alloc, 120, 7, OpOutcome::Ok);
+        rec.record_cycles(OpKind::Free, 80, 7, OpOutcome::Ok);
+        let mut reg = MetricsRegistry::new("unit");
+        reg.set_backend_ops(OpStatsSnapshot {
+            allocs: 10,
+            frees: 9,
+            cas_ops: 40,
+            cas_failures: 4,
+            ..Default::default()
+        })
+        .set_cache(Some(CacheStatsSnapshot {
+            hits: 90,
+            misses: 10,
+            refilled: 10,
+            depot_shards: 4,
+            ..Default::default()
+        }))
+        .set_capacities(Some(vec![(64, 8), (128, 16)]))
+        .set_nodes(vec![
+            NodeShare {
+                node: 0,
+                local_allocs: 80,
+                remote_allocs: 5,
+                ..Default::default()
+            },
+            NodeShare {
+                node: 1,
+                local_allocs: 15,
+                ..Default::default()
+            },
+        ])
+        .set_facade(FacadeShare {
+            buddy_bytes: 1000,
+            system_bytes: 0,
+            grows_in_place: 3,
+            grows_moved: 1,
+            ..Default::default()
+        })
+        .set_recorder(Arc::clone(&rec));
+        let snap = reg.snapshot();
+        assert_eq!(snap.latency.len(), 2, "alloc and free recorded");
+        assert!(snap.latency_of(OpKind::Alloc).is_some());
+        assert!(snap.latency_of(OpKind::Grow).is_none());
+
+        let table = snap.text_table();
+        assert!(table.contains("== nbbs stack: unit =="), "{table}");
+        assert!(table.contains("100.0% buddy share"), "{table}");
+        assert!(table.contains("90.0% hit rate"), "{table}");
+        assert!(table.contains("node 0"), "{table}");
+        assert!(table.contains("latency  alloc"), "{table}");
+        assert!(table.contains("10 allocs"), "{table}");
+
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"label\":\"unit\""), "{json}");
+        assert!(json.contains("\"cache\":{\"hits\":90"), "{json}");
+        assert!(json.contains("\"nodes\":[{\"node\":0"), "{json}");
+        assert!(json.contains("\"facade\":{\"buddy_bytes\":1000"), "{json}");
+        assert!(
+            json.contains("\"latency\":{\"alloc\":{\"count\":1"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"magazine_capacities\":[[64,8],[128,16]]"),
+            "{json}"
+        );
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn empty_registry_renders_minimal_output() {
+        let snap = MetricsRegistry::new("bare").snapshot();
+        let table = snap.text_table();
+        assert!(table.contains("bare"));
+        assert!(!table.contains("facade"), "no facade section: {table}");
+        assert!(!table.contains("cache"), "no cache section: {table}");
+        let json = snap.to_json();
+        assert!(json.contains("\"backend_ops\""));
+        assert!(!json.contains("\"cache\""));
+        assert!(!json.contains("\"latency\""));
+    }
+
+    #[test]
+    fn level_contention_appears_when_present() {
+        let mut ops = OpStatsSnapshot::default();
+        ops.cas_failures_by_level[2] = 5;
+        ops.cas_ops = 10;
+        let mut reg = MetricsRegistry::new("heat");
+        reg.set_backend_ops(ops);
+        let snap = reg.snapshot();
+        assert!(snap.text_table().contains("L2:5"), "{}", snap.text_table());
+        assert!(snap.to_json().contains("\"cas_failures_by_level\":[0,0,5,"));
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(f64::NAN), "-");
+        assert_eq!(fmt_ns(512.0), "512ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50us");
+        assert_eq!(fmt_ns(3_200_000.0), "3.20ms");
+    }
+}

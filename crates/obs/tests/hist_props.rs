@@ -1,0 +1,171 @@
+//! Correctness suite for the log-bucketed latency histogram.
+//!
+//! * differential: percentile estimates vs a sorted-`Vec` oracle, with the
+//!   error bounded by the width of the bucket the oracle value lands in;
+//! * algebra: snapshot `merge` is associative and commutative;
+//! * boundaries: 0, 1 and `u64::MAX` cycles record and read back exactly;
+//! * concurrency: a recording storm across threads conserves total count.
+
+use proptest::prelude::*;
+
+use nbbs_obs::{
+    bucket_high, bucket_index, bucket_low, HistogramSnapshot, LatencyHistogram, BUCKETS,
+};
+
+/// The oracle: exact quantile of a sorted sample vector, using the same
+/// ceil-rank convention as the histogram.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let total = sorted.len() as u64;
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    sorted[(rank - 1) as usize]
+}
+
+/// A sample distribution with both a dense body and a heavy tail, the shape
+/// allocator latencies actually have.
+fn sample_strategy() -> impl Strategy<Value = Vec<u64>> {
+    collection::vec(
+        prop_oneof![
+            4 => (50u64..5_000u64).boxed(),
+            2 => (5_000u64..1_000_000u64).boxed(),
+            1 => (0u64..=u64::MAX).boxed(),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn percentiles_match_sorted_vec_oracle(samples in sample_strategy()) {
+        let hist = LatencyHistogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.total(), samples.len() as u64);
+
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+
+        for q in [0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let exact = oracle_quantile(&sorted, q);
+            let est = snap.value_at_quantile(q).unwrap();
+            // The estimate is the lower bound of *some* bucket at the same
+            // rank; the histogram may place the rank in a lower bucket only
+            // when ties straddle a boundary, never in a higher one.
+            let exact_bucket = bucket_index(exact);
+            prop_assert!(
+                bucket_index(est) <= exact_bucket,
+                "q={q}: estimate {est} in a later bucket than oracle {exact}"
+            );
+            // Error bound: within the oracle value's bucket width.
+            let width = bucket_high(exact_bucket) - bucket_low(exact_bucket) + 1;
+            prop_assert!(
+                est <= exact && exact - est <= width.max(1),
+                "q={q}: |{est} - {exact}| exceeds bucket width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(parts in (sample_strategy(), sample_strategy(), sample_strategy())) {
+        let (xs, ys, zs) = parts;
+        let snap_of = |vals: &[u64]| {
+            let h = LatencyHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (snap_of(&xs), snap_of(&ys), snap_of(&zs));
+
+        // Commutativity: a ⊕ b == b ⊕ a.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Identity: merging the empty snapshot changes nothing.
+        let mut ae = a.clone();
+        ae.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(&ae, &a);
+
+        prop_assert_eq!(
+            ab_c.total(),
+            (xs.len() + ys.len() + zs.len()) as u64
+        );
+    }
+}
+
+#[test]
+fn boundary_values_record_exactly() {
+    let hist = LatencyHistogram::new();
+    hist.record(0);
+    hist.record(1);
+    hist.record(u64::MAX);
+    let snap = hist.snapshot();
+    assert_eq!(snap.total(), 3);
+    assert_eq!(snap.counts[0], 1, "0 cycles has its own bucket");
+    assert_eq!(snap.counts[1], 1, "1 cycle has its own bucket");
+    assert_eq!(
+        snap.counts[BUCKETS - 1],
+        1,
+        "u64::MAX lands in the last bucket"
+    );
+    assert_eq!(snap.max, u64::MAX);
+    // 0 and 1 are exact; the top estimate clamps to the recorded max.
+    assert_eq!(snap.value_at_quantile(0.0), Some(0));
+    assert_eq!(snap.value_at_quantile(0.5), Some(1));
+    assert_eq!(snap.value_at_quantile(1.0), Some(u64::MAX));
+}
+
+#[test]
+fn concurrent_recording_storm_conserves_total_count() {
+    use std::sync::{Arc, Barrier};
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 50_000;
+
+    let hist = Arc::new(LatencyHistogram::new());
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // SplitMix-ish per-thread stream over the full bucket range.
+                let mut x = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1);
+                barrier.wait();
+                for _ in 0..PER_THREAD {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    hist.record(x >> (x % 60));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = hist.snapshot();
+    assert_eq!(
+        snap.total(),
+        (THREADS * PER_THREAD) as u64,
+        "every relaxed increment must land in exactly one bucket"
+    );
+    assert!(snap.value_at_quantile(0.99).is_some());
+}

@@ -1,10 +1,13 @@
 //! Sweep harness: runs workloads across allocators × thread counts × sizes
 //! and produces the measurement sets behind each figure of the paper.
 
+use std::sync::Arc;
+
 use nbbs::BuddyConfig;
+use nbbs_obs::{OpKind, Recorder};
 
 use crate::constant_occupancy::{self, ConstantOccupancyParams};
-use crate::factory::{build, AllocatorKind};
+use crate::factory::{build, build_recorded, AllocatorKind, SharedBackend};
 use crate::larson::{self, LarsonParams};
 use crate::linux_scalability::{self, LinuxScalabilityParams};
 use crate::measure::{Measurement, WorkloadResult};
@@ -272,16 +275,41 @@ impl FigureSpec {
 }
 
 /// Executes sweeps and collects measurements.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Harness {
     /// Print progress lines to stderr while running.
     pub verbose: bool,
+    /// Wrap every allocator in [`nbbs_obs::Recorded`] and attach alloc+free
+    /// tail-latency percentiles to each measurement.  On by default; turn
+    /// off to measure the recording overhead itself (the A/B baseline runs
+    /// the exact pre-observability hot path).
+    pub recording: bool,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            verbose: false,
+            recording: true,
+        }
+    }
 }
 
 impl Harness {
     /// Creates a harness; `verbose` enables progress output on stderr.
+    /// Latency recording is on by default ([`Harness::with_recording`]).
     pub fn new(verbose: bool) -> Self {
-        Harness { verbose }
+        Harness {
+            verbose,
+            recording: true,
+        }
+    }
+
+    /// Enables or disables latency recording for subsequent sweeps.
+    #[must_use]
+    pub fn with_recording(mut self, recording: bool) -> Self {
+        self.recording = recording;
+        self
     }
 
     /// Runs every cell of a sweep, one allocator instance per cell (each cell
@@ -291,7 +319,18 @@ impl Harness {
         for &size in &sweep.sizes {
             for &threads in &sweep.thread_counts {
                 for &kind in &sweep.allocators {
-                    let alloc = build(kind, sweep.memory);
+                    let recorder = self.recording.then(|| Arc::new(Recorder::new()));
+                    let alloc: SharedBackend = match &recorder {
+                        // Sampled (1 in 64): full recording costs ~50% of a
+                        // raw ~60 ns tree op; sampling keeps it in the noise.
+                        Some(rec) => build_recorded(
+                            kind,
+                            sweep.memory,
+                            Arc::clone(rec),
+                            nbbs_obs::DEFAULT_SAMPLE_STRIDE,
+                        ),
+                        None => build(kind, sweep.memory),
+                    };
                     if self.verbose {
                         eprintln!(
                             "[nbbs-bench] {} size={} threads={} allocator={} ...",
@@ -302,14 +341,25 @@ impl Harness {
                         );
                     }
                     let result = sweep.workload.run(&alloc, threads, size, sweep.scale);
+                    let latency = recorder.map(|rec| {
+                        rec.merged_snapshot(&[OpKind::Alloc, OpKind::Free])
+                            .percentiles()
+                    });
                     let m = Measurement::new(sweep.workload.name(), kind.name(), size, result)
                         .with_cache(alloc.cache_stats())
                         .with_backend_ops(alloc.stats())
-                        .with_capacities(alloc.cache_class_capacities());
+                        .with_capacities(alloc.cache_class_capacities())
+                        .with_latency(latency);
                     if self.verbose {
                         eprintln!("[nbbs-bench]   -> {m}");
                         if let Some(cache) = &m.cache {
                             eprintln!("[nbbs-bench]      cache: {cache}");
+                        }
+                        if let Some(lat) = &m.latency {
+                            eprintln!(
+                                "[nbbs-bench]      latency: p50={:.0}ns p99={:.0}ns p99.9={:.0}ns max={:.0}ns",
+                                lat.p50_ns, lat.p99_ns, lat.p999_ns, lat.max_ns
+                            );
                         }
                     }
                     out.push(m);
@@ -392,5 +442,21 @@ mod tests {
         }
         let names: Vec<_> = measurements.iter().map(|m| m.allocator.as_str()).collect();
         assert_eq!(names, vec!["1lvl-nb", "buddy-sl"]);
+    }
+
+    #[test]
+    fn recording_attaches_latency_percentiles_and_off_switch_removes_them() {
+        let sweep = SweepConfig::user_space(Workload::LinuxScalability, 0.0002)
+            .with_threads(vec![2])
+            .with_sizes(vec![64])
+            .with_allocators(vec![AllocatorKind::OneLevelNb]);
+        let recorded = Harness::new(false).run_sweep(&sweep);
+        let lat = recorded[0].latency.as_ref().expect("recording is on");
+        assert!(lat.count > 0, "alloc+free samples recorded");
+        assert!(lat.p50_ns.is_finite() && lat.p50_ns > 0.0);
+        assert!(lat.p999_ns >= lat.p50_ns, "percentiles monotone");
+
+        let bare = Harness::new(false).with_recording(false).run_sweep(&sweep);
+        assert!(bare[0].latency.is_none(), "A/B baseline carries no latency");
     }
 }

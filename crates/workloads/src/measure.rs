@@ -68,6 +68,12 @@ pub struct Measurement {
     /// JSON output ([`Measurement::to_json`]) so benchmark snapshots capture
     /// the multi-node trajectory.
     pub node_shares: Option<Vec<nbbs_numa::NodeStatsSnapshot>>,
+    /// Tail-latency summary (merged alloc + free distribution) of the run,
+    /// recorded by the [`nbbs_obs`] layer when the harness runs with
+    /// recording on; `None` for unobserved runs, e.g. the overhead A/B
+    /// baseline.  Percentile fields are NaN (JSON `null`) when no sample
+    /// was recorded.
+    pub latency: Option<nbbs_obs::LatencyPercentiles>,
 }
 
 impl Measurement {
@@ -87,6 +93,7 @@ impl Measurement {
             backend_ops: nbbs::OpStatsSnapshot::default(),
             magazine_capacities: None,
             node_shares: None,
+            latency: None,
         }
     }
 
@@ -118,28 +125,42 @@ impl Measurement {
         self
     }
 
+    /// Attaches the run's tail-latency summary.
+    #[must_use]
+    pub fn with_latency(mut self, latency: Option<nbbs_obs::LatencyPercentiles>) -> Self {
+        self.latency = latency;
+        self
+    }
+
     /// Renders the measurement as one self-contained JSON object (one line,
     /// no trailing newline) — the stable snapshot format for
     /// `BENCH_*.json`-style records, including the per-node share table of
     /// multi-node runs.
     ///
-    /// Hand-rolled (the workspace is offline, no serde): every emitted
-    /// field is numeric or a plain identifier-ish string, escaped minimally.
+    /// Hand-rolled (the workspace is offline, no serde): strings go through
+    /// [`nbbs_obs::json::esc`] (quotes, backslashes, control characters) and
+    /// non-finite floats through [`nbbs_obs::json::num`] (rendered `null`),
+    /// so the emitted line is always valid JSON.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
+        use nbbs_obs::json::esc;
+        fn fnum(v: f64, decimals: usize) -> String {
+            if v.is_finite() {
+                format!("{v:.decimals$}")
+            } else {
+                "null".to_string()
+            }
         }
         let mut out = format!(
             "{{\"workload\":\"{}\",\"allocator\":\"{}\",\"size\":{},\"threads\":{},\
-             \"operations\":{},\"seconds\":{:.6},\"kops_per_sec\":{:.3},\"cycles\":{},\
+             \"operations\":{},\"seconds\":{},\"kops_per_sec\":{},\"cycles\":{},\
              \"failed_allocs\":{}",
             esc(&self.workload),
             esc(&self.allocator),
             self.size,
             self.result.threads,
             self.result.operations,
-            self.result.seconds,
-            self.result.kops_per_sec(),
+            fnum(self.result.seconds, 6),
+            fnum(self.result.kops_per_sec(), 3),
             self.result.cycles,
             self.result.failed_allocs
         );
@@ -163,6 +184,10 @@ impl Measurement {
                  \"depot_shards\":{}}}",
                 cache.hits, cache.misses, cache.flushed, cache.drained, cache.depot_shards
             ));
+        }
+        if let Some(lat) = &self.latency {
+            out.push_str(",\"latency\":");
+            out.push_str(&lat.to_json());
         }
         out.push('}');
         out
@@ -299,6 +324,58 @@ mod tests {
         assert!(json.contains("\"node_shares\":[{\"node\":0,"));
         assert!(json.contains("\"remote_allocs\":20"));
         assert!(json.contains("\"failed_allocs\":1}]"));
+        assert!(!json.contains('\n'), "one line per measurement");
+    }
+
+    #[test]
+    fn json_escapes_hostile_strings() {
+        let m = Measurement::new("lar\"son\n", "4lvl\\nb\t", 128, sample());
+        let json = m.to_json();
+        assert!(json.contains("\"workload\":\"lar\\\"son\\n\""));
+        assert!(json.contains("\"allocator\":\"4lvl\\\\nb\\t\""));
+        assert!(!json.contains('\n'), "control chars escaped, line intact");
+    }
+
+    #[test]
+    fn json_renders_non_finite_numbers_as_null() {
+        let mut r = sample();
+        r.seconds = f64::NAN; // NaN passes kops_per_sec's <= 0.0 guard too
+        let m = Measurement::new("larson", "4lvl-nb", 128, r);
+        let json = m.to_json();
+        assert!(
+            json.contains("\"seconds\":null"),
+            "NaN becomes null: {json}"
+        );
+        assert!(json.contains("\"kops_per_sec\":null"), "NaN ratio: {json}");
+        let mut r = sample();
+        r.seconds = f64::INFINITY;
+        let json = Measurement::new("larson", "4lvl-nb", 128, r).to_json();
+        assert!(
+            json.contains("\"seconds\":null"),
+            "inf becomes null: {json}"
+        );
+    }
+
+    #[test]
+    fn json_records_latency_when_attached() {
+        let m = Measurement::new("larson", "4lvl-nb", 128, sample());
+        assert!(!m.to_json().contains("latency"), "absent when not attached");
+        // An empty summary still serializes — percentiles become null.
+        let m = m.with_latency(Some(nbbs_obs::LatencyPercentiles::empty()));
+        let json = m.to_json();
+        assert!(json.contains("\"latency\":{\"count\":0,\"p50_ns\":null"));
+        assert!(json.contains("\"p999_ns\":null"));
+        let m = m.with_latency(Some(nbbs_obs::LatencyPercentiles {
+            count: 10,
+            p50_ns: 120.0,
+            p90_ns: 300.0,
+            p99_ns: 950.0,
+            p999_ns: 1800.0,
+            max_ns: 2000.0,
+        }));
+        let json = m.to_json();
+        assert!(json.contains("\"p50_ns\":120.000"));
+        assert!(json.contains("\"p99_ns\":950.000"));
         assert!(!json.contains('\n'), "one line per measurement");
     }
 }

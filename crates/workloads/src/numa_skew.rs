@@ -23,6 +23,7 @@ use std::sync::{Arc, Barrier, Mutex};
 
 use nbbs::BuddyBackend;
 use nbbs_numa::NodeSet;
+use nbbs_obs::{size_detail, OpKind, OpOutcome, Recorder};
 use nbbs_sync::CycleTimer;
 
 use crate::factory::SharedBackend;
@@ -169,9 +170,15 @@ pub fn run(alloc: &SharedBackend, params: NumaSkewParams) -> WorkloadResult {
 /// Runs the [`NodeSet`]-targeted variant: a `home_ratio` fraction of
 /// requests routes normally (home first), the rest pins an explicit remote
 /// node.  Read [`NodeSet::node_stats`] afterwards for the per-node shares.
+///
+/// When a `recorder` is supplied, one in [`nbbs_obs::DEFAULT_SAMPLE_STRIDE`]
+/// alloc/free pairs is timed into it — the explicit `alloc_on` targeting
+/// keeps this driver off the generic [`nbbs_obs::Recorded`] wrapper, so the
+/// sampling lives in the loop instead.
 pub fn run_on_nodes<A: BuddyBackend + 'static>(
     set: &Arc<NodeSet<A>>,
     params: NumaSkewParams,
+    recorder: Option<Arc<Recorder>>,
 ) -> WorkloadResult {
     assert!(params.threads > 0, "need at least one thread");
     let pairs_per_thread = params.pairs_per_thread();
@@ -182,14 +189,22 @@ pub fn run_on_nodes<A: BuddyBackend + 'static>(
     for t in 0..params.threads {
         let set = Arc::clone(set);
         let barrier = Arc::clone(&barrier);
+        let recorder = recorder.clone();
         handles.push(std::thread::spawn(move || {
             let n = set.node_count();
             let home = set.home_node();
             let mut rng = SplitMix64::new(0xF1612 ^ t as u64);
             let mut live = Vec::with_capacity(params.window + 1);
             let mut failed = 0u64;
+            let mut tick = 0u32;
             barrier.wait();
             for _ in 0..pairs_per_thread {
+                let sample = recorder.as_ref().filter(|_| {
+                    let hit = tick.is_multiple_of(nbbs_obs::DEFAULT_SAMPLE_STRIDE);
+                    tick = tick.wrapping_add(1);
+                    hit
+                });
+                let t0 = sample.map(|_| nbbs_sync::cycles_now());
                 let offset = if n == 1 || rng.next_u64() <= threshold {
                     set.alloc(params.size)
                 } else {
@@ -198,12 +213,27 @@ pub fn run_on_nodes<A: BuddyBackend + 'static>(
                     let victim = (home + 1 + rng.next_below(n - 1)) % n;
                     set.alloc_on(victim, params.size)
                 };
+                if let (Some(rec), Some(t0)) = (sample, t0) {
+                    rec.record_since(
+                        OpKind::Alloc,
+                        t0,
+                        size_detail(params.size),
+                        OpOutcome::from_ok(offset.is_some()),
+                    );
+                }
                 match offset {
                     Some(off) => live.push(off),
                     None => failed += 1,
                 }
                 if live.len() > params.window {
-                    set.dealloc(live.remove(0));
+                    let off = live.remove(0);
+                    if let Some(rec) = sample {
+                        let t0 = nbbs_sync::cycles_now();
+                        set.dealloc(off);
+                        rec.record_since(OpKind::Free, t0, 0, OpOutcome::Ok);
+                    } else {
+                        set.dealloc(off);
+                    }
                 }
             }
             for off in live {
@@ -273,7 +303,12 @@ mod tests {
             Topology::synthetic(2),
             NodePolicy::HomeFirst,
         ));
-        let result = run_on_nodes(&set, params(2).with_home_ratio(0.5));
+        let recorder = Arc::new(Recorder::new());
+        let result = run_on_nodes(
+            &set,
+            params(2).with_home_ratio(0.5),
+            Some(Arc::clone(&recorder)),
+        );
         assert_eq!(result.failed_allocs, 0);
         assert_eq!(set.allocated_bytes(), 0, "all pairs returned");
         let stats = set.node_stats();
@@ -281,6 +316,11 @@ mod tests {
         let served: u64 = stats.iter().map(|s| s.served()).sum();
         assert!(served > 0);
         assert!(remote > 0, "half the traffic targeted remote nodes");
+        let lat = recorder
+            .merged_snapshot(&[OpKind::Alloc, OpKind::Free])
+            .percentiles();
+        assert!(lat.count > 0, "sampled recording captured latency");
+        assert!(lat.p50_ns.is_finite() && lat.p50_ns > 0.0);
     }
 
     #[test]
@@ -292,7 +332,7 @@ mod tests {
             Topology::synthetic(2),
             NodePolicy::HomeFirst,
         ));
-        let result = run_on_nodes(&set, params(2).with_home_ratio(1.0));
+        let result = run_on_nodes(&set, params(2).with_home_ratio(1.0), None);
         assert_eq!(result.failed_allocs, 0);
         let stats = set.node_stats();
         let remote: u64 = stats.iter().map(|s| s.remote_allocs).sum();

@@ -129,11 +129,37 @@ pub fn figure_series(measurements: &[Measurement], metric: Metric) -> String {
     out
 }
 
+/// Renders per-level CAS-failure counts as a compact contention heatmap:
+/// one character per tree level (root leftmost, trailing idle levels
+/// trimmed), `.` for no retries and `1`–`9` scaled against the busiest
+/// level.  `-` when no retries were counted at all (e.g. a build without
+/// `op-stats`).
+fn contention_heatmap(levels: &[u64]) -> String {
+    let max = levels.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return "-".to_string();
+    }
+    let deepest = levels.iter().rposition(|&v| v > 0).unwrap_or(0);
+    levels[..=deepest]
+        .iter()
+        .map(|&v| {
+            if v == 0 {
+                '.'
+            } else {
+                let bucket = (v * 9).div_ceil(max).min(9);
+                char::from_digit(bucket as u32, 10).expect("1..=9")
+            }
+        })
+        .collect()
+}
+
 /// Renders the magazine-cache behaviour of every measurement that carries
 /// cache counters (the `cached-*` allocator kinds): hit rate, the backend
 /// traffic that remained, the depot shard/spill behaviour, the adaptive
 /// resize activity, and — when the workspace is built with `op-stats` — the
-/// backend CAS traffic per operation that the spill path still generates.
+/// backend CAS traffic per operation that the spill path still generates,
+/// plus a per-level contention heatmap of where in the tree the remaining
+/// CAS retries land (root leftmost, `1`–`9` scaled to the busiest level).
 /// Returns an empty string when no measurement has a cache layer.
 pub fn cache_table(measurements: &[Measurement]) -> String {
     let cached: Vec<&Measurement> = measurements.iter().filter(|m| m.cache.is_some()).collect();
@@ -142,7 +168,7 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:<20} {:>8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}\n",
+        "{:<22} {:<20} {:>8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}  {}\n",
         "workload",
         "allocator",
         "bytes",
@@ -157,7 +183,8 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
         "steals",
         "grows",
         "shrinks",
-        "cas/op"
+        "cas/op",
+        "cas-by-level"
     ));
     for m in cached {
         let c = m.cache.as_ref().expect("filtered to Some");
@@ -174,7 +201,7 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
             "-".to_string()
         };
         out.push_str(&format!(
-            "{:<22} {:<20} {:>8} {:>8} {:>8.1}% {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}\n",
+            "{:<22} {:<20} {:>8} {:>8} {:>8.1}% {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}  {}\n",
             m.workload,
             m.allocator,
             m.size,
@@ -189,7 +216,61 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
             c.depot_steals,
             c.resize_grows,
             c.resize_shrinks,
-            cas_per_op
+            cas_per_op,
+            contention_heatmap(&m.backend_ops.cas_failures_by_level)
+        ));
+    }
+    out
+}
+
+/// Renders the tail-latency summary of every measurement that carries one
+/// (harness runs with recording on): merged alloc+free p50/p90/p99/p99.9
+/// and the exact maximum, in nanoseconds.  Empty percentiles (no samples)
+/// render as `-`.  Returns an empty string when no measurement carries
+/// latency data.
+pub fn latency_table(measurements: &[Measurement]) -> String {
+    let rows: Vec<&Measurement> = measurements
+        .iter()
+        .filter(|m| m.latency.is_some())
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let fmt_ns = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.0}")
+        } else {
+            "-".to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<20} {:>8} {:>8} {:>12} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
+        "workload",
+        "allocator",
+        "bytes",
+        "threads",
+        "samples",
+        "p50-ns",
+        "p90-ns",
+        "p99-ns",
+        "p99.9-ns",
+        "max-ns"
+    ));
+    for m in rows {
+        let l = m.latency.as_ref().expect("filtered to Some");
+        out.push_str(&format!(
+            "{:<22} {:<20} {:>8} {:>8} {:>12} {:>9} {:>9} {:>9} {:>9} {:>10}\n",
+            m.workload,
+            m.allocator,
+            m.size,
+            m.result.threads,
+            l.count,
+            fmt_ns(l.p50_ns),
+            fmt_ns(l.p90_ns),
+            fmt_ns(l.p99_ns),
+            fmt_ns(l.p999_ns),
+            fmt_ns(l.max_ns)
         ));
     }
     out
@@ -561,6 +642,53 @@ mod tests {
         assert!(out.contains("25.0%"), "node 1 share rendered: {out}");
         let node1 = out.lines().nth(2).unwrap();
         assert!(node1.trim_end().ends_with('2'), "failure count: {node1}");
+    }
+
+    #[test]
+    fn cache_table_renders_per_level_contention_heatmap() {
+        let mut set = sample_set();
+        set[0].cache = Some(nbbs::CacheStatsSnapshot::default());
+        set[0].allocator = "cached-4lvl-nb".into();
+        let mut levels = [0u64; nbbs::CAS_LEVELS];
+        levels[0] = 10; // root sees some retries
+        levels[3] = 90; // level 3 is the hot spot
+        set[0].backend_ops = nbbs::OpStatsSnapshot {
+            cas_failures_by_level: levels,
+            ..Default::default()
+        };
+        let out = cache_table(&set);
+        assert!(out.contains("cas-by-level"), "heatmap column present");
+        // Root retries scale to 1/9 of the hot level; idle levels are dots
+        // and trailing idle levels are trimmed.
+        assert!(out.contains("1..9"), "heatmap rendered: {out}");
+
+        // Without op-stats counters the heatmap shows a dash.
+        set[0].backend_ops = nbbs::OpStatsSnapshot::default();
+        let out = cache_table(&set);
+        assert!(out.lines().nth(1).unwrap().trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn latency_table_lists_only_measurements_with_percentiles() {
+        let mut set = sample_set();
+        assert_eq!(latency_table(&set), "");
+        set[0].latency = Some(nbbs_obs::LatencyPercentiles {
+            count: 1000,
+            p50_ns: 120.4,
+            p90_ns: 310.0,
+            p99_ns: 950.0,
+            p999_ns: 1800.0,
+            max_ns: 2400.0,
+        });
+        set[1].latency = Some(nbbs_obs::LatencyPercentiles::empty());
+        let out = latency_table(&set);
+        assert_eq!(out.lines().count(), 3, "header + two rows");
+        assert!(out.contains("p99.9-ns"), "tail column present");
+        assert!(out.contains("120"), "p50 rendered");
+        assert!(out.contains("2400"), "max rendered");
+        // The empty summary renders dashes, not NaN.
+        let empty_row = out.lines().nth(2).unwrap();
+        assert!(empty_row.contains('-') && !empty_row.contains("NaN"));
     }
 
     #[test]

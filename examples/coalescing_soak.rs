@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 use nbbs::status::describe;
 use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel};
+use nbbs_obs::{Recorded, Recorder};
 use nbbs_workloads::rng::SplitMix64;
 
 fn run<A: BuddyBackend + 'static>(
@@ -45,7 +46,14 @@ fn run<A: BuddyBackend + 'static>(
     base_seed: u64,
 ) {
     for round in 0..rounds {
-        let a = Arc::new(make());
+        // Record every operation into per-thread flight rings: a REPRO
+        // print then carries each thread's last operations leading into
+        // the dirty state — the interleaving evidence a (seed, round)
+        // pair alone cannot replay.  Timing every op costs throughput
+        // (fewer rounds per hour), but a hit without its history wastes
+        // far more than the slower hunt.
+        let recorder = Arc::new(Recorder::new());
+        let a = Arc::new(Recorded::new(make(), Arc::clone(&recorder)));
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let a = Arc::clone(&a);
@@ -76,7 +84,7 @@ fn run<A: BuddyBackend + 'static>(
         assert_eq!(a.allocated_bytes(), 0);
         let geo = *a.geometry();
         let dirty: Vec<(usize, u8)> = (1..geo.tree_len())
-            .map(|n| (n, node_status(&a, n)))
+            .map(|n| (n, node_status(a.inner(), n)))
             .filter(|&(_, s)| s != 0)
             .collect();
         if !dirty.is_empty() {
@@ -90,6 +98,7 @@ fn run<A: BuddyBackend + 'static>(
                     describe(s)
                 );
             }
+            print!("{}", recorder.flight().render());
             std::process::exit(1);
         }
         if round % 20000 == 0 {

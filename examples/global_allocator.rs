@@ -114,7 +114,10 @@ fn main() {
     let mut grower: Vec<u8> = Vec::with_capacity(100); // granted 128 bytes
     grower.extend(std::iter::repeat_n(0xA5u8, 100));
     grower.reserve_exact(128 - 100); // still inside the granted block
-    let facade = GLOBAL.facade_stats().expect("facade is live");
+    let facade = GLOBAL
+        .metrics()
+        .facade
+        .expect("facade is live once anything allocated");
     println!(
         "realloc behaviour so far: {} grows in place, {} moved ({:.0}% in place)",
         facade.grows_in_place,
@@ -153,22 +156,14 @@ fn main() {
         println!("  -> WARNING: expected the facade to serve a strictly higher share");
     }
 
-    if let Some(cache) = GLOBAL.cache_stats() {
-        println!(
-            "\nmagazine cache: {:.1}% hit rate over {} allocations ({} backend refill chunks)",
-            cache.hit_rate() * 100.0,
-            cache.alloc_requests(),
-            cache.refilled
-        );
-    }
-
     drop(map);
     println!(
         "after dropping the map, buddy-served bytes: {}",
         GLOBAL.buddy_allocated_bytes()
     );
-    println!(
-        "overall buddy share (whole program, by bytes): {:.1}%",
-        GLOBAL.buddy_share() * 100.0
-    );
+    // The whole-program summary is the registry's unified exposition —
+    // byte shares, the realloc split, cache hit rate, and magazine
+    // capacities in the same table every binary in the workspace prints
+    // (and what `print_stats_on_exit` would dump to stderr at exit).
+    println!("\n{}", GLOBAL.stats_report());
 }

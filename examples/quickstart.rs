@@ -10,7 +10,8 @@
 //! real backing memory, inspecting occupancy, sharing the allocator across
 //! threads without any locking, interposing the magazine cache
 //! (`nbbs-cache`), topping it with the layout-aware facade (`nbbs-alloc`),
-//! and carrying the whole stack across NUMA nodes (`nbbs-numa`).
+//! carrying the whole stack across NUMA nodes (`nbbs-numa`), and watching
+//! it run with the observability layer (`nbbs-obs`).
 
 use std::sync::Arc;
 
@@ -297,5 +298,63 @@ fn main() {
         "model checker: lost-update race found after {} schedules; \
          replayable witness = {:?}",
         report.schedules, witness.choices
+    );
+
+    // ------------------------------------------------------------------
+    // 10. Observability (`nbbs-obs`): wrap any backend in `Recorded` and
+    //     every operation lands in a lock-free log-bucketed latency
+    //     histogram (two sub-buckets per octave, sharded across threads)
+    //     plus a per-thread flight ring of recent operations.  The
+    //     benchmark harness samples one in 64 operations
+    //     (`Recorded::sampled` with `DEFAULT_SAMPLE_STRIDE`) so recording
+    //     stays in the measurement noise; a diagnostic run records
+    //     everything, as here.  `MetricsRegistry` then folds the whole
+    //     stack — backend counters, cache hit rates, magazine capacities,
+    //     facade shares, and the recorded percentiles — into one
+    //     `StackSnapshot` with `text_table()` / `to_json()` exposition
+    //     (the same table `NbbsGlobalAlloc::stats_report()` prints, and
+    //     the format behind `nbbs-bench all --json BENCH_<date>.json`).
+    //     With the `op-stats` feature the backend additionally counts CAS
+    //     retries per tree level, which the fig13 report renders as a
+    //     contention heatmap.
+    // ------------------------------------------------------------------
+    use nbbs_obs::{MetricsRegistry, OpKind, Recorded, Recorder};
+
+    let recorder = Arc::new(Recorder::new());
+    let observed = Arc::new(Recorded::new(
+        MagazineCache::new(NbbsFourLevel::new(config)),
+        Arc::clone(&recorder),
+    ));
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let alloc = Arc::clone(&observed);
+            std::thread::spawn(move || {
+                let _drain = alloc.inner().thread_guard();
+                for i in 0..10_000usize {
+                    let size = 64 << ((i + t) % 5);
+                    if let Some(off) = alloc.alloc(size) {
+                        alloc.dealloc(off);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let alloc_lat = recorder.snapshot(OpKind::Alloc).percentiles();
+    println!(
+        "observed alloc latency over {} samples: p50 {:.0} ns, p99 {:.0} ns, p99.9 {:.0} ns",
+        alloc_lat.count, alloc_lat.p50_ns, alloc_lat.p99_ns, alloc_lat.p999_ns
+    );
+    let mut registry = MetricsRegistry::new("quickstart");
+    registry.observe_backend(observed.as_ref());
+    registry.set_recorder(Arc::clone(&recorder));
+    print!("{}", registry.snapshot().text_table());
+    // The flight recorder keeps each thread's most recent operations for
+    // post-mortem dumps (panic hooks, soak REPRO paths):
+    println!(
+        "flight recorder holds {} thread ring(s) of recent operations",
+        recorder.flight().events().len()
     );
 }

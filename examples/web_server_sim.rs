@@ -30,6 +30,7 @@ use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel};
 use nbbs_alloc::NbbsAllocator;
 use nbbs_baselines::CloudwuBuddy;
 use nbbs_cache::MagazineCache;
+use nbbs_obs::{FacadeShare, MetricsRegistry, Recorder};
 use nbbs_workloads::rng::SplitMix64;
 
 /// One in-flight request: a connection buffer plus a (grown) response
@@ -57,8 +58,11 @@ fn release(facade: &NbbsAllocator<Arc<dyn BuddyBackend>>, req: Request) {
     }
 }
 
-fn simulate(alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: f64) -> u64 {
-    let facade = Arc::new(NbbsAllocator::new(Arc::clone(&alloc)));
+fn simulate(label: &str, alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: f64) -> u64 {
+    let recorder = Arc::new(Recorder::new());
+    let mut facade = NbbsAllocator::new(Arc::clone(&alloc));
+    facade.set_recorder(Some(Arc::clone(&recorder)));
+    let facade = Arc::new(facade);
     let stop = Arc::new(AtomicBool::new(false));
     let completed = Arc::new(AtomicU64::new(0));
     let exchange: Arc<crossbeam::queue::SegQueue<Request>> =
@@ -160,13 +164,22 @@ fn simulate(alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: f64) -> u64 {
         release(&facade, req);
     }
     assert_eq!(facade.allocated_bytes(), 0, "no request may leak");
+    // One registry snapshot replaces the ad-hoc stat printlns: it picks up
+    // the backend's cache stats (if any), the facade's grow/shrink path
+    // split, and the facade-level latency histogram in a single table.
     let stats = facade.facade_stats();
-    println!(
-        "    [response streaming: {} grows in place, {} moved ({:.0}% in place)]",
-        stats.grows_in_place,
-        stats.grows_moved,
-        stats.grow_in_place_rate() * 100.0
-    );
+    let mut registry = MetricsRegistry::new(label);
+    registry.observe_backend(alloc.as_ref());
+    registry.set_facade(FacadeShare {
+        buddy_bytes: 0,
+        system_bytes: 0,
+        grows_in_place: stats.grows_in_place,
+        grows_moved: stats.grows_moved,
+        shrinks_in_place: stats.shrinks_in_place,
+        shrinks_moved: stats.shrinks_moved,
+    });
+    registry.set_recorder(Arc::clone(&recorder));
+    println!("{}", registry.snapshot().text_table());
     // Return any magazine-cached buffers to the tree (no-op for uncached
     // backends) so the next candidate starts from pristine state.
     alloc.drain_cache();
@@ -201,20 +214,11 @@ fn main() {
 
     let mut results = Vec::new();
     for (label, alloc) in candidates {
-        let cache_view = Arc::clone(&alloc);
-        let completed = simulate(alloc, threads, seconds);
-        print!(
+        let completed = simulate(label, alloc, threads, seconds);
+        println!(
             "{label:<26} {completed:>10} requests completed  ({:.1} req/s)",
             completed as f64 / seconds
         );
-        if let Some(cache) = cache_view.cache_stats() {
-            print!(
-                "  [cache hit-rate {:.1}%, {} backend refill chunks]",
-                cache.hit_rate() * 100.0,
-                cache.refilled
-            );
-        }
-        println!();
         results.push((label, completed));
     }
     if let [(_, nb), (_, cached), (_, sl)] = results[..] {
