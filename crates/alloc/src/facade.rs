@@ -10,6 +10,8 @@ use nbbs::{BuddyBackend, BuddyRegion};
 use nbbs_obs::{size_detail, OpKind, OpOutcome, Recorder};
 use nbbs_sync::cycles_now;
 
+use crate::reserve::{EmergencyReserve, ReserveStatsSnapshot};
+
 /// Point-in-time copy of the facade's realloc counters.
 ///
 /// `grow`/`shrink` resolve either *in place* (the granted buddy block
@@ -75,6 +77,11 @@ impl FacadeStatsSnapshot {
 /// region-owned memory, which keeps `deallocate` uniform.
 pub struct NbbsAllocator<A: BuddyBackend> {
     region: BuddyRegion<A>,
+    /// Optional OOM-path emergency pool, carved by
+    /// [`NbbsAllocator::with_reserve`]; consulted only after the backend
+    /// reported hard out-of-memory, replenished only by frees of its own
+    /// blocks.
+    reserve: Option<EmergencyReserve>,
     grows_in_place: AtomicU64,
     grows_moved: AtomicU64,
     shrinks_in_place: AtomicU64,
@@ -90,6 +97,7 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
     pub fn new(backend: A) -> Self {
         NbbsAllocator {
             region: BuddyRegion::new(backend),
+            reserve: None,
             grows_in_place: AtomicU64::new(0),
             grows_moved: AtomicU64::new(0),
             shrinks_in_place: AtomicU64::new(0),
@@ -114,6 +122,28 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
     /// The attached latency recorder, if any.
     pub fn recorder(&self) -> Option<&Arc<Recorder>> {
         self.obs.as_ref()
+    }
+
+    /// Carves an OOM-path [`EmergencyReserve`] of up to `blocks` blocks of
+    /// (the granted size of) `block_size` bytes out of the freshly built
+    /// region.
+    ///
+    /// Reserve blocks are invisible to the normal path: they are served
+    /// only when the backend reports hard out-of-memory for a request that
+    /// fits a block, and return to the pool (never to the buddy) when
+    /// freed.  Idle reserve bytes are excluded from
+    /// [`NbbsAllocator::allocated_bytes`].  If not even one block can be
+    /// carved (arena too tight, `block_size` oversized) the facade simply
+    /// has no reserve.
+    #[must_use]
+    pub fn with_reserve(mut self, blocks: usize, block_size: usize) -> Self {
+        self.reserve = EmergencyReserve::carve(self.region.backend(), blocks, block_size);
+        self
+    }
+
+    /// The reserve's counters and occupancy, when one was carved.
+    pub fn reserve_stats(&self) -> Option<ReserveStatsSnapshot> {
+        self.reserve.as_ref().map(EmergencyReserve::stats)
     }
 
     /// The wrapped backend (e.g. the `MagazineCache` layer).
@@ -146,9 +176,14 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
     }
 
     /// Bytes currently handed out (as the backend counts them — a caching
-    /// backend subtracts parked chunks).
+    /// backend subtracts parked chunks, and idle emergency-reserve blocks
+    /// are excluded: allocated in the backend, serving nobody).
     pub fn allocated_bytes(&self) -> usize {
-        self.region.allocated_bytes()
+        let idle = self
+            .reserve
+            .as_ref()
+            .map_or(0, EmergencyReserve::idle_bytes);
+        self.region.allocated_bytes().saturating_sub(idle)
     }
 
     /// Point-in-time copy of the grow/shrink counters.
@@ -193,7 +228,27 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
                 requested: want,
                 max_size: self.backend().max_size(),
             })?;
-        let ptr = self.region.try_alloc_bytes(want)?;
+        let ptr = match self.region.try_alloc_bytes(want) {
+            Ok(ptr) => ptr,
+            Err(AllocError::OutOfMemory { .. }) => {
+                // Hard OOM: the reserve's moment.  A served block is
+                // `block_size` bytes, naturally aligned like every buddy
+                // block, so the whole block is the grant.
+                if let Some(reserve) = &self.reserve {
+                    if let Some(offset) = reserve.serve(want) {
+                        // SAFETY: `offset` was carved from this region's
+                        // backend, so `base + offset` is in bounds.
+                        let ptr = unsafe {
+                            NonNull::new_unchecked(self.region.base().as_ptr().add(offset))
+                        };
+                        debug_assert_eq!(ptr.as_ptr() as usize % layout.align(), 0);
+                        return Ok(NonNull::slice_from_raw_parts(ptr, reserve.block_size()));
+                    }
+                }
+                return Err(AllocError::OutOfMemory { requested: want });
+            }
+            Err(err) => return Err(err),
+        };
         debug_assert_eq!(ptr.as_ptr() as usize % layout.align(), 0);
         Ok(NonNull::slice_from_raw_parts(ptr, granted))
     }
@@ -238,6 +293,16 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
     unsafe fn deallocate_inner(&self, ptr: NonNull<u8>, layout: Layout) {
         debug_assert!(self.region.contains(ptr), "pointer outside the region");
         debug_assert!(self.granted_size(layout).is_some());
+        if let Some(reserve) = &self.reserve {
+            if let Some(offset) = self.region.offset_of(ptr) {
+                if reserve.owns(offset) {
+                    // A reserve block refills the pool — the only
+                    // replenishment path — instead of rejoining the buddy.
+                    reserve.replenish(offset);
+                    return;
+                }
+            }
+        }
         self.region.dealloc_bytes(ptr);
     }
 
@@ -605,6 +670,58 @@ mod tests {
         assert_eq!(rec.snapshot(OpKind::Shrink).total(), 1);
         assert_eq!(rec.snapshot(OpKind::Free).total(), 1);
         assert_eq!(a.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn reserve_serves_on_oom_and_refills_from_its_own_frees() {
+        // Tiny arena, no cache in the way: 4 blocks of 1 KiB total.
+        let config = BuddyConfig::new(1 << 12, 64, 1 << 10).unwrap();
+        let a = NbbsAllocator::new(NbbsFourLevel::new(config)).with_reserve(1, 1 << 10);
+        assert_eq!(a.reserve_stats().unwrap().capacity, 1);
+        assert_eq!(a.allocated_bytes(), 0, "idle reserve bytes are excluded");
+
+        // Exhaust the remaining 3 KiB.
+        let layout = Layout::from_size_align(1 << 10, 8).unwrap();
+        let held: Vec<_> = (0..3).map(|_| a.allocate(layout).unwrap()).collect();
+
+        // Hard OOM: the reserve serves.
+        let rescued = a.allocate(layout).unwrap();
+        assert_eq!(rescued.len(), 1 << 10);
+        assert_eq!(a.reserve_stats().unwrap().hits, 1);
+        assert_eq!(a.reserve_stats().unwrap().available, 0);
+
+        // Pool empty now: the next OOM is a real failure.
+        assert!(matches!(
+            a.allocate(layout),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+        assert_eq!(a.reserve_stats().unwrap().exhausted, 1);
+
+        // Freeing the reserve-served block refills the pool (not the buddy).
+        unsafe { a.deallocate(rescued.cast(), layout) };
+        let stats = a.reserve_stats().unwrap();
+        assert_eq!(stats.refills, 1);
+        assert_eq!(stats.available, 1);
+
+        for block in held {
+            unsafe { a.deallocate(block.cast(), layout) };
+        }
+        assert_eq!(a.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn reserve_refuses_requests_larger_than_its_blocks() {
+        let config = BuddyConfig::new(1 << 12, 64, 1 << 12).unwrap();
+        let a = NbbsAllocator::new(NbbsFourLevel::new(config)).with_reserve(4, 256);
+        // 3 KiB remain outside the reserve; a 2 KiB request OOMs (the free
+        // space is fragmented around the reserve) or succeeds — either way
+        // a 2 KiB grant can never come from a 256-byte reserve block.
+        let big = Layout::from_size_align(2048, 8).unwrap();
+        if let Ok(block) = a.allocate(big) {
+            assert!(block.len() >= 2048);
+            unsafe { a.deallocate(block.cast(), big) };
+        }
+        assert_eq!(a.reserve_stats().unwrap().hits, 0);
     }
 
     #[test]

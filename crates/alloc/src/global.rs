@@ -149,6 +149,14 @@ pub struct NbbsGlobalAlloc {
     /// Bytes that fell through to the system allocator (oversized requests,
     /// exhaustion, and the metadata of the initial build).
     system_bytes: AtomicU64,
+    /// Requests the *built* buddy stack failed that were rescued by
+    /// `System` — degraded-mode events, distinct from `system_bytes`' routine
+    /// oversized/bootstrap traffic.
+    system_failovers: AtomicU64,
+    /// Emergency-reserve blocks to carve at build time (0 = no reserve).
+    reserve_blocks: usize,
+    /// Size of each reserve block in bytes.
+    reserve_block_size: usize,
 }
 
 impl NbbsGlobalAlloc {
@@ -165,7 +173,24 @@ impl NbbsGlobalAlloc {
             state: OnceLock::new(),
             buddy_bytes: AtomicU64::new(0),
             system_bytes: AtomicU64::new(0),
+            system_failovers: AtomicU64::new(0),
+            reserve_blocks: 0,
+            reserve_block_size: 0,
         }
+    }
+
+    /// Carves an OOM-path emergency reserve of `blocks` blocks of
+    /// `block_size` bytes when the stack is built (see
+    /// [`NbbsAllocator::with_reserve`]): requests the buddy fails with hard
+    /// out-of-memory are served from the reserve before falling over to the
+    /// system allocator, and reserve blocks refill only through frees of
+    /// reserve-owned memory.  Reserve hits and refills appear in
+    /// [`NbbsGlobalAlloc::stats_report`].
+    #[must_use]
+    pub const fn with_reserve(mut self, blocks: usize, block_size: usize) -> Self {
+        self.reserve_blocks = blocks;
+        self.reserve_block_size = block_size;
+        self
     }
 
     /// Turns on latency recording for this allocator: the facade's
@@ -269,6 +294,9 @@ impl NbbsGlobalAlloc {
                 cache.set_recorder(recorder.clone());
                 let cache = Arc::new(cache);
                 let mut facade = NbbsAllocator::new(Arc::clone(&cache));
+                if self.reserve_blocks > 0 {
+                    facade = facade.with_reserve(self.reserve_blocks, self.reserve_block_size);
+                }
                 facade.set_recorder(recorder.clone());
                 let exit_hook = Arc::new(ExitLatch {
                     cache: Arc::clone(&cache),
@@ -360,6 +388,20 @@ impl NbbsGlobalAlloc {
         }
     }
 
+    /// Requests the built buddy stack failed (exhaustion, injected faults)
+    /// that were rescued by the system allocator.  Routine `System` traffic
+    /// — oversized requests, pre-build metadata — does not count; this is
+    /// the degraded-mode odometer.
+    pub fn system_failovers(&self) -> u64 {
+        self.system_failovers.load(Ordering::Relaxed)
+    }
+
+    /// The emergency reserve's counters, when one was configured
+    /// ([`NbbsGlobalAlloc::with_reserve`]) and the state has been built.
+    pub fn reserve_stats(&self) -> Option<crate::ReserveStatsSnapshot> {
+        self.built_state().and_then(|s| s.facade.reserve_stats())
+    }
+
     /// Counters of the magazine-cache layer, if the state has been built.
     pub fn cache_stats(&self) -> Option<nbbs::CacheStatsSnapshot> {
         self.built_state().and_then(|s| s.cache.cache_stats())
@@ -408,6 +450,11 @@ impl NbbsGlobalAlloc {
             facade.grows_moved = f.grows_moved;
             facade.shrinks_in_place = f.shrinks_in_place;
             facade.shrinks_moved = f.shrinks_moved;
+        }
+        facade.system_failovers = self.system_failovers();
+        if let Some(r) = self.reserve_stats() {
+            facade.reserve_hits = r.hits;
+            facade.reserve_refills = r.refills;
         }
         let mut reg = MetricsRegistry::new("nbbs-alloc");
         reg.set_facade(facade);
@@ -563,7 +610,13 @@ unsafe impl GlobalAlloc for NbbsGlobalAlloc {
                     .fetch_add(layout.size() as u64, Ordering::Relaxed);
                 block.cast::<u8>().as_ptr()
             }
-            Err(_) => {
+            Err(err) => {
+                // An oversized request is routine System traffic; anything
+                // else means the built stack *failed* a servable request —
+                // the degraded-mode event the failover odometer counts.
+                if !matches!(err, nbbs::error::AllocError::TooLarge { .. }) {
+                    self.system_failovers.fetch_add(1, Ordering::Relaxed);
+                }
                 self.system_bytes
                     .fetch_add(layout.size() as u64, Ordering::Relaxed);
                 System.alloc(layout)
@@ -856,6 +909,37 @@ mod tests {
         a.print_stats_on_exit();
         a.print_stats_on_exit();
         super::exit_dump::dump_now();
+    }
+
+    #[test]
+    fn degraded_mode_telemetry_reports_reserve_and_failovers() {
+        // 2 KiB arena: the reserve pins one 1 KiB block, one stays general.
+        let a = NbbsGlobalAlloc::new(2048, 64, 1024).with_reserve(1, 1024);
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        unsafe {
+            let p1 = a.alloc(layout); // the general block
+            let p2 = a.alloc(layout); // buddy OOM -> reserve serves
+            let p3 = a.alloc(layout); // reserve empty -> System failover
+            assert!(a.owns(p1) && a.owns(p2), "reserve kept p2 in the region");
+            assert!(!a.owns(p3), "third request fell over to System");
+            assert_eq!(a.reserve_stats().unwrap().hits, 1);
+            assert_eq!(a.system_failovers(), 1);
+
+            // Freeing the reserve-served block refills the pool.
+            a.dealloc(p2, layout);
+            assert_eq!(a.reserve_stats().unwrap().refills, 1);
+            assert_eq!(a.reserve_stats().unwrap().available, 1);
+            a.dealloc(p1, layout);
+            a.dealloc(p3, layout);
+        }
+        let report = a.stats_report();
+        assert!(
+            report.contains("degraded: 1 system failovers, 1 reserve hits, 1 reserve refills"),
+            "{report}"
+        );
+        let json = a.metrics().to_json();
+        assert!(json.contains("\"system_failovers\":1"), "{json}");
+        assert!(json.contains("\"reserve_hits\":1"), "{json}");
     }
 
     #[test]

@@ -73,11 +73,39 @@
 //! assert_eq!(alloc.allocated_bytes(), 0);
 //! ```
 
+//! # Error handling: hard OOM, transient failures, and the reserve
+//!
+//! Three distinct failure shapes flow through this stack, and they are
+//! deliberately kept apart:
+//!
+//! * **Hard OOM** ([`nbbs::error::AllocError::OutOfMemory`]) — the buddy
+//!   region genuinely cannot serve the request.  It propagates immediately:
+//!   no layer retries it, because waiting will not conjure memory.  The
+//!   facade gives it one last chance at the [`EmergencyReserve`] (if one
+//!   was carved with [`NbbsAllocator::with_reserve`]); past that,
+//!   [`NbbsGlobalAlloc`] fails over to the system allocator and counts the
+//!   event ([`NbbsGlobalAlloc::system_failovers`]).
+//! * **Transient failures** ([`nbbs::error::AllocError::Transient`]) — the
+//!   attempt failed for a reason expected to clear shortly: a lost CAS
+//!   storm, an in-flight coalesce holding the branch, or an injected fault
+//!   from `nbbs-chaos`.  The magazine cache's miss path retries these a
+//!   bounded number of times ([`nbbs_cache::CacheConfig::transient_retries`])
+//!   with jittered backoff before treating the miss as failed; hard OOM is
+//!   never retried.
+//! * **Reserve-served** — an OOM-path allocation that fit a reserve block.
+//!   The caller cannot tell (it got ordinary region memory); the event is
+//!   visible only in telemetry ([`ReserveStatsSnapshot::hits`], surfaced by
+//!   [`NbbsGlobalAlloc::stats_report`]).  Reserve blocks replenish *only*
+//!   through frees of reserve-owned memory, so the pool's footprint is
+//!   fixed at carve time.
+
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod facade;
 mod global;
+mod reserve;
 
 pub use facade::{FacadeStatsSnapshot, NbbsAllocator};
 pub use global::NbbsGlobalAlloc;
+pub use reserve::{EmergencyReserve, ReserveStatsSnapshot};

@@ -1,0 +1,240 @@
+//! The OOM-path emergency reserve.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nbbs::BuddyBackend;
+use nbbs_sync::SpinLock;
+
+/// Point-in-time copy of an [`EmergencyReserve`]'s counters and occupancy.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReserveStatsSnapshot {
+    /// Allocations served from the reserve (buddy-path OOM survivals).
+    pub hits: u64,
+    /// Reserve blocks returned by frees of reserve-owned memory.
+    pub refills: u64,
+    /// OOM-path requests that found the reserve empty (or too small).
+    pub exhausted: u64,
+    /// Total blocks carved at build time.
+    pub capacity: u64,
+    /// Blocks currently idle (available to serve).
+    pub available: u64,
+    /// Size of each reserve block in bytes.
+    pub block_size: u64,
+}
+
+/// A small pinned pool carved out of the buddy at region-build time and
+/// served **only** when the buddy path itself reports out-of-memory.
+///
+/// The point is graceful degradation: a storm — fragmentation spike, an
+/// injected fault schedule from `nbbs-chaos`, a transient burst past the
+/// arena — should degrade an allocator into slower service, not into
+/// failure.  The reserve holds a handful of max-class-or-smaller blocks
+/// that the normal path can never consume, so the OOM path always has one
+/// last card to play for requests that fit a reserve block.
+///
+/// Replenishment is strictly *ownership-based*: only a free of a
+/// reserve-owned offset refills the pool (the facade checks [`owns`] on
+/// every release).  Ordinary frees go back to the buddy as usual — the
+/// reserve never grows beyond its carved capacity and never leaks blocks
+/// into the general population, so its worst-case footprint is fixed at
+/// build time.
+///
+/// [`owns`]: EmergencyReserve::owns
+pub struct EmergencyReserve {
+    /// Effective block size (the granted size of the requested carve size).
+    block_size: usize,
+    /// Every carved offset, sorted — the immutable ownership set behind
+    /// [`EmergencyReserve::owns`]'s binary search.
+    owned: Box<[usize]>,
+    /// Offsets currently idle, LIFO.
+    free: SpinLock<Vec<usize>>,
+    hits: AtomicU64,
+    refills: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+impl EmergencyReserve {
+    /// Carves up to `blocks` blocks of (the granted size of) `block_size`
+    /// bytes out of `backend`.
+    ///
+    /// Returns `None` when `block_size` exceeds the backend's maximum or
+    /// not even one block could be carved; a partial carve (the arena was
+    /// already tight) keeps what it got.
+    pub fn carve<A: BuddyBackend>(backend: &A, blocks: usize, block_size: usize) -> Option<Self> {
+        let granted = backend.granted_size_for(block_size)?;
+        let mut owned = Vec::with_capacity(blocks);
+        for _ in 0..blocks {
+            match backend.alloc(granted) {
+                Some(off) => owned.push(off),
+                None => break,
+            }
+        }
+        if owned.is_empty() {
+            return None;
+        }
+        owned.sort_unstable();
+        let free = owned.clone();
+        Some(EmergencyReserve {
+            block_size: granted,
+            owned: owned.into_boxed_slice(),
+            free: SpinLock::new(free),
+            hits: AtomicU64::new(0),
+            refills: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+        })
+    }
+
+    /// Serves one block for a `want`-byte request that the buddy path just
+    /// failed, or `None` when the request does not fit a reserve block or
+    /// the pool is empty.
+    pub fn serve(&self, want: usize) -> Option<usize> {
+        if want > self.block_size {
+            return None;
+        }
+        match self.free.lock().pop() {
+            Some(off) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(off)
+            }
+            None => {
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether `offset` is one of the reserve's carved blocks.
+    #[inline]
+    pub fn owns(&self, offset: usize) -> bool {
+        self.owned.binary_search(&offset).is_ok()
+    }
+
+    /// Returns a reserve-owned block to the pool.  The caller must have
+    /// checked [`EmergencyReserve::owns`] — this is how the reserve refills
+    /// and the *only* way it does.
+    pub fn replenish(&self, offset: usize) {
+        debug_assert!(self.owns(offset), "replenishing a foreign offset");
+        self.free.lock().push(offset);
+        self.refills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The size of each reserve block in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Total blocks carved at build time.
+    pub fn capacity(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Blocks currently idle.
+    pub fn available(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Bytes held by idle reserve blocks — allocated in the backend but
+    /// serving nobody, which user-visible accounting subtracts.
+    pub fn idle_bytes(&self) -> usize {
+        self.available() * self.block_size
+    }
+
+    /// Point-in-time copy of the reserve's counters.
+    pub fn stats(&self) -> ReserveStatsSnapshot {
+        ReserveStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            refills: self.refills.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+            capacity: self.owned.len() as u64,
+            available: self.available() as u64,
+            block_size: self.block_size as u64,
+        }
+    }
+}
+
+impl std::fmt::Debug for EmergencyReserve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmergencyReserve")
+            .field("block_size", &self.block_size)
+            .field("capacity", &self.owned.len())
+            .field("available", &self.available())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbbs::{BuddyConfig, NbbsOneLevel};
+
+    fn tree() -> NbbsOneLevel {
+        NbbsOneLevel::new(BuddyConfig::new(1 << 16, 64, 1 << 12).unwrap())
+    }
+
+    #[test]
+    fn carve_pins_blocks_and_serves_on_demand() {
+        let t = tree();
+        let r = EmergencyReserve::carve(&t, 4, 4096).unwrap();
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.available(), 4);
+        assert_eq!(r.block_size(), 4096);
+        assert_eq!(t.allocated_bytes(), 4 * 4096);
+
+        let off = r.serve(100).unwrap();
+        assert!(r.owns(off));
+        assert_eq!(r.available(), 3);
+        assert_eq!(r.stats().hits, 1);
+
+        r.replenish(off);
+        assert_eq!(r.available(), 4);
+        assert_eq!(r.stats().refills, 1);
+    }
+
+    #[test]
+    fn oversized_requests_and_exhaustion_are_refused() {
+        let t = tree();
+        let r = EmergencyReserve::carve(&t, 1, 4096).unwrap();
+        assert!(r.serve(8192).is_none(), "larger than a reserve block");
+        assert_eq!(r.stats().exhausted, 0, "size refusal is not exhaustion");
+        let off = r.serve(64).unwrap();
+        assert!(r.serve(64).is_none(), "pool empty");
+        assert_eq!(r.stats().exhausted, 1);
+        r.replenish(off);
+        assert!(r.serve(64).is_some(), "refill makes it servable again");
+    }
+
+    #[test]
+    fn partial_carve_keeps_what_it_got() {
+        let t = tree();
+        // 16 blocks of 4 KiB would need 64 KiB; the arena holds 16 total but
+        // carve stops at whatever the tree can grant contiguously.
+        let r = EmergencyReserve::carve(&t, 32, 4096).unwrap();
+        assert!(r.capacity() >= 1);
+        assert!(r.capacity() <= 16);
+        assert_eq!(r.available(), r.capacity());
+    }
+
+    #[test]
+    fn carve_fails_cleanly_when_nothing_fits() {
+        let t = tree();
+        assert!(EmergencyReserve::carve(&t, 1, 1 << 20).is_none(), "too big");
+        let hog = t.alloc(1 << 12).unwrap();
+        for _ in 0..15 {
+            t.alloc(1 << 12).unwrap();
+        }
+        assert!(
+            EmergencyReserve::carve(&t, 1, 4096).is_none(),
+            "arena already full"
+        );
+        t.dealloc(hog);
+    }
+
+    #[test]
+    fn ownership_is_exact() {
+        let t = tree();
+        let r = EmergencyReserve::carve(&t, 2, 4096).unwrap();
+        let outside = t.alloc(4096).unwrap();
+        assert!(!r.owns(outside));
+        t.dealloc(outside);
+    }
+}

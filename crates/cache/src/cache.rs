@@ -1,12 +1,12 @@
 //! The magazine cache front-end.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use nbbs::error::{AllocError, FreeError};
 use nbbs::{BuddyBackend, CacheStatsSnapshot, Geometry, TreeInspect};
 use nbbs_obs::{OpKind, OpOutcome, Recorder};
-use nbbs_sync::{cycles_now, CachePadded, SpinLock};
+use nbbs_sync::{cycles_now, Backoff, CachePadded, SpinLock};
 
 use crate::config::{CacheConfig, FlushPolicy};
 use crate::depot::DepotShard;
@@ -54,6 +54,8 @@ struct Counters {
     depot_steals: AtomicU64,
     resize_grows: AtomicU64,
     resize_shrinks: AtomicU64,
+    transient_retries: AtomicU64,
+    orphan_rescues: AtomicU64,
 }
 
 /// One thread slot: the per-class magazine pairs behind a spin lock, plus
@@ -160,6 +162,25 @@ pub struct MagazineCache<A: BuddyBackend> {
     /// `try_dealloc`'s double-free detection for stably parked chunks.  The
     /// hot paths (alloc/dealloc/park/refill) never take this lock.
     inspect_lock: SpinLock<()>,
+    /// Chunks a panic stranded mid-flight — taken out of a magazine (or
+    /// freshly refilled from the backend) but not yet returned anywhere when
+    /// an unwind tore through a flush/refill/drain loop.  The unwinding
+    /// thread publishes them here (see [`OrphanGuard`]); the next toucher
+    /// (a miss, a drain, or the final `Drop`) rescues them back to the
+    /// backend.  Until rescued they are still *cached* from the accounting
+    /// and verification point of view: backend-live, caller-free.
+    ///
+    /// The slot magazines themselves need no such recovery: every mutation
+    /// of a slot happens under its [`SpinLock`], whose guard releases on
+    /// unwind, and consists of pure `Vec` moves that cannot panic halfway —
+    /// so a slot is never left wedged or half-rotated.  Only chunks in
+    /// flight *outside* the lock (backend calls in loops) can be stranded,
+    /// and those are exactly what this list catches.
+    orphans: SpinLock<Vec<(usize, usize)>>,
+    /// Fast-path gate for the orphan list: set (release) after publishing,
+    /// cleared (acquire) by the rescuer — so the common case costs one
+    /// relaxed load and no lock.
+    orphaned: AtomicBool,
     counters: Counters,
     /// Optional latency recorder for the slow paths (miss, refill, flush).
     /// `None` skips every timestamp read — the zero-cost-when-disabled
@@ -238,6 +259,8 @@ impl<A: BuddyBackend> MagazineCache<A> {
             budget,
             shard_budget: budget / shard_count,
             inspect_lock: SpinLock::new(()),
+            orphans: SpinLock::new(Vec::new()),
+            orphaned: AtomicBool::new(false),
             counters: Counters::default(),
             obs: None,
         }
@@ -349,11 +372,20 @@ impl<A: BuddyBackend> MagazineCache<A> {
     /// so the total stays exact at quiescence under any interleaving of
     /// shard exchanges.
     pub fn cached_bytes(&self) -> usize {
+        // Panic-stranded chunks count as cached until rescued: they are
+        // live in the backend and held by nobody, exactly like a parked
+        // chunk.  The flag check keeps the common case lock-free.
+        let stranded = if self.orphaned.load(Ordering::Relaxed) {
+            self.orphans.lock().iter().map(|&(_, size)| size).sum()
+        } else {
+            0
+        };
         self.slots
             .iter()
             .map(|s| s.bytes.load(Ordering::Relaxed))
             .sum::<usize>()
             + self.shards.iter().map(|s| s.bytes()).sum::<usize>()
+            + stranded
     }
 
     /// Size in bytes of class `class`.
@@ -452,6 +484,64 @@ impl<A: BuddyBackend> MagazineCache<A> {
         }
     }
 
+    /// Publishes chunks a panic stranded mid-flight; the next toucher
+    /// rescues them.  Called from [`OrphanGuard::drop`] during unwinds.
+    fn publish_orphans(&self, chunks: &mut Vec<(usize, usize)>) {
+        self.orphans.lock().append(chunks);
+        self.orphaned.store(true, Ordering::Release);
+    }
+
+    /// Returns any panic-stranded chunks to the backend.  Invoked by the
+    /// next toucher of the slow path (miss refills, drains, `Drop`); costs
+    /// one relaxed load when there is nothing to rescue.  A panic during
+    /// the rescue itself re-strands the remainder — chunks are popped only
+    /// after their free completed, relying on the `nbbs-chaos` contract
+    /// that injected panics fire *before* the wrapped operation.
+    fn rescue_orphans(&self) {
+        if !self.orphaned.load(Ordering::Relaxed) {
+            return;
+        }
+        if !self.orphaned.swap(false, Ordering::Acquire) {
+            return;
+        }
+        let stranded = std::mem::take(&mut *self.orphans.lock());
+        if stranded.is_empty() {
+            return;
+        }
+        let mut guard = OrphanGuard {
+            cache: self,
+            chunks: stranded,
+        };
+        while let Some(&(off, _)) = guard.chunks.last() {
+            self.backend.dealloc(off);
+            guard.chunks.pop();
+            self.counters.orphan_rescues.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One backend allocation attempt for a refill, with bounded
+    /// retry-with-jittered-backoff on *transient* failures.  Hard failures
+    /// ([`AllocError::OutOfMemory`] / [`AllocError::TooLarge`]) return
+    /// `None` immediately — genuine exhaustion must reach the caller (and
+    /// the facade's reserve/failover machinery) without added latency.
+    fn backend_alloc_retrying(&self, class_size: usize, salt: u64) -> Option<usize> {
+        let mut attempt = 0u32;
+        let backoff = Backoff::new();
+        loop {
+            match self.backend.try_alloc(class_size) {
+                Ok(off) => return Some(off),
+                Err(e) if e.is_transient() && attempt < self.config.transient_retries => {
+                    attempt += 1;
+                    self.counters
+                        .transient_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    backoff.spin_jittered(salt ^ (u64::from(attempt) << 32));
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
     /// Serves one allocation of class `class`, preferring the magazines.
     fn alloc_cached(&self, class: usize) -> Option<usize> {
         let class_size = self.class_size(class);
@@ -544,10 +634,14 @@ impl<A: BuddyBackend> MagazineCache<A> {
             }
         }
 
-        // Miss: batched refill from the backend.
+        // Miss: batched refill from the backend.  A miss already pays for a
+        // tree walk, so it is also the natural point to return any chunks a
+        // panicked predecessor stranded (one relaxed load when there are
+        // none).
+        self.rescue_orphans();
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let t_miss = self.obs.as_ref().map(|_| cycles_now());
-        let first = self.backend.alloc(class_size);
+        let first = self.backend_alloc_retrying(class_size, slot_idx as u64);
         if let (Some(rec), Some(t0)) = (&self.obs, t_miss) {
             rec.record_since(
                 OpKind::CacheMiss,
@@ -558,21 +652,30 @@ impl<A: BuddyBackend> MagazineCache<A> {
         }
         let first = first?;
         let t_refill = self.obs.as_ref().map(|_| cycles_now());
-        let mut chunks = Vec::with_capacity(batch);
+        // Every chunk below is in flight outside any lock until it lands in
+        // a magazine or back in the backend; the guard publishes whatever is
+        // still in flight if a backend call unwinds (an injected panic), so
+        // nothing leaks.  Index 0 is `first`, reserved for the caller.
+        let mut guard = OrphanGuard {
+            cache: self,
+            chunks: Vec::with_capacity(batch + 1),
+        };
+        guard.chunks.push((first, class_size));
         for _ in 0..batch {
             match self.backend.alloc(class_size) {
-                Some(off) => chunks.push(off),
+                Some(off) => guard.chunks.push((off, class_size)),
                 None => break,
             }
         }
-        if !chunks.is_empty() {
+        if guard.chunks.len() > 1 {
             // The slot may have changed while the lock was released; load
             // whatever fits and hand any surplus back to the backend.
             let mut refilled = 0u64;
             {
                 let mut mags = slot.mags.lock();
                 let pair = &mut mags[class];
-                while let Some(&off) = chunks.last() {
+                while guard.chunks.len() > 1 {
+                    let (off, _) = *guard.chunks.last().expect("len checked above");
                     let target = if !pair.loaded.is_full() {
                         &mut pair.loaded
                     } else if !pair.previous.is_full() {
@@ -581,7 +684,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
                         break;
                     };
                     target.push(off);
-                    chunks.pop();
+                    guard.chunks.pop();
                     refilled += 1;
                 }
             }
@@ -592,13 +695,18 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 slot.bytes
                     .fetch_add(refilled as usize * class_size, Ordering::Relaxed);
             }
-            for off in chunks {
+            // Surplus beyond what fit: freed before popped, so a panicked
+            // dealloc strands only the chunks it has not yet returned.
+            while guard.chunks.len() > 1 {
+                let (off, _) = *guard.chunks.last().expect("len checked above");
                 self.backend.dealloc(off);
+                guard.chunks.pop();
             }
             if let (Some(rec), Some(t0)) = (&self.obs, t_refill) {
                 rec.record_since(OpKind::CacheRefill, t0, refilled, OpOutcome::Ok);
             }
         }
+        let (first, _) = guard.chunks.pop().expect("first survives the refill");
         Some(first)
     }
 
@@ -686,17 +794,25 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 self.note_pressure(class);
             }
         }
-        self.flush_magazine(full);
+        self.flush_magazine(full, class_size);
     }
 
     /// Returns a magazine's chunks to the backend, counting them as flushed.
-    fn flush_magazine(&self, mut mag: Magazine) {
+    fn flush_magazine(&self, mut mag: Magazine, class_size: usize) {
         let t0 = self.obs.as_ref().map(|_| cycles_now());
-        let chunks = mag.take_all();
-        let n = chunks.len() as u64;
-        self.counters.flushed.fetch_add(n, Ordering::Relaxed);
-        for off in chunks {
+        let n = mag.len() as u64;
+        let mut guard = OrphanGuard {
+            cache: self,
+            chunks: mag
+                .take_all()
+                .into_iter()
+                .map(|off| (off, class_size))
+                .collect(),
+        };
+        while let Some(&(off, _)) = guard.chunks.last() {
             self.backend.dealloc(off);
+            guard.chunks.pop();
+            self.counters.flushed.fetch_add(1, Ordering::Relaxed);
         }
         if let (Some(rec), Some(t0)) = (&self.obs, t0) {
             rec.record_since(OpKind::CacheFlush, t0, n, OpOutcome::Ok);
@@ -737,7 +853,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 slot.bytes.fetch_sub(bytes, Ordering::Relaxed);
             }
         }
-        self.release_drained(&drained);
+        self.release_drained(drained);
     }
 
     /// Returns every cached chunk — all slots and all depot shards — to the
@@ -763,18 +879,28 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 }
             }
         }
-        self.release_drained(&drained);
+        drop(_inspecting);
+        self.release_drained(drained);
+        // A full drain is the designated recovery point: return whatever a
+        // panicked thread stranded as well, so `verify_cached_empty` after a
+        // storm sees a truly empty cache.
+        self.rescue_orphans();
     }
 
-    fn release_drained(&self, drained: &[(usize, usize)]) {
+    fn release_drained(&self, drained: Vec<(usize, usize)>) {
         if drained.is_empty() {
             return;
         }
-        self.counters
-            .drained
-            .fetch_add(drained.len() as u64, Ordering::Relaxed);
-        for &(off, _) in drained {
+        // Freed before popped: a panic mid-release publishes exactly the
+        // chunks not yet returned, never double-freeing the rest.
+        let mut guard = OrphanGuard {
+            cache: self,
+            chunks: drained,
+        };
+        while let Some(&(off, _)) = guard.chunks.last() {
             self.backend.dealloc(off);
+            guard.chunks.pop();
+            self.counters.drained.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -813,7 +939,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
                 }
                 for m in mags {
                     if let Err(rejected) = shard.push_full(class, class_size, m) {
-                        self.flush_magazine(rejected);
+                        self.flush_magazine(rejected, class_size);
                     }
                 }
                 if stop {
@@ -845,6 +971,10 @@ impl<A: BuddyBackend> MagazineCache<A> {
             }
             false
         });
+        // Panic-stranded chunks are cached too (backend-live, caller-free):
+        // including them keeps `verify_cached`'s conservation audit honest
+        // between a storm and the rescuing drain.
+        out.extend(self.orphans.lock().iter().copied());
         out
     }
 
@@ -869,7 +999,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
             found = m.entries().contains(&offset);
             found
         });
-        found
+        found || self.orphans.lock().iter().any(|&(off, _)| off == offset)
     }
 
     /// Point-in-time copy of the cache counters.
@@ -886,6 +1016,8 @@ impl<A: BuddyBackend> MagazineCache<A> {
             depot_steals: self.counters.depot_steals.load(Ordering::Relaxed),
             resize_grows: self.counters.resize_grows.load(Ordering::Relaxed),
             resize_shrinks: self.counters.resize_shrinks.load(Ordering::Relaxed),
+            transient_retries: self.counters.transient_retries.load(Ordering::Relaxed),
+            orphan_rescues: self.counters.orphan_rescues.load(Ordering::Relaxed),
             depot_shards: self.shards.len() as u64,
         }
     }
@@ -1055,5 +1187,25 @@ pub struct ThreadDrainGuard<'a, A: BuddyBackend> {
 impl<A: BuddyBackend> Drop for ThreadDrainGuard<'_, A> {
     fn drop(&mut self) {
         self.cache.drain_current_thread();
+    }
+}
+
+/// Holds chunks that are in flight outside any lock (mid-refill, mid-flush,
+/// mid-drain).  On the happy path the owning loop empties `chunks` before
+/// the guard drops and this is free; if a backend call unwinds, whatever is
+/// still held is published to the cache's orphan list for the next toucher
+/// to rescue — a panicked thread thus never leaks a chunk, never leaves a
+/// slot wedged, and never double-frees (loops pop an entry only after its
+/// backend call completed).
+struct OrphanGuard<'a, A: BuddyBackend> {
+    cache: &'a MagazineCache<A>,
+    chunks: Vec<(usize, usize)>,
+}
+
+impl<A: BuddyBackend> Drop for OrphanGuard<'_, A> {
+    fn drop(&mut self) {
+        if !self.chunks.is_empty() {
+            self.cache.publish_orphans(&mut self.chunks);
+        }
     }
 }

@@ -142,6 +142,14 @@ pub struct CacheConfig {
     /// rather than by the budget directly.  `None` resolves to a quarter
     /// of the backend's managed memory.
     pub cache_bytes_budget: Option<usize>,
+    /// Bounded retries of a cache-miss refill whose backend attempt failed
+    /// *transiently* ([`nbbs::error::AllocError::Transient`] — an injected
+    /// fault or a contention hiccup), each preceded by a jittered
+    /// exponential backoff ([`nbbs_sync::Backoff::spin_jittered`]).  Hard
+    /// OOM never retries: genuine exhaustion must propagate immediately so
+    /// the facade's emergency-reserve / failover path can act on it.
+    /// `0` disables retrying entirely.
+    pub transient_retries: u32,
 }
 
 impl Default for CacheConfig {
@@ -160,6 +168,7 @@ impl Default for CacheConfig {
             adaptive_resize: true,
             max_magazine_capacity: 8192,
             cache_bytes_budget: None,
+            transient_retries: 3,
         }
     }
 }

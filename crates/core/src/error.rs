@@ -94,6 +94,27 @@ pub enum AllocError {
         /// Requested size in bytes.
         requested: usize,
     },
+    /// The attempt failed for a reason expected to clear shortly.
+    ///
+    /// Unlike [`AllocError::OutOfMemory`] — which means the required order is
+    /// genuinely unavailable and must propagate immediately — a transient
+    /// failure (a lost CAS storm, an in-flight coalesce holding the branch,
+    /// or an injected fault from `nbbs-chaos`) is worth a bounded retry with
+    /// backoff before the caller escalates.
+    Transient {
+        /// Requested size in bytes.
+        requested: usize,
+    },
+}
+
+impl AllocError {
+    /// `true` for failures worth a bounded retry; `false` for hard failures
+    /// ([`AllocError::TooLarge`], [`AllocError::OutOfMemory`]) that must
+    /// propagate immediately.
+    #[inline]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, AllocError::Transient { .. })
+    }
 }
 
 impl fmt::Display for AllocError {
@@ -105,6 +126,12 @@ impl fmt::Display for AllocError {
             ),
             AllocError::OutOfMemory { requested } => {
                 write!(f, "no free chunk available for a {requested}-byte request")
+            }
+            AllocError::Transient { requested } => {
+                write!(
+                    f,
+                    "a {requested}-byte request failed transiently; a bounded retry may succeed"
+                )
             }
         }
     }
@@ -187,6 +214,19 @@ mod tests {
         assert!(e.to_string().contains(&(1usize << 20).to_string()));
         let e = AllocError::OutOfMemory { requested: 128 };
         assert!(e.to_string().contains("128"));
+        let e = AllocError::Transient { requested: 256 };
+        assert!(e.to_string().contains("256"));
+    }
+
+    #[test]
+    fn only_transient_is_transient() {
+        assert!(AllocError::Transient { requested: 8 }.is_transient());
+        assert!(!AllocError::OutOfMemory { requested: 8 }.is_transient());
+        assert!(!AllocError::TooLarge {
+            requested: 8,
+            max_size: 4
+        }
+        .is_transient());
     }
 
     #[test]

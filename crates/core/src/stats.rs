@@ -172,6 +172,15 @@ pub struct CacheStatsSnapshot {
     /// Adaptive-resize events that shrank a size class's magazine capacity
     /// (triggered by cache byte-budget pressure).
     pub resize_shrinks: u64,
+    /// Bounded retries of backend refills that failed *transiently*
+    /// ([`crate::error::AllocError::Transient`] — injected faults or
+    /// contention), each preceded by a jittered backoff.  Hard OOM never
+    /// retries and is not counted here.
+    pub transient_retries: u64,
+    /// Chunks rescued from the orphan list: chunks a panic stranded
+    /// mid-flush/refill/drain, re-published by the unwinding thread and
+    /// returned to the backend by the next toucher.
+    pub orphan_rescues: u64,
     /// Number of depot shards magazine exchange is distributed over.
     /// Configuration surfaced for reports, not a counter; summed across
     /// instances when snapshots are merged.
@@ -211,6 +220,8 @@ impl CacheStatsSnapshot {
         self.depot_steals += other.depot_steals;
         self.resize_grows += other.resize_grows;
         self.resize_shrinks += other.resize_shrinks;
+        self.transient_retries += other.transient_retries;
+        self.orphan_rescues += other.orphan_rescues;
         self.depot_shards += other.depot_shards;
     }
 }
@@ -220,7 +231,8 @@ impl fmt::Display for CacheStatsSnapshot {
         write!(
             f,
             "hits={} misses={} hit-rate={:.3} cached-frees={} flushed={} refilled={} \
-             depot={} drained={} shards={} spills={} steals={} grows={} shrinks={}",
+             depot={} drained={} shards={} spills={} steals={} grows={} shrinks={} \
+             retries={} rescued={}",
             self.hits,
             self.misses,
             self.hit_rate(),
@@ -233,7 +245,9 @@ impl fmt::Display for CacheStatsSnapshot {
             self.depot_spills,
             self.depot_steals,
             self.resize_grows,
-            self.resize_shrinks
+            self.resize_shrinks,
+            self.transient_retries,
+            self.orphan_rescues
         )
     }
 }

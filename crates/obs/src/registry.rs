@@ -60,6 +60,13 @@ pub struct FacadeShare {
     pub shrinks_in_place: u64,
     /// `shrink` requests that moved.
     pub shrinks_moved: u64,
+    /// Requests the buddy path failed that fell through to the system
+    /// allocator (degraded-mode events, not ordinary oversized traffic).
+    pub system_failovers: u64,
+    /// Buddy-path OOMs served from the emergency reserve.
+    pub reserve_hits: u64,
+    /// Reserve blocks returned by frees of reserve-owned memory.
+    pub reserve_refills: u64,
 }
 
 impl FacadeShare {
@@ -142,6 +149,14 @@ impl StackSnapshot {
                 f.shrinks_in_place,
                 f.shrinks_moved
             );
+            if f.system_failovers + f.reserve_hits + f.reserve_refills > 0 {
+                let _ = writeln!(
+                    out,
+                    "  facade   degraded: {} system failovers, \
+                     {} reserve hits, {} reserve refills",
+                    f.system_failovers, f.reserve_hits, f.reserve_refills
+                );
+            }
         }
         if let Some(c) = &self.cache {
             let _ = writeln!(
@@ -268,7 +283,7 @@ impl StackSnapshot {
                 ",\"cache\":{{\"hits\":{},\"misses\":{},\"cached_frees\":{},\"flushed\":{},\
                  \"refilled\":{},\"depot_exchanges\":{},\"drained\":{},\"depot_spills\":{},\
                  \"depot_steals\":{},\"resize_grows\":{},\"resize_shrinks\":{},\
-                 \"depot_shards\":{}}}",
+                 \"transient_retries\":{},\"orphan_rescues\":{},\"depot_shards\":{}}}",
                 c.hits,
                 c.misses,
                 c.cached_frees,
@@ -280,6 +295,8 @@ impl StackSnapshot {
                 c.depot_steals,
                 c.resize_grows,
                 c.resize_shrinks,
+                c.transient_retries,
+                c.orphan_rescues,
                 c.depot_shards
             );
         }
@@ -308,13 +325,17 @@ impl StackSnapshot {
             let _ = write!(
                 out,
                 ",\"facade\":{{\"buddy_bytes\":{},\"system_bytes\":{},\"grows_in_place\":{},\
-                 \"grows_moved\":{},\"shrinks_in_place\":{},\"shrinks_moved\":{}}}",
+                 \"grows_moved\":{},\"shrinks_in_place\":{},\"shrinks_moved\":{},\
+                 \"system_failovers\":{},\"reserve_hits\":{},\"reserve_refills\":{}}}",
                 f.buddy_bytes,
                 f.system_bytes,
                 f.grows_in_place,
                 f.grows_moved,
                 f.shrinks_in_place,
-                f.shrinks_moved
+                f.shrinks_moved,
+                f.system_failovers,
+                f.reserve_hits,
+                f.reserve_refills
             );
         }
         if !self.latency.is_empty() {
@@ -493,6 +514,9 @@ mod tests {
             system_bytes: 0,
             grows_in_place: 3,
             grows_moved: 1,
+            system_failovers: 2,
+            reserve_hits: 4,
+            reserve_refills: 3,
             ..Default::default()
         })
         .set_recorder(Arc::clone(&rec));
@@ -508,12 +532,19 @@ mod tests {
         assert!(table.contains("node 0"), "{table}");
         assert!(table.contains("latency  alloc"), "{table}");
         assert!(table.contains("10 allocs"), "{table}");
+        assert!(
+            table.contains("degraded: 2 system failovers, 4 reserve hits, 3 reserve refills"),
+            "{table}"
+        );
 
         let json = snap.to_json();
         assert!(json.starts_with("{\"label\":\"unit\""), "{json}");
         assert!(json.contains("\"cache\":{\"hits\":90"), "{json}");
         assert!(json.contains("\"nodes\":[{\"node\":0"), "{json}");
         assert!(json.contains("\"facade\":{\"buddy_bytes\":1000"), "{json}");
+        assert!(json.contains("\"system_failovers\":2"), "{json}");
+        assert!(json.contains("\"reserve_hits\":4"), "{json}");
+        assert!(json.contains("\"transient_retries\":0"), "{json}");
         assert!(
             json.contains("\"latency\":{\"alloc\":{\"count\":1"),
             "{json}"

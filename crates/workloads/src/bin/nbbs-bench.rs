@@ -15,6 +15,11 @@
 //!   all             All of the above (fig8-13 incl. mixed-layout + numa-skew);
 //!                   writes one consolidated BENCH_<date>.json snapshot
 //!   obs-overhead    Latency-recording overhead A/B (Larson, recording on/off)
+//!   chaos           Larson + Mixed Layout under seeded fault schedules
+//!                   (`nbbs-chaos` storms), with post-run conservation audits
+//!                   and `REPRO:` lines on failure
+//!   chaos-overhead  Disarmed fault-injection wrapper A/B (Larson, wrapper
+//!                   present vs absent) — the zero-cost-when-disabled gate
 //!   ablation-scan   Scan-start policy ablation (first-fit vs scattered)
 //!   ablation-rmw    RMW-per-operation ablation (1lvl vs 4lvl)
 //!   ablation-frag   Fragmentation-resilience ablation
@@ -33,6 +38,10 @@
 //!   --date <stamp>    Date stamp for the `all` snapshot file name
 //!                     (default: today, UTC); `all` writes
 //!                     BENCH_<stamp>.json unless --json overrides the path
+//!   --seed <s>        Base seed for `chaos` fault schedules (hex with an
+//!                     explicit `0x` prefix, decimal otherwise; default:
+//!                     wall clock — the chosen seed is always printed)
+//!   --rounds <n>      Seeded rounds for `chaos` (default 8)
 //!   --quiet           Suppress progress output
 //! ```
 //!
@@ -65,7 +74,8 @@ use std::str::FromStr;
 use std::sync::Arc;
 
 use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel, ScanPolicy};
-use nbbs_cache::{CacheConfig, MagazineCache};
+use nbbs_cache::{verify_cached_empty, CacheConfig, MagazineCache};
+use nbbs_chaos::{FaultInjecting, FaultPlan};
 use nbbs_numa::{NodePolicy, NodeSet, Topology};
 use nbbs_workloads::factory::{AllocatorKind, SharedBackend};
 use nbbs_workloads::harness::{FigureSpec, Harness, Metric, SweepConfig, Workload};
@@ -84,6 +94,8 @@ struct Options {
     json_path: Option<String>,
     series_path: Option<String>,
     date: Option<String>,
+    seed: Option<u64>,
+    rounds: Option<u64>,
     verbose: bool,
 }
 
@@ -98,6 +110,8 @@ impl Default for Options {
             json_path: None,
             series_path: None,
             date: None,
+            seed: None,
+            rounds: None,
             verbose: true,
         }
     }
@@ -191,6 +205,28 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
             "--date" => {
                 i += 1;
                 opts.date = Some(args.get(i).ok_or("--date needs a stamp")?.clone());
+            }
+            "--seed" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--seed needs a value")?;
+                // Hex only with an explicit 0x prefix: every all-digit
+                // string is also valid hex, so a hex-first parse would
+                // silently reinterpret decimal seeds.
+                opts.seed = Some(match raw.strip_prefix("0x") {
+                    Some(hex) => {
+                        u64::from_str_radix(hex, 16).map_err(|e| format!("bad --seed: {e}"))?
+                    }
+                    None => raw.parse().map_err(|e| format!("bad --seed: {e}"))?,
+                });
+            }
+            "--rounds" => {
+                i += 1;
+                opts.rounds = Some(
+                    args.get(i)
+                        .ok_or("--rounds needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --rounds: {e}"))?,
+                );
             }
             "--quiet" => opts.verbose = false,
             other => return Err(format!("unknown option '{other}'")),
@@ -516,6 +552,206 @@ fn obs_overhead(opts: &Options) -> Vec<Measurement> {
     measurements
 }
 
+/// Chaos rounds: the paper-evaluation workloads (Larson and the
+/// facade-level Mixed Layout churn) run over the cached 4-level tree with
+/// an armed `nbbs-chaos` storm at the backend boundary — transient
+/// failures, injected hard OOM and artificial delays, deterministically
+/// derived from the printed seed.  After each round the injector is
+/// disarmed, the cache fully drained, and the tree audited: the free
+/// bitmap must be spotless and a max-class re-allocation probe proves no
+/// capacity was stranded.  Any violation prints a `REPRO:` line naming the
+/// exact seed to re-run with, dumps the flight-recorder rings, and exits
+/// non-zero.
+fn chaos(opts: &Options) -> Vec<Measurement> {
+    println!("\n=== Chaos: Larson + Mixed Layout under seeded fault schedules ===");
+    let rounds = opts.rounds.unwrap_or(8);
+    let base_seed = opts.seed.unwrap_or_else(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED_5EED)
+    });
+    println!("[chaos] base_seed={base_seed:#018x} rounds={rounds}");
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![4]);
+    let sizes = opts.sizes.clone().unwrap_or_else(|| vec![128]);
+    let mut measurements = Vec::new();
+    for round in 0..rounds {
+        let seed = base_seed ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for workload in [Workload::Larson, Workload::MixedLayout] {
+            let sweep = SweepConfig::user_space(workload, opts.scale);
+            for &size in &sizes {
+                for &t in &threads {
+                    let recorder = Arc::new(nbbs_obs::Recorder::new());
+                    let cache = Arc::new(
+                        MagazineCache::with_config_and_name(
+                            FaultInjecting::new(
+                                NbbsFourLevel::new(sweep.memory),
+                                FaultPlan::storm(seed),
+                            ),
+                            CacheConfig::default(),
+                            "chaos-cached-4lvl",
+                        )
+                        .with_recorder(Arc::clone(&recorder)),
+                    );
+                    let shared: SharedBackend = Arc::clone(&cache) as SharedBackend;
+                    if opts.verbose {
+                        eprintln!(
+                            "[nbbs-bench] chaos/{} seed={seed:#018x} size={size} threads={t} ...",
+                            workload.name()
+                        );
+                    }
+                    let result = workload.run(&shared, t, size, opts.scale);
+                    let faults = cache.backend().fault_stats();
+                    cache.backend().disarm();
+                    cache.drain_all();
+                    let audit = verify_cached_empty(&cache);
+                    // Stranded-capacity probe: a freshly drained arena must
+                    // serve a max-class block again.
+                    let max = sweep.memory.max_size();
+                    let probe = cache.alloc(max);
+                    if let Some(off) = probe {
+                        cache.dealloc(off);
+                        cache.drain_all();
+                    }
+                    if !audit.is_clean() || cache.allocated_bytes() != 0 || probe.is_none() {
+                        println!(
+                            "REPRO: nbbs-bench chaos --seed {seed:#018x} --rounds 1 \
+                             --threads {t} --sizes {size} --scale {}",
+                            opts.scale
+                        );
+                        println!(
+                            "  audit: {audit:?}  allocated_bytes={}",
+                            cache.allocated_bytes()
+                        );
+                        print!("{}", recorder.flight().render());
+                        std::process::exit(1);
+                    }
+                    let m = Measurement::new(
+                        format!("chaos/{}", workload.name()),
+                        "chaos-cached-4lvl",
+                        size,
+                        result,
+                    )
+                    .with_cache(cache.cache_stats())
+                    .with_backend_ops(cache.stats());
+                    if opts.verbose {
+                        eprintln!(
+                            "[nbbs-bench]   -> {m} (injected: {} failures, {} oom, \
+                             {} delays over {} gated ops)",
+                            faults.injected_failures,
+                            faults.injected_oom,
+                            faults.injected_delays,
+                            faults.ops,
+                        );
+                    }
+                    measurements.push(m);
+                }
+            }
+        }
+        println!("[chaos] round {round} seed={seed:#018x} clean");
+    }
+    print!("{}", report::text_table(&measurements, Metric::Seconds));
+    let cache_table = report::cache_table(&measurements);
+    if !cache_table.is_empty() {
+        println!("Magazine-cache behaviour under injected faults:");
+        print!("{cache_table}");
+    }
+    measurements
+}
+
+/// Zero-cost-when-disabled A/B: Larson over the cached tree with a
+/// *disarmed* `FaultInjecting` wrapper in the stack vs the bare cached
+/// tree.  Same seven alternating rounds / min-gap estimator as
+/// `obs-overhead` (noise only ever slows a run, so the minimum per-round
+/// gap is the reproducible wrapper cost); CI gates the printed
+/// `overhead_pct=` at 5%.
+fn chaos_overhead(opts: &Options) -> Vec<Measurement> {
+    println!("\n=== Chaos overhead: Larson, disarmed fault wrapper vs bare ===");
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![4]);
+    let sizes = opts.sizes.clone().unwrap_or_else(|| vec![128]);
+    let mut measurements = Vec::new();
+    for &size in &sizes {
+        for &t in &threads {
+            let sweep = SweepConfig::user_space(Workload::Larson, opts.scale);
+            let run_bare = || {
+                let alloc: SharedBackend = Arc::new(MagazineCache::with_config_and_name(
+                    NbbsFourLevel::new(sweep.memory),
+                    CacheConfig::default(),
+                    "cached-4lvl",
+                ));
+                Workload::Larson.run(&alloc, t, size, opts.scale)
+            };
+            let run_wrapped = || {
+                let injected = FaultInjecting::inert(NbbsFourLevel::new(sweep.memory));
+                injected.disarm();
+                let alloc: SharedBackend = Arc::new(MagazineCache::with_config_and_name(
+                    injected,
+                    CacheConfig::default(),
+                    "chaos-disarmed",
+                ));
+                Workload::Larson.run(&alloc, t, size, opts.scale)
+            };
+            let mut rounds = Vec::new();
+            let (mut best_off, mut best_on): (
+                Option<nbbs_workloads::measure::WorkloadResult>,
+                Option<nbbs_workloads::measure::WorkloadResult>,
+            ) = (None, None);
+            for round in 0..7 {
+                // Alternate order each round, as in obs-overhead: back-to-
+                // back runs are not exchangeable on a busy host.
+                let (off, on) = if round % 2 == 0 {
+                    let off = run_bare();
+                    (off, run_wrapped())
+                } else {
+                    let on = run_wrapped();
+                    (run_bare(), on)
+                };
+                let off_kops = off.kops_per_sec();
+                let on_kops = on.kops_per_sec();
+                if off_kops > 0.0 {
+                    rounds.push((off_kops - on_kops) / off_kops * 100.0);
+                }
+                for (slot, r) in [(&mut best_off, off), (&mut best_on, on)] {
+                    if slot
+                        .as_ref()
+                        .is_none_or(|b| r.kops_per_sec() > b.kops_per_sec())
+                    {
+                        *slot = Some(r);
+                    }
+                }
+            }
+            let off = best_off.expect("seven rounds ran");
+            let on = best_on.expect("seven rounds ran");
+            let floor = rounds.iter().copied().fold(f64::INFINITY, f64::min);
+            let overhead = if floor.is_finite() { floor } else { 0.0 };
+            println!(
+                "[chaos-overhead] larson size={size} threads={t} \
+                 off_kops={:.1} on_kops={:.1} rounds={} overhead_pct={overhead:.2}",
+                off.kops_per_sec(),
+                on.kops_per_sec(),
+                rounds
+                    .iter()
+                    .map(|r| format!("{r:.1}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            measurements.push(Measurement::new(
+                "chaos-overhead/off",
+                "cached-4lvl",
+                size,
+                off,
+            ));
+            measurements.push(Measurement::new(
+                "chaos-overhead/on",
+                "chaos-disarmed",
+                size,
+                on,
+            ));
+        }
+    }
+    measurements
+}
+
 fn write_outputs(
     measurements: &[Measurement],
     opts: &Options,
@@ -682,7 +918,7 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|fig13|all|obs-overhead|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
+            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|fig13|all|obs-overhead|chaos|chaos-overhead|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
             return ExitCode::FAILURE;
         }
     };
@@ -726,6 +962,8 @@ fn main() -> ExitCode {
             (all, Metric::Seconds)
         }
         "obs-overhead" => (obs_overhead(&opts), Metric::KopsPerSec),
+        "chaos" => (chaos(&opts), Metric::Seconds),
+        "chaos-overhead" => (chaos_overhead(&opts), Metric::KopsPerSec),
         "ablation-scan" => (ablation_scan(&opts), Metric::Seconds),
         "ablation-rmw" => (ablation_rmw(&opts), Metric::Seconds),
         "ablation-frag" => (ablation_frag(&opts), Metric::Seconds),

@@ -10,8 +10,9 @@
 //! real backing memory, inspecting occupancy, sharing the allocator across
 //! threads without any locking, interposing the magazine cache
 //! (`nbbs-cache`), topping it with the layout-aware facade (`nbbs-alloc`),
-//! carrying the whole stack across NUMA nodes (`nbbs-numa`), and watching
-//! it run with the observability layer (`nbbs-obs`).
+//! carrying the whole stack across NUMA nodes (`nbbs-numa`), watching it
+//! run with the observability layer (`nbbs-obs`), and storm-testing it
+//! with deterministic fault injection (`nbbs-chaos`).
 
 use std::sync::Arc;
 
@@ -356,5 +357,83 @@ fn main() {
     println!(
         "flight recorder holds {} thread ring(s) of recent operations",
         recorder.flight().events().len()
+    );
+
+    // ------------------------------------------------------------------
+    // 11. Chaos engineering (`nbbs-chaos`): wrap any backend in
+    //     `FaultInjecting` and a *seeded* `FaultPlan` turns backend
+    //     operations into transient failures, hard OOMs, delays — or, in a
+    //     `panic_storm`, panics that unwind mid-refill.  The schedule is a
+    //     pure function of the seed, so a failure observed once is a
+    //     failure you can replay forever: the soak harnesses print
+    //     `REPRO: seed 0x…` lines, and re-running with that seed (e.g.
+    //     `cargo run --release --example chaos_soak 1 4 4000 0x<seed>`, or
+    //     `nbbs-bench chaos --seed 0x<seed>`) regenerates the identical
+    //     storm.  The layers above degrade instead of breaking: the cache
+    //     retries transient misses with jittered backoff and rescues
+    //     chunks orphaned by panics, and the facade serves injected hard
+    //     OOM from its emergency reserve.
+    // ------------------------------------------------------------------
+    use nbbs_chaos::{FaultInjecting, FaultPlan};
+
+    let seed = 0x5EED_CAFE;
+    // Carve the emergency reserve before arming the storm, then let the
+    // injected hard OOMs land on the serving path.
+    let injected = FaultInjecting::new(NbbsFourLevel::new(config), FaultPlan::storm(seed));
+    injected.disarm();
+    let hardened = NbbsAllocator::new(injected).with_reserve(4, 4096);
+    hardened.backend().arm();
+    let layout = Layout::from_size_align(256, 64).unwrap();
+    let mut served = 0u32;
+    let mut held = Vec::new();
+    for _ in 0..10_000 {
+        if let Ok(block) = hardened.allocate(layout) {
+            served += 1;
+            held.push(block);
+        }
+        if held.len() > 16 {
+            unsafe { hardened.deallocate(held.swap_remove(0).cast(), layout) };
+        }
+    }
+    for block in held.drain(..) {
+        unsafe { hardened.deallocate(block.cast(), layout) };
+    }
+    let faults = hardened.backend().fault_stats();
+    let reserve = hardened.reserve_stats().expect("reserve was carved");
+    println!(
+        "chaos: seed {seed:#x} injected {} transient failures + {} hard OOMs \
+         over {} gated ops; {served} requests still served \
+         ({} from the emergency reserve, {} refills)",
+        faults.injected_failures, faults.injected_oom, faults.ops, reserve.hits, reserve.refills
+    );
+    assert_eq!(hardened.allocated_bytes(), 0);
+
+    // Determinism is the whole point: the same seed over the same request
+    // sequence injects the exact same faults, down to the last counter.
+    let storm_run = |seed: u64| {
+        let rerun = NbbsAllocator::new(FaultInjecting::new(
+            NbbsFourLevel::new(config),
+            FaultPlan::storm(seed),
+        ));
+        let mut held = Vec::new();
+        for _ in 0..10_000 {
+            if let Ok(block) = rerun.allocate(layout) {
+                held.push(block);
+            }
+            if held.len() > 16 {
+                unsafe { rerun.deallocate(held.swap_remove(0).cast(), layout) };
+            }
+        }
+        for block in held {
+            unsafe { rerun.deallocate(block.cast(), layout) };
+        }
+        rerun.backend().fault_stats()
+    };
+    let (first, replay) = (storm_run(seed), storm_run(seed));
+    assert_eq!(first, replay, "seeded fault schedules must replay exactly");
+    println!(
+        "chaos replay: {} failures + {} OOMs + {} delays over {} gated ops, \
+         twice, identically",
+        replay.injected_failures, replay.injected_oom, replay.injected_delays, replay.ops
     );
 }

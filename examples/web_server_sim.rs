@@ -177,6 +177,9 @@ fn simulate(label: &str, alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: 
         grows_moved: stats.grows_moved,
         shrinks_in_place: stats.shrinks_in_place,
         shrinks_moved: stats.shrinks_moved,
+        system_failovers: 0,
+        reserve_hits: 0,
+        reserve_refills: 0,
     });
     registry.set_recorder(Arc::clone(&recorder));
     println!("{}", registry.snapshot().text_table());

@@ -2,10 +2,18 @@
 //! invalid requests, invalid frees, recovery after out-of-memory, and
 //! multi-instance fallback behaviour.
 
+use std::alloc::Layout;
+use std::ptr::NonNull;
+
+use proptest::prelude::*;
+
 use nbbs::error::{AllocError, FreeError};
 #[allow(deprecated)]
 use nbbs::MultiInstance;
-use nbbs::{BuddyBackend, BuddyConfig, NbbsOneLevel};
+use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel};
+use nbbs_alloc::NbbsAllocator;
+use nbbs_cache::MagazineCache;
+use nbbs_numa::{NodePolicy, NodeSet, Topology};
 use nbbs_workloads::factory::{build, AllocatorKind};
 use nbbs_workloads::rng::SplitMix64;
 
@@ -202,6 +210,163 @@ fn zero_sized_and_tiny_requests_round_up_to_the_unit() {
             alloc.dealloc(off);
         }
         assert_eq!(alloc.allocated_bytes(), 0);
+    }
+}
+
+#[test]
+fn exhaustion_surfaces_oom_through_the_cached_facade_and_recovers() {
+    // The production stack: Layout-aware facade over the magazine cache
+    // over the 4-level tree.  Exhaustion must surface as a typed hard OOM
+    // (not a panic, not a wedged cache), oversize as TooLarge, and freeing
+    // everything must restore the full region — including the chunks that
+    // were parked in magazines along the way.
+    const TOTAL: usize = 1 << 16;
+    const UNIT: usize = 64;
+    let cfg = BuddyConfig::new(TOTAL, UNIT, 1 << 14).unwrap();
+    let alloc = NbbsAllocator::new(MagazineCache::new(NbbsFourLevel::new(cfg)));
+    let layout = Layout::from_size_align(UNIT, UNIT).unwrap();
+
+    let mut held: Vec<NonNull<u8>> = Vec::new();
+    while let Ok(block) = alloc.allocate(layout) {
+        held.push(block.cast());
+        assert!(held.len() <= TOTAL / UNIT, "cached facade over-allocated");
+    }
+    // Magazines cannot hide capacity from a persistent caller: every unit
+    // ends up served before the facade reports OOM.
+    assert_eq!(held.len(), TOTAL / UNIT, "cached facade under-utilized");
+    assert!(matches!(
+        alloc.allocate(layout),
+        Err(AllocError::OutOfMemory { .. })
+    ));
+    assert!(matches!(
+        alloc.allocate(Layout::from_size_align(1 << 15, 8).unwrap()),
+        Err(AllocError::TooLarge { .. })
+    ));
+
+    // Scattered half-free, then proportional reuse through the cache.
+    let mut rng = SplitMix64::new(17);
+    for _ in 0..held.len() / 2 {
+        let ptr = held.swap_remove(rng.next_below(held.len()));
+        unsafe { alloc.deallocate(ptr, layout) };
+    }
+    let mut reacquired = Vec::new();
+    for _ in 0..TOTAL / UNIT / 2 {
+        reacquired.push(
+            alloc
+                .allocate(layout)
+                .expect("freed capacity must be reusable through the cache")
+                .cast::<u8>(),
+        );
+    }
+    for ptr in held.into_iter().chain(reacquired) {
+        unsafe { alloc.deallocate(ptr, layout) };
+    }
+    assert_eq!(alloc.allocated_bytes(), 0);
+
+    // Full recovery: drain the magazines and the whole region coalesces.
+    alloc.backend().drain_cache();
+    let whole = alloc
+        .allocate(Layout::from_size_align(1 << 14, 8).unwrap())
+        .expect("drained region must serve a max-class block");
+    unsafe { alloc.deallocate(whole.cast(), Layout::from_size_align(1 << 14, 8).unwrap()) };
+}
+
+#[test]
+fn exhaustion_surfaces_oom_through_the_nodeset_and_recovers() {
+    // Multi-node deployment: exhausting every node must report OOM (after
+    // remote fallback has genuinely tried them all), oversize must be
+    // TooLarge, and scattered frees must restore capacity on both nodes.
+    const PER_NODE: usize = 1 << 14;
+    const UNIT: usize = 64;
+    let per = BuddyConfig::new(PER_NODE, UNIT, 1 << 12).unwrap();
+    let set = NodeSet::with_topology(
+        (0..2).map(|_| NbbsFourLevel::new(per)).collect(),
+        Topology::synthetic(2),
+        NodePolicy::HomeFirst,
+    );
+    let mut held = Vec::new();
+    while let Some(off) = set.alloc(UNIT) {
+        held.push(off);
+        assert!(
+            held.len() <= set.total_memory() / UNIT,
+            "NodeSet over-allocated"
+        );
+    }
+    assert_eq!(
+        held.len(),
+        set.total_memory() / UNIT,
+        "remote fallback left capacity stranded on a node"
+    );
+    assert!(matches!(
+        set.try_alloc(UNIT),
+        Err(AllocError::OutOfMemory { .. })
+    ));
+    assert!(matches!(
+        set.try_alloc(set.max_size() * 2),
+        Err(AllocError::TooLarge { .. })
+    ));
+
+    let mut rng = SplitMix64::new(23);
+    for _ in 0..held.len() / 2 {
+        let off = held.swap_remove(rng.next_below(held.len()));
+        set.dealloc(off);
+    }
+    for _ in 0..set.total_memory() / UNIT / 2 {
+        held.push(
+            set.alloc(UNIT)
+                .expect("freed capacity must be reusable across nodes"),
+        );
+    }
+    for off in held {
+        set.dealloc(off);
+    }
+    assert_eq!(set.allocated_bytes(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dirty-reuse property: `allocate_zeroed` must always hand back all-
+    /// zero memory even when the chunk it reuses was just scribbled on and
+    /// round-tripped through a magazine (the cache returns recycled chunks
+    /// without touching the backing bytes — zeroing is the facade's job).
+    #[test]
+    fn allocate_zeroed_never_leaks_dirty_bytes(ops in collection::vec((1usize..=2048, 0usize..=2), 1..200)) {
+        let cfg = BuddyConfig::new(1 << 16, 64, 1 << 14).unwrap();
+        let alloc = NbbsAllocator::new(MagazineCache::new(NbbsFourLevel::new(cfg)));
+        let mut live: Vec<(NonNull<u8>, Layout)> = Vec::new();
+        for (size, action) in ops {
+            if action == 2 || live.len() > 24 {
+                if live.is_empty() {
+                    continue;
+                }
+                let (ptr, layout) = live.swap_remove(size % live.len());
+                unsafe { alloc.deallocate(ptr, layout) };
+                continue;
+            }
+            let layout = Layout::from_size_align(size, 8).unwrap();
+            let block = if action == 1 {
+                alloc.allocate_zeroed(layout)
+            } else {
+                alloc.allocate(layout)
+            };
+            let Ok(block) = block else { continue };
+            let ptr = block.cast::<u8>();
+            if action == 1 {
+                for i in 0..size {
+                    let byte = unsafe { ptr.as_ptr().add(i).read() };
+                    prop_assert_eq!(byte, 0, "dirty byte at offset {} of a zeroed {}-byte block", i, size);
+                }
+            }
+            // Scribble over the whole block so any future reuse of this
+            // chunk starts from maximally dirty bytes.
+            unsafe { std::ptr::write_bytes(ptr.as_ptr(), 0xAA, size) };
+            live.push((ptr, layout));
+        }
+        for (ptr, layout) in live {
+            unsafe { alloc.deallocate(ptr, layout) };
+        }
+        prop_assert_eq!(alloc.allocated_bytes(), 0);
     }
 }
 
