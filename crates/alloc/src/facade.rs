@@ -63,7 +63,11 @@ impl FacadeStatsSnapshot {
 ///   buddy blocks are naturally aligned to their own size and the region
 ///   base is `max_size`-aligned, so rounding a request to
 ///   `max(size, align)` guarantees the alignment for free — no fallback
-///   allocator, no alignment headers.
+///   allocator, no alignment headers.  A backend whose grants are *not*
+///   naturally aligned (a slab front-end's spaced size classes) reports so
+///   through [`BuddyBackend::grant_alignment_for`], and the facade bumps
+///   the request to the next power of two — present in every grant ladder
+///   — restoring the guarantee.
 /// * **`grow`/`shrink` resolve in place whenever the granted block already
 ///   covers the new layout.**  The granted size is a pure function of the
 ///   request size ([`BuddyBackend::granted_size_for`]), so the decision is
@@ -156,18 +160,37 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
         &self.region
     }
 
-    /// The buddy request size for `layout`: rounding to `max(size, align)`
-    /// makes the naturally-aligned buddy block satisfy the alignment.
+    /// The buddy request size for `layout` before any alignment bump:
+    /// rounding to `max(size, align)` makes a *naturally aligned*
+    /// (power-of-two) grant satisfy the alignment for free.
     #[inline]
-    pub(crate) fn request_size(layout: Layout) -> usize {
+    pub(crate) fn base_request_size(layout: Layout) -> usize {
         layout.size().max(layout.align()).max(1)
     }
 
-    /// The power-of-two size the backend grants a request of `layout`, or
-    /// `None` if the layout exceeds the per-request maximum.
+    /// The request size actually sent to the backend for `layout`.
+    ///
+    /// Starts from [`Self::base_request_size`].  When the backend's grant
+    /// for that size is not naturally aligned far enough — a slab
+    /// front-end's spaced classes (say 96 bytes) guarantee only their
+    /// granule alignment — the request is bumped to the next power of two:
+    /// every grant ladder contains the powers of two in its range, and a
+    /// power-of-two grant is aligned to its own size.
+    #[inline]
+    pub(crate) fn request_size(&self, layout: Layout) -> usize {
+        let want = Self::base_request_size(layout);
+        match self.backend().grant_alignment_for(want) {
+            Some(align) if align < layout.align() => want.next_power_of_two(),
+            _ => want,
+        }
+    }
+
+    /// The size the backend grants a request of `layout` — the size class
+    /// under a slab front-end, a power of two otherwise — or `None` if the
+    /// layout exceeds the per-request maximum.
     #[inline]
     pub fn granted_size(&self, layout: Layout) -> Option<usize> {
-        self.backend().granted_size_for(Self::request_size(layout))
+        self.backend().granted_size_for(self.request_size(layout))
     }
 
     /// Whether `ptr` points into the facade's region.
@@ -209,7 +232,7 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             rec.record_since(
                 OpKind::Alloc,
                 t0,
-                size_detail(Self::request_size(layout)),
+                size_detail(Self::base_request_size(layout)),
                 OpOutcome::from_ok(out.is_ok()),
             );
         }
@@ -220,7 +243,7 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
     /// building block `grow`/`shrink` use so a moved realloc records as one
     /// event of its own kind.
     fn allocate_inner(&self, layout: Layout) -> Result<NonNull<[u8]>, AllocError> {
-        let want = Self::request_size(layout);
+        let want = self.request_size(layout);
         let granted = self
             .backend()
             .granted_size_for(want)
@@ -279,7 +302,7 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             rec.record_since(
                 OpKind::Free,
                 t0,
-                size_detail(Self::request_size(layout)),
+                size_detail(Self::base_request_size(layout)),
                 OpOutcome::Ok,
             );
         }
@@ -330,7 +353,7 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             rec.record_since(
                 OpKind::Grow,
                 t0,
-                size_detail(Self::request_size(new_layout)),
+                size_detail(Self::base_request_size(new_layout)),
                 OpOutcome::from_ok(out.is_ok()),
             );
         }
@@ -344,15 +367,17 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
         new_layout: Layout,
     ) -> Result<NonNull<[u8]>, AllocError> {
         debug_assert!(new_layout.size() >= old_layout.size());
-        let new_want = Self::request_size(new_layout);
+        let new_want = self.request_size(new_layout);
         if let Some(granted) = self
             .backend()
-            .granted_size_for(Self::request_size(old_layout))
+            .granted_size_for(self.request_size(old_layout))
         {
-            // In place: the block is `granted` bytes and `granted`-aligned,
-            // so `new_want <= granted` covers both the size and (since
-            // align <= new_want) the alignment of the new layout.
-            if new_want <= granted {
+            // In place: the block is `granted` bytes, so `new_want <=
+            // granted` covers the size.  The alignment is checked on the
+            // pointer itself — a spaced slab class is only granule-aligned,
+            // so "the block is big enough" no longer implies "the block is
+            // aligned enough" when the new layout raises the alignment.
+            if new_want <= granted && (ptr.as_ptr() as usize).is_multiple_of(new_layout.align()) {
                 self.grows_in_place.fetch_add(1, Ordering::Relaxed);
                 return Ok(NonNull::slice_from_raw_parts(ptr, granted));
             }
@@ -397,7 +422,7 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             rec.record_since(
                 OpKind::Shrink,
                 t0,
-                size_detail(Self::request_size(new_layout)),
+                size_detail(Self::base_request_size(new_layout)),
                 OpOutcome::from_ok(out.is_ok()),
             );
         }
@@ -411,20 +436,22 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
         new_layout: Layout,
     ) -> Result<NonNull<[u8]>, AllocError> {
         debug_assert!(new_layout.size() <= old_layout.size());
-        let new_want = Self::request_size(new_layout);
+        let new_want = self.request_size(new_layout);
         let Some(granted) = self
             .backend()
-            .granted_size_for(Self::request_size(old_layout))
+            .granted_size_for(self.request_size(old_layout))
         else {
             // Unreachable for a correctly-used facade (the old layout was
             // allocatable); keep the block rather than guess.
             self.shrinks_in_place.fetch_add(1, Ordering::Relaxed);
             return Ok(NonNull::slice_from_raw_parts(ptr, new_layout.size()));
         };
-        // A move is *required* when the new alignment outgrows the current
-        // block, and merely *profitable* when a smaller size class would
-        // release memory; same class means nothing to do.
-        let must_move = new_want > granted;
+        // A move is *required* when the new layout outgrows the current
+        // block (size, or an alignment the block's address does not meet),
+        // and merely *profitable* when a smaller size class would release
+        // memory; same class means nothing to do.
+        let aligned_in_place = (ptr.as_ptr() as usize).is_multiple_of(new_layout.align());
+        let must_move = new_want > granted || !aligned_in_place;
         if !must_move && self.backend().granted_size_for(new_want) == Some(granted) {
             self.shrinks_in_place.fetch_add(1, Ordering::Relaxed);
             return Ok(NonNull::slice_from_raw_parts(ptr, granted));
@@ -443,7 +470,8 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             Err(err) if must_move => Err(err),
             Err(_) => {
                 // Profitable move foiled by momentary fragmentation: keep
-                // the (larger) block in place rather than fail a shrink.
+                // the (larger, still correctly aligned) block in place
+                // rather than fail a shrink.
                 self.shrinks_in_place.fetch_add(1, Ordering::Relaxed);
                 Ok(NonNull::slice_from_raw_parts(ptr, granted))
             }
@@ -453,8 +481,9 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
 
 // SAFETY: blocks come either from the region (released back to it, matched
 // by address range) or from `System` (released to `System`).  Region blocks
-// are granted `max(size, align)` rounded up to a power of two and are
-// naturally aligned to that size, so every layout requirement is met; the
+// are granted at least `max(size, align)` bytes from a class whose natural
+// alignment covers the layout (`request_size` bumps the request to a power
+// of two when it would not), so every layout requirement is met; the
 // realloc override preserves the first `min(old, new)` bytes through either
 // the in-place or the copying path.
 unsafe impl<A: BuddyBackend> GlobalAlloc for NbbsAllocator<A> {

@@ -335,7 +335,10 @@ impl NbbsGlobalAlloc {
     /// above us on this thread's stack (possibly holding a slot lock), so
     /// go straight to the lock-free tree and fail over to `System`.
     unsafe fn raw_alloc(&self, state: &State, layout: Layout) -> *mut u8 {
-        let want = NbbsAllocator::<Arc<CachedTree>>::request_size(layout);
+        // The raw path serves straight from the power-of-two tree, whose
+        // grants are naturally aligned — no slab in the way, so the base
+        // request needs no alignment bump.
+        let want = NbbsAllocator::<Arc<CachedTree>>::base_request_size(layout);
         if want <= state.cache.backend().max_size() {
             if let Some(offset) = state.cache.backend().alloc(want) {
                 self.buddy_bytes

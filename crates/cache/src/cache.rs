@@ -127,9 +127,12 @@ pub struct MagazineCache<A: BuddyBackend> {
     backend: A,
     name: &'static str,
     config: CacheConfig,
-    /// Size classes: class `k` caches chunks of `min_size << k` bytes;
-    /// `class_count` classes are cached in total.
-    class_count: usize,
+    /// Cached size classes, ascending — probed from the backend's
+    /// [`BuddyBackend::granted_size_for`] ladder at construction, so the
+    /// table is the power-of-two orders for a plain tree and the spaced
+    /// slab classes when a slab front-end sits underneath.  Class `k`
+    /// caches chunks of exactly `classes[k]` bytes.
+    classes: Box<[usize]>,
     slots: Box<[CachePadded<Slot>]>,
     /// Depot shards, partitioned into `group_count` contiguous banks of
     /// `group_shards` shards each (one bank per NUMA-node group; a single
@@ -202,24 +205,34 @@ impl<A: BuddyBackend> MagazineCache<A> {
     /// Wraps `backend` under a custom report name (e.g. `"cached-4lvl-nb"`).
     pub fn with_config_and_name(backend: A, config: CacheConfig, name: &'static str) -> Self {
         let geo = *backend.geometry();
-        let min = geo.min_size();
         let cutoff = config
             .max_cached_size
             .unwrap_or(geo.max_size())
             .min(geo.max_size());
-        let class_count = if cutoff < min {
-            0
-        } else {
-            // Classes min << 0 ..= min << k with min << k <= cutoff.
-            (cutoff / min).ilog2() as usize + 1
-        };
+        // Probe the backend's grant ladder ascending: asking what a request
+        // of `probe` bytes would be granted yields the next class, and
+        // `granted + 1` lands the probe in the following one.  For a plain
+        // tree this reconstructs exactly the old power-of-two table
+        // (min_size << k); for a slab front-end it picks up the spaced
+        // sub-power-of-two classes, so cached chunks stay class-exact.
+        let mut classes = Vec::new();
+        let mut probe = 1usize;
+        while let Some(granted) = backend.granted_size_for(probe) {
+            if granted > cutoff || granted < probe {
+                break;
+            }
+            classes.push(granted);
+            probe = granted + 1;
+        }
+        let classes: Box<[usize]> = classes.into();
         let slot_count = config.resolved_slots();
         let slots = (0..slot_count)
             .map(|_| {
                 CachePadded::new(Slot {
                     mags: SpinLock::new(
-                        (0..class_count)
-                            .map(|c| ClassMags::new(config.capacity_for(min << c)))
+                        classes
+                            .iter()
+                            .map(|&size| ClassMags::new(config.capacity_for(size)))
                             .collect(),
                     ),
                     bytes: AtomicUsize::new(0),
@@ -234,11 +247,12 @@ impl<A: BuddyBackend> MagazineCache<A> {
             FlushPolicy::Direct => 0,
         };
         let shards = (0..shard_count)
-            .map(|_| CachePadded::new(DepotShard::new(class_count, depot_capacity)))
+            .map(|_| CachePadded::new(DepotShard::new(classes.len(), depot_capacity)))
             .collect();
-        let ctl = (0..class_count)
-            .map(|c| ClassCtl {
-                cap: AtomicUsize::new(config.capacity_for(min << c)),
+        let ctl = classes
+            .iter()
+            .map(|&size| ClassCtl {
+                cap: AtomicUsize::new(config.capacity_for(size)),
                 spills: AtomicUsize::new(0),
             })
             .collect();
@@ -249,7 +263,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
             backend,
             name,
             config,
-            class_count,
+            classes,
             slots,
             shards,
             group_count,
@@ -297,9 +311,9 @@ impl<A: BuddyBackend> MagazineCache<A> {
         &self.config
     }
 
-    /// Number of cached size classes (buddy orders).
+    /// Number of cached size classes.
     pub fn class_count(&self) -> usize {
-        self.class_count
+        self.classes.len()
     }
 
     /// Number of thread slots.
@@ -356,7 +370,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
     /// `(class_size, capacity)` pairs in ascending class order — the data
     /// behind the per-class convergence table in `nbbs-bench fig13`.
     pub fn class_capacities(&self) -> Vec<(usize, usize)> {
-        (0..self.class_count)
+        (0..self.classes.len())
             .map(|c| (self.class_size(c), self.magazine_capacity(c)))
             .collect()
     }
@@ -391,16 +405,15 @@ impl<A: BuddyBackend> MagazineCache<A> {
     /// Size in bytes of class `class`.
     #[inline]
     fn class_size(&self, class: usize) -> usize {
-        self.backend.geometry().min_size() << class
+        self.classes[class]
     }
 
     /// Size class caching chunks of exactly `granted` bytes, if cached.
+    /// Granted sizes above the cutoff (or from a backend whose ladder the
+    /// probe did not see) simply are not in the table and pass through.
     #[inline]
     fn class_of_granted(&self, granted: usize) -> Option<usize> {
-        let min = self.backend.geometry().min_size();
-        debug_assert!(granted.is_power_of_two() && granted >= min);
-        let class = (granted / min).ilog2() as usize;
-        (class < self.class_count).then_some(class)
+        self.classes.binary_search(&granted).ok()
     }
 
     /// The adaptive capacity ceiling of `class`: the configured maximum,
@@ -870,7 +883,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
         let _inspecting = self.inspect_lock.lock();
         let mut drained = Vec::new();
         for shard in self.shards.iter() {
-            for class in 0..self.class_count {
+            for class in 0..self.classes.len() {
                 let class_size = self.class_size(class);
                 for mut m in shard.drain_class(class, class_size) {
                     for off in m.take_all() {
@@ -927,7 +940,7 @@ impl<A: BuddyBackend> MagazineCache<A> {
         // inspection and simply fall through to the backend.
         let _inspecting = self.inspect_lock.lock();
         for shard in self.shards.iter() {
-            for class in 0..self.class_count {
+            for class in 0..self.classes.len() {
                 let class_size = self.class_size(class);
                 let mags = shard.drain_class(class, class_size);
                 let mut stop = false;
@@ -1039,10 +1052,15 @@ impl<A: BuddyBackend> BuddyBackend for MagazineCache<A> {
     }
 
     fn alloc(&self, size: usize) -> Option<usize> {
-        let geo = self.backend.geometry();
-        let level = geo.target_level(size)?;
-        let granted = geo.size_of_level(level);
-        match self.class_of_granted(granted) {
+        // The backend names the class: `granted_size_for` is the same ladder
+        // the constructor probed, so a hit here is a magazine class by
+        // construction — power-of-two orders over a plain tree, slab classes
+        // over a slab front-end.
+        match self
+            .backend
+            .granted_size_for(size)
+            .and_then(|granted| self.class_of_granted(granted))
+        {
             Some(class) => self.alloc_cached(class),
             None => self.backend.alloc(size),
         }
@@ -1123,6 +1141,20 @@ impl<A: BuddyBackend> BuddyBackend for MagazineCache<A> {
         self.backend.granted_size_of_live(offset)
     }
 
+    fn granted_size_for(&self, size: usize) -> Option<usize> {
+        // Forwarded, not derived from the geometry: a slab front-end
+        // underneath grants spaced (non-power-of-two) classes.
+        self.backend.granted_size_for(size)
+    }
+
+    fn grant_alignment_for(&self, size: usize) -> Option<usize> {
+        self.backend.grant_alignment_for(size)
+    }
+
+    fn frag_stats(&self) -> Option<nbbs::FragStatsSnapshot> {
+        self.backend.frag_stats()
+    }
+
     fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
         Some(self.snapshot())
     }
@@ -1168,7 +1200,7 @@ impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for MagazineCache<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MagazineCache")
             .field("name", &self.name)
-            .field("classes", &self.class_count)
+            .field("classes", &self.classes)
             .field("slots", &self.slots.len())
             .field("shards", &self.shards.len())
             .field("budget", &self.budget)

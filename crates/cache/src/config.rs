@@ -113,16 +113,27 @@ pub struct CacheConfig {
     pub slots: Option<usize>,
     /// Overflow/refill policy.
     pub flush_policy: FlushPolicy,
-    /// Bounded depot-shard work-stealing (default **off**).
+    /// Bounded depot-shard work-stealing (default **off** — measured, not
+    /// assumed; see below).
     ///
     /// When a refill finds both magazines empty *and* the caller's own depot
     /// shard dry, the cache normally walks the backend tree.  With stealing
     /// enabled it first tries to pop **one** full magazine from the other
     /// shards, nearest ring neighbour first — trading a little cross-group
     /// chunk circulation (the very thing sharding exists to avoid) for one
-    /// saved batched tree walk.  Off by default per the "measure before
-    /// adopting" rule: the fig13 cache table reports the before/after
-    /// backend-flush counts (`steals` vs `misses`/`flushed`).
+    /// saved batched tree walk.
+    ///
+    /// The off default was decided from the committed `BENCH_<date>.json`
+    /// baseline (the `cached-4lvl/s4` vs `cached-4lvl/s4+steal` rows of the
+    /// fig13 depot sweep): across the Larson grid (sizes 8/128/1024 B,
+    /// 4–32 threads) stealing cost a **median 12% throughput** (mean −5%,
+    /// spread −41%…+56%) and bought no consistent p99.9 improvement — the
+    /// tree's batched refill walk is already cheap enough that scanning
+    /// foreign shards mostly adds contention on their stack heads.  Flip it
+    /// on only for workloads whose producer/consumer imbalance leaves whole
+    /// shards persistently full while others run dry, and re-measure: the
+    /// fig13 cache table reports the before/after backend-flush counts
+    /// (`steals` vs `misses`/`flushed`).
     pub depot_steal: bool,
     /// Whether the per-class magazine capacity adapts to the observed
     /// spill/pressure behaviour (Bonwick dynamic resizing).  When `false`

@@ -121,5 +121,7 @@ pub use multi::nearest_first_order;
 pub use multi::MultiInstance;
 pub use onelvl::NbbsOneLevel;
 pub use region::BuddyRegion;
-pub use stats::{CacheStatsSnapshot, OpStats, OpStatsSnapshot, CAS_LEVELS};
+pub use stats::{
+    CacheStatsSnapshot, FragClassSnapshot, FragStatsSnapshot, OpStats, OpStatsSnapshot, CAS_LEVELS,
+};
 pub use traits::{BuddyBackend, TreeInspect};

@@ -252,6 +252,129 @@ impl fmt::Display for CacheStatsSnapshot {
     }
 }
 
+/// Per-size-class fragmentation counters of a slab front-end layered over a
+/// buddy backend (the `nbbs-slab` crate).
+///
+/// `bytes_requested` is what callers asked for; `bytes_committed` is what the
+/// class actually spent (one `class_size` per object served).  Both are
+/// cumulative over the instance's lifetime (a release does not know the
+/// original request size, so live-only accounting is impossible without a
+/// per-object side table); their ratio is the internal-fragmentation overhead
+/// the slab exists to kill — ≤ 1.25 for spaced classes vs up to 2.0 for pure
+/// power-of-two rounding.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FragClassSnapshot {
+    /// The class's object size in bytes.
+    pub class_size: usize,
+    /// Sum of the raw request sizes served from this class (cumulative).
+    pub bytes_requested: u64,
+    /// `objects_served × class_size` — what those requests actually occupied
+    /// (cumulative).
+    pub bytes_committed: u64,
+    /// Objects currently handed out from this class (a gauge, not a
+    /// cumulative counter).
+    pub live_objects: u64,
+}
+
+impl FragClassSnapshot {
+    /// `bytes_committed / bytes_requested`, or 0 when nothing is live.
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_requested == 0 {
+            0.0
+        } else {
+            self.bytes_committed as f64 / self.bytes_requested as f64
+        }
+    }
+}
+
+/// A point-in-time copy of the fragmentation counters of a slab front-end,
+/// exposed through [`crate::BuddyBackend::frag_stats`] so reports can render
+/// the per-class table through `dyn BuddyBackend` without downcasting.
+///
+/// Defined here, next to [`CacheStatsSnapshot`], for the same reason: the
+/// core crate owns the hook surface, the `nbbs-slab` crate fills it in.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FragStatsSnapshot {
+    /// Per-class counters in ascending `class_size` order.
+    pub classes: Vec<FragClassSnapshot>,
+    /// Buddy pages currently held by the slab (partial, full, or kept-empty
+    /// under the reclaim hysteresis).
+    pub pages_live: u64,
+    /// Fully-free pages retired back to the buddy over the instance's
+    /// lifetime (the hysteresis kept at most K per class; the rest flowed
+    /// back for large requests).
+    pub pages_retired: u64,
+    /// Requests above the slab cutoff passed straight through to the buddy.
+    pub passthrough_allocs: u64,
+}
+
+impl FragStatsSnapshot {
+    /// Sum of `bytes_requested` across classes.
+    pub fn bytes_requested(&self) -> u64 {
+        self.classes.iter().map(|c| c.bytes_requested).sum()
+    }
+
+    /// Sum of `bytes_committed` across classes.
+    pub fn bytes_committed(&self) -> u64 {
+        self.classes.iter().map(|c| c.bytes_committed).sum()
+    }
+
+    /// Objects currently live across all classes.
+    pub fn live_objects(&self) -> u64 {
+        self.classes.iter().map(|c| c.live_objects).sum()
+    }
+
+    /// Overall `bytes_committed / bytes_requested`, or 0 when nothing has
+    /// been served.  ≤ 1.25 by construction of the spaced class table.
+    pub fn ratio(&self) -> f64 {
+        let req = self.bytes_requested();
+        if req == 0 {
+            0.0
+        } else {
+            self.bytes_committed() as f64 / req as f64
+        }
+    }
+
+    /// Accumulates `other` into `self`, aligning classes by size — the
+    /// [`CacheStatsSnapshot::merge`] analogue for per-node slab instances.
+    pub fn merge(&mut self, other: &FragStatsSnapshot) {
+        for oc in &other.classes {
+            match self
+                .classes
+                .iter_mut()
+                .find(|c| c.class_size == oc.class_size)
+            {
+                Some(c) => {
+                    c.bytes_requested += oc.bytes_requested;
+                    c.bytes_committed += oc.bytes_committed;
+                    c.live_objects += oc.live_objects;
+                }
+                None => self.classes.push(*oc),
+            }
+        }
+        self.classes.sort_by_key(|c| c.class_size);
+        self.pages_live += other.pages_live;
+        self.pages_retired += other.pages_retired;
+        self.passthrough_allocs += other.passthrough_allocs;
+    }
+}
+
+impl fmt::Display for FragStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requested={} committed={} ratio={:.3} live={} pages={} retired={} passthrough={}",
+            self.bytes_requested(),
+            self.bytes_committed(),
+            self.ratio(),
+            self.live_objects(),
+            self.pages_live,
+            self.pages_retired,
+            self.passthrough_allocs
+        )
+    }
+}
+
 macro_rules! recorder {
     ($(#[$doc:meta])* $name:ident, $field:ident) => {
         $(#[$doc])*

@@ -12,7 +12,7 @@
 
 use crate::error::{AllocError, FreeError};
 use crate::geometry::Geometry;
-use crate::stats::{CacheStatsSnapshot, OpStatsSnapshot};
+use crate::stats::{CacheStatsSnapshot, FragStatsSnapshot, OpStatsSnapshot};
 
 /// A concurrent back-end buddy allocator over a contiguous region.
 ///
@@ -115,9 +115,12 @@ pub trait BuddyBackend: Send + Sync {
         None
     }
 
-    /// The power-of-two size a request of `size` bytes *would* be granted,
-    /// without allocating anything, or `None` if the request exceeds the
-    /// per-request maximum.
+    /// The size a request of `size` bytes *would* be granted, without
+    /// allocating anything, or `None` if the request exceeds the per-request
+    /// maximum.  For the plain trees this is the smallest power of two able
+    /// to hold `size`; a slab front-end reports its (possibly non-power-of-
+    /// two) size class instead, which is why callers must not assume the
+    /// answer is a power of two.
     ///
     /// This is the layout-aware companion to
     /// [`BuddyBackend::granted_size_of_live`]: because the granted size is a
@@ -130,6 +133,32 @@ pub trait BuddyBackend: Send + Sync {
     /// the innermost grant policy.
     fn granted_size_for(&self, size: usize) -> Option<usize> {
         self.geometry().granted_size(size)
+    }
+
+    /// The *guaranteed alignment* of the block a request of `size` bytes
+    /// would be granted, or `None` if the request exceeds the per-request
+    /// maximum.
+    ///
+    /// Buddy grants are naturally aligned (a power-of-two chunk sits at a
+    /// multiple of its own size), so the default answers
+    /// [`BuddyBackend::granted_size_for`].  Slab front-ends override it:
+    /// a 40-byte class object is only guaranteed the class *granule*
+    /// alignment (the largest power of two dividing the class size), so the
+    /// facade bumps over-aligned requests to the next power-of-two class —
+    /// whose natural alignment is restored — before allocating.
+    fn grant_alignment_for(&self, size: usize) -> Option<usize> {
+        self.granted_size_for(size)
+    }
+
+    /// Per-class fragmentation counters of a slab layer wrapped around this
+    /// backend, if any.
+    ///
+    /// Plain backends return `None`; the `nbbs-slab` front-end (and wrappers
+    /// that contain one) override this so reports can surface the
+    /// bytes-requested / bytes-committed ratio through `dyn BuddyBackend`
+    /// without downcasting.
+    fn frag_stats(&self) -> Option<FragStatsSnapshot> {
+        None
     }
 
     /// Counters of the caching layer wrapped around this backend, if any.
@@ -216,6 +245,12 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for std::sync::Arc<T> {
     fn granted_size_for(&self, size: usize) -> Option<usize> {
         (**self).granted_size_for(size)
     }
+    fn grant_alignment_for(&self, size: usize) -> Option<usize> {
+        (**self).grant_alignment_for(size)
+    }
+    fn frag_stats(&self) -> Option<FragStatsSnapshot> {
+        (**self).frag_stats()
+    }
     fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
         (**self).cache_stats()
     }
@@ -260,6 +295,12 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for &T {
     }
     fn granted_size_for(&self, size: usize) -> Option<usize> {
         (**self).granted_size_for(size)
+    }
+    fn grant_alignment_for(&self, size: usize) -> Option<usize> {
+        (**self).grant_alignment_for(size)
+    }
+    fn frag_stats(&self) -> Option<FragStatsSnapshot> {
+        (**self).frag_stats()
     }
     fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
         (**self).cache_stats()

@@ -384,6 +384,26 @@ impl<A: BuddyBackend> BuddyBackend for NodeSet<A> {
         self.nodes[0].granted_size_for(size)
     }
 
+    fn grant_alignment_for(&self, size: usize) -> Option<usize> {
+        // Nodes are homogeneous, so node 0 speaks for all — but a packed
+        // offset's *global* alignment is also capped by the node stride.
+        let local = self.nodes[0].grant_alignment_for(size)?;
+        Some(local.min(1 << self.node_shift))
+    }
+
+    fn frag_stats(&self) -> Option<nbbs::FragStatsSnapshot> {
+        let mut merged: Option<nbbs::FragStatsSnapshot> = None;
+        for n in &self.nodes {
+            if let Some(s) = n.frag_stats() {
+                match &mut merged {
+                    Some(acc) => acc.merge(&s),
+                    None => merged = Some(s),
+                }
+            }
+        }
+        merged
+    }
+
     fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
         let mut merged: Option<CacheStatsSnapshot> = None;
         for n in &self.nodes {

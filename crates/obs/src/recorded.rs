@@ -177,6 +177,14 @@ impl<A: BuddyBackend> BuddyBackend for Recorded<A> {
         self.inner.granted_size_for(size)
     }
 
+    fn grant_alignment_for(&self, size: usize) -> Option<usize> {
+        self.inner.grant_alignment_for(size)
+    }
+
+    fn frag_stats(&self) -> Option<nbbs::FragStatsSnapshot> {
+        self.inner.frag_stats()
+    }
+
     fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
         self.inner.cache_stats()
     }

@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use nbbs::{BuddyBackend, CacheStatsSnapshot, OpStatsSnapshot, CAS_LEVELS};
+use nbbs::{BuddyBackend, CacheStatsSnapshot, FragStatsSnapshot, OpStatsSnapshot, CAS_LEVELS};
 
 use crate::hist::LatencyPercentiles;
 use crate::recorder::{OpKind, Recorder};
@@ -105,6 +105,9 @@ pub struct StackSnapshot {
     pub capacities: Option<Vec<(usize, usize)>>,
     /// Per-node service shares (empty for single-arena stacks).
     pub nodes: Vec<NodeShare>,
+    /// Per-class fragmentation counters, if the stack has a slab layer
+    /// (committed-over-requested ratio, live pages, passthrough traffic).
+    pub frag: Option<FragStatsSnapshot>,
     /// Facade byte shares and realloc counters, if the stack has a facade.
     pub facade: Option<FacadeShare>,
     /// Tail-latency summaries per recorded operation kind (only kinds with
@@ -157,6 +160,20 @@ impl StackSnapshot {
                     f.system_failovers, f.reserve_hits, f.reserve_refills
                 );
             }
+        }
+        if let Some(frag) = &self.frag {
+            let _ = writeln!(
+                out,
+                "  slab     {:.2} committed/requested ({} B over {} B), {} live objects, \
+                 {} pages live, {} retired, {} passthrough",
+                frag.ratio(),
+                frag.bytes_committed(),
+                frag.bytes_requested(),
+                frag.live_objects(),
+                frag.pages_live,
+                frag.pages_retired,
+                frag.passthrough_allocs
+            );
         }
         if let Some(c) = &self.cache {
             let _ = writeln!(
@@ -307,6 +324,32 @@ impl StackSnapshot {
                 .collect();
             let _ = write!(out, ",\"magazine_capacities\":[{}]", rendered.join(","));
         }
+        if let Some(frag) = &self.frag {
+            let classes: Vec<String> = frag
+                .classes
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{{\"class_size\":{},\"bytes_requested\":{},\"bytes_committed\":{},\
+                         \"live_objects\":{}}}",
+                        c.class_size, c.bytes_requested, c.bytes_committed, c.live_objects
+                    )
+                })
+                .collect();
+            let _ = write!(
+                out,
+                ",\"frag\":{{\"ratio\":{},\"bytes_requested\":{},\"bytes_committed\":{},\
+                 \"pages_live\":{},\"pages_retired\":{},\"passthrough_allocs\":{},\
+                 \"classes\":[{}]}}",
+                crate::json::num(frag.ratio()),
+                frag.bytes_requested(),
+                frag.bytes_committed(),
+                frag.pages_live,
+                frag.pages_retired,
+                frag.passthrough_allocs,
+                classes.join(",")
+            );
+        }
         if !self.nodes.is_empty() {
             let rendered: Vec<String> = self
                 .nodes
@@ -388,6 +431,7 @@ pub struct MetricsRegistry {
     cache: Option<CacheStatsSnapshot>,
     capacities: Option<Vec<(usize, usize)>>,
     nodes: Vec<NodeShare>,
+    frag: Option<FragStatsSnapshot>,
     facade: Option<FacadeShare>,
     recorder: Option<Arc<Recorder>>,
 }
@@ -402,11 +446,12 @@ impl MetricsRegistry {
     }
 
     /// Pulls everything a `dyn BuddyBackend` exposes: operation counters,
-    /// cache counters and magazine capacities.
+    /// cache counters, magazine capacities and slab fragmentation counters.
     pub fn observe_backend(&mut self, backend: &dyn BuddyBackend) -> &mut Self {
         self.backend_ops = backend.stats();
         self.cache = backend.cache_stats();
         self.capacities = backend.cache_class_capacities();
+        self.frag = backend.frag_stats();
         self
     }
 
@@ -431,6 +476,12 @@ impl MetricsRegistry {
     /// Sets the per-node service shares.
     pub fn set_nodes(&mut self, nodes: Vec<NodeShare>) -> &mut Self {
         self.nodes = nodes;
+        self
+    }
+
+    /// Sets the slab layer's fragmentation counters directly.
+    pub fn set_frag(&mut self, frag: Option<FragStatsSnapshot>) -> &mut Self {
+        self.frag = frag;
         self
     }
 
@@ -464,6 +515,7 @@ impl MetricsRegistry {
             cache: self.cache,
             capacities: self.capacities.clone(),
             nodes: self.nodes.clone(),
+            frag: self.frag.clone(),
             facade: self.facade,
             latency,
         }
@@ -567,6 +619,42 @@ mod tests {
         assert!(json.contains("\"backend_ops\""));
         assert!(!json.contains("\"cache\""));
         assert!(!json.contains("\"latency\""));
+    }
+
+    #[test]
+    fn frag_counters_render_when_present() {
+        let mut reg = MetricsRegistry::new("slab");
+        reg.set_frag(Some(FragStatsSnapshot {
+            classes: vec![nbbs::FragClassSnapshot {
+                class_size: 40,
+                bytes_requested: 400,
+                bytes_committed: 440,
+                live_objects: 3,
+            }],
+            pages_live: 2,
+            pages_retired: 1,
+            passthrough_allocs: 7,
+        }));
+        let snap = reg.snapshot();
+        let table = snap.text_table();
+        assert!(
+            table.contains("slab     1.10 committed/requested"),
+            "{table}"
+        );
+        assert!(
+            table.contains("2 pages live, 1 retired, 7 passthrough"),
+            "{table}"
+        );
+        let json = snap.to_json();
+        assert!(json.contains("\"frag\":{\"ratio\":1.100"), "{json}");
+        assert!(
+            json.contains("\"classes\":[{\"class_size\":40,\"bytes_requested\":400"),
+            "{json}"
+        );
+        // Slab-free stacks carry no frag section at all.
+        let bare = MetricsRegistry::new("bare").snapshot();
+        assert!(bare.frag.is_none());
+        assert!(!bare.to_json().contains("\"frag\""));
     }
 
     #[test]

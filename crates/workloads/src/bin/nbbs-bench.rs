@@ -20,6 +20,11 @@
 //!                   and `REPRO:` lines on failure
 //!   chaos-overhead  Disarmed fault-injection wrapper A/B (Larson, wrapper
 //!                   present vs absent) — the zero-cost-when-disabled gate
+//!   frag            Slab-layer fragmentation A/B: committed-over-requested
+//!                   byte ratios for mixed-layout (40-byte-heavy mix) and a
+//!                   web-server request mix, slab stacks vs power-of-two
+//!                   stacks; prints `committed_over_requested=` and
+//!                   `slab_reduction_pct=` lines for CI gates
 //!   ablation-scan   Scan-start policy ablation (first-fit vs scattered)
 //!   ablation-rmw    RMW-per-operation ablation (1lvl vs 4lvl)
 //!   ablation-frag   Fragmentation-resilience ablation
@@ -77,11 +82,14 @@ use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel, NbbsOneLevel, ScanPolicy};
 use nbbs_cache::{verify_cached_empty, CacheConfig, MagazineCache};
 use nbbs_chaos::{FaultInjecting, FaultPlan};
 use nbbs_numa::{NodePolicy, NodeSet, Topology};
+use nbbs_sync::CycleTimer;
 use nbbs_workloads::factory::{AllocatorKind, SharedBackend};
 use nbbs_workloads::harness::{FigureSpec, Harness, Metric, SweepConfig, Workload};
 use nbbs_workloads::linux_scalability::{self, LinuxScalabilityParams};
-use nbbs_workloads::measure::Measurement;
+use nbbs_workloads::measure::{Measurement, WorkloadResult};
+use nbbs_workloads::mixed_layout::{self, MixedLayoutParams};
 use nbbs_workloads::numa_skew::{self, NumaSkewParams};
+use nbbs_workloads::rng::SplitMix64;
 use nbbs_workloads::{constant_occupancy, report};
 
 #[derive(Debug, Clone)]
@@ -269,6 +277,11 @@ fn run_figure(figure: FigureSpec, opts: &Options) -> Vec<Measurement> {
         println!("Magazine-cache behaviour:");
         print!("{cache}");
     }
+    let frag = report::frag_table(&measurements);
+    if !frag.is_empty() {
+        println!("Byte accounting (requested vs committed):");
+        print!("{frag}");
+    }
     let latency = report::latency_table(&measurements);
     if !latency.is_empty() {
         println!("Tail latency (merged alloc+free, ns):");
@@ -388,6 +401,11 @@ fn fig13_cache_ablation(opts: &Options) -> Vec<Measurement> {
         println!("Per-class magazine capacities (adaptive-resize convergence):");
         print!("{capacities}");
     }
+    let frag = report::frag_table(&measurements);
+    if !frag.is_empty() {
+        println!("Byte accounting (requested vs committed):");
+        print!("{frag}");
+    }
     let latency = report::latency_table(&measurements);
     if !latency.is_empty() {
         println!("Tail latency (merged alloc+free, ns):");
@@ -461,6 +479,192 @@ fn fig13_depot_steal(opts: &Options) -> Vec<Measurement> {
             }
         }
     }
+    measurements
+}
+
+/// Backend-level replay of the web-server request mix
+/// (`examples/web_server_sim.rs`): each "request" allocates one header
+/// buffer of 64–1023 bytes plus one to four streamed body chunks of
+/// 256–2303 bytes, and old requests retire once enough are in flight.
+/// Byte accounting uses the backend's own `granted_size_for`, so the
+/// committed-over-requested ratio isolates the grant geometry — spaced
+/// slab classes vs power-of-two buddy blocks.
+fn frag_web_sim(alloc: &SharedBackend, threads: usize, requests_per_thread: u64) -> WorkloadResult {
+    let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
+    // (ops, failed, requested, committed) — summed once per worker at exit,
+    // so the measured loop carries only thread-local counters.
+    let totals = Arc::new(std::sync::Mutex::new((0u64, 0u64, 0u64, 0u64)));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let alloc = Arc::clone(alloc);
+        let barrier = Arc::clone(&barrier);
+        let totals = Arc::clone(&totals);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::new(0xBEEF ^ t as u64);
+            let mut in_flight: Vec<usize> = Vec::new();
+            let (mut ops, mut failed) = (0u64, 0u64);
+            let (mut requested, mut committed) = (0u64, 0u64);
+            barrier.wait();
+            for _ in 0..requests_per_thread {
+                let header = 64 + rng.next_below(960);
+                let chunks = 1 + rng.next_below(4);
+                for i in 0..=chunks {
+                    let size = if i == 0 {
+                        header
+                    } else {
+                        256 + rng.next_below(2 << 10)
+                    };
+                    match alloc.alloc(size) {
+                        Some(offset) => {
+                            in_flight.push(offset);
+                            requested += size as u64;
+                            committed += alloc.granted_size_for(size).unwrap_or(size) as u64;
+                            ops += 1;
+                        }
+                        None => failed += 1,
+                    }
+                }
+                while in_flight.len() > 320 {
+                    let idx = rng.next_below(in_flight.len());
+                    alloc.dealloc(in_flight.swap_remove(idx));
+                    ops += 1;
+                }
+            }
+            for offset in in_flight {
+                alloc.dealloc(offset);
+                ops += 1;
+            }
+            let mut g = totals.lock().expect("no worker panics holding the lock");
+            g.0 += ops;
+            g.1 += failed;
+            g.2 += requested;
+            g.3 += committed;
+        }));
+    }
+    let timer = CycleTimer::start();
+    barrier.wait();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let (seconds, cycles) = timer.stop();
+    let (ops, failed, requested, committed) = *totals.lock().expect("workers have exited");
+    WorkloadResult {
+        threads,
+        operations: ops,
+        seconds,
+        cycles,
+        failed_allocs: failed,
+        bytes_requested: requested,
+        bytes_committed: committed,
+    }
+}
+
+/// Fragmentation sweep (the `nbbs-slab` A/B): the facade-level Mixed Layout
+/// churn at a small-object mix (default 40-byte-heavy: sizes log-uniform in
+/// 40..=1280, natural alignments) and the web-server request mix, each run
+/// over four stacks — bare tree, cached tree, slab front-end, and the full
+/// cache-over-slab stack.  Every run prints a parseable
+/// `committed_over_requested=` line (CI gates the cached-slab stack at
+/// 1.30 for the 40-byte mix) and each with/without-slab pairing prints the
+/// committed-byte reduction the spaced classes deliver over power-of-two
+/// grants (`slab_reduction_pct=`).
+fn frag(opts: &Options) -> Vec<Measurement> {
+    println!("\n=== Fragmentation: slab size classes vs power-of-two grants ===");
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![4]);
+    let sizes = opts.sizes.clone().unwrap_or_else(|| vec![40]);
+    let kinds = opts.allocators.clone().unwrap_or_else(|| {
+        vec![
+            AllocatorKind::FourLevelNb,
+            AllocatorKind::Slab4LvlNb,
+            AllocatorKind::Cached4LvlNb,
+            AllocatorKind::CachedSlab4LvlNb,
+        ]
+    });
+    let memory = BuddyConfig::new(64 << 20, 8, 16 << 10).expect("frag configuration is valid");
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for workload in ["mixed-layout", "web-server-sim"] {
+        for &size in &sizes {
+            for &t in &threads {
+                for &kind in &kinds {
+                    let alloc = nbbs_workloads::factory::build(kind, memory);
+                    if opts.verbose {
+                        eprintln!(
+                            "[nbbs-bench] frag/{workload} size={size} threads={t} allocator={} ...",
+                            kind.name()
+                        );
+                    }
+                    let result = match workload {
+                        "mixed-layout" => {
+                            // Natural (8-byte) alignments: the ratio must
+                            // measure the class geometry, not the padding the
+                            // facade adds for over-aligned requests.
+                            let params = MixedLayoutParams {
+                                threads: t,
+                                base_size: size,
+                                max_align: 8,
+                                realloc_percent: 30,
+                                live_target: 256,
+                                ops_per_thread: 1_000_000,
+                            }
+                            .scaled(opts.scale);
+                            mixed_layout::run(&alloc, params)
+                        }
+                        _ => {
+                            let requests = ((200_000f64 * opts.scale) as u64).max(1_000);
+                            frag_web_sim(&alloc, t, requests)
+                        }
+                    };
+                    println!(
+                        "[frag] workload={workload} allocator={} bytes={size} threads={t} \
+                         requested={} committed={} committed_over_requested={:.4}",
+                        kind.name(),
+                        result.bytes_requested,
+                        result.bytes_committed,
+                        result.committed_ratio(),
+                    );
+                    measurements.push(
+                        Measurement::new(format!("frag/{workload}"), kind.name(), size, result)
+                            .with_cache(alloc.cache_stats())
+                            .with_backend_ops(alloc.stats()),
+                    );
+                }
+                // The A/B: the same stack with and without the slab layer.
+                for (plain, slab, label) in [
+                    (
+                        AllocatorKind::FourLevelNb,
+                        AllocatorKind::Slab4LvlNb,
+                        "bare",
+                    ),
+                    (
+                        AllocatorKind::Cached4LvlNb,
+                        AllocatorKind::CachedSlab4LvlNb,
+                        "cached",
+                    ),
+                ] {
+                    let find = |kind: AllocatorKind| {
+                        measurements.iter().find(|m| {
+                            m.workload == format!("frag/{workload}")
+                                && m.allocator == kind.name()
+                                && m.size == size
+                                && m.result.threads == t
+                        })
+                    };
+                    if let (Some(p), Some(s)) = (find(plain), find(slab)) {
+                        let (pr, sr) = (p.result.committed_ratio(), s.result.committed_ratio());
+                        if pr.is_finite() && sr.is_finite() && pr > 0.0 {
+                            println!(
+                                "[frag] workload={workload} ab={label} bytes={size} threads={t} \
+                                 slab_reduction_pct={:.1}",
+                                (1.0 - sr / pr) * 100.0
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("Byte accounting (requested vs committed, all stacks):");
+    print!("{}", report::frag_table(&measurements));
     measurements
 }
 
@@ -910,6 +1114,7 @@ fn list() {
     }
     println!("  Figure 12 also sweeps the multi-node NodeSet deployment (threads x nodes x home-ratio) with a per-node share table");
     println!("  Figure 13: Magazine-cache ablation - cached vs uncached backends, facade churn, per-class capacities, depot-steal A/B (this reproduction's own)");
+    println!("  frag: slab size-class fragmentation A/B - committed/requested byte ratios, slab stacks vs power-of-two stacks (this reproduction's own)");
 }
 
 fn main() -> ExitCode {
@@ -918,7 +1123,7 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|fig13|all|obs-overhead|chaos|chaos-overhead|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
+            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|fig13|all|frag|obs-overhead|chaos|chaos-overhead|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
             return ExitCode::FAILURE;
         }
     };
@@ -959,8 +1164,10 @@ fn main() -> ExitCode {
             }
             all.extend(fig12_numa(&opts));
             all.extend(fig13_cache_ablation(&opts));
+            all.extend(frag(&opts));
             (all, Metric::Seconds)
         }
+        "frag" => (frag(&opts), Metric::Seconds),
         "obs-overhead" => (obs_overhead(&opts), Metric::KopsPerSec),
         "chaos" => (chaos(&opts), Metric::Seconds),
         "chaos-overhead" => (chaos_overhead(&opts), Metric::KopsPerSec),

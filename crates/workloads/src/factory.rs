@@ -10,6 +10,7 @@ use nbbs::{
 use nbbs_baselines::{CloudwuBuddy, LinuxBuddy};
 use nbbs_cache::{CacheConfig, MagazineCache};
 use nbbs_numa::{NodePolicy, NodeSet, Topology};
+use nbbs_slab::{SlabBackend, SlabConfig};
 
 /// A shareable, dynamically-typed back-end allocator.
 pub type SharedBackend = Arc<dyn BuddyBackend>;
@@ -43,6 +44,16 @@ pub enum AllocatorKind {
     /// configured arena, with home-first routing and nearest-first remote
     /// fallback.
     Numa4LvlNb,
+    /// The 4-level non-blocking buddy behind an `nbbs-slab` size-class
+    /// front-end (`slab-4lvl-nb`): requests at or below the slab cutoff are
+    /// carved from shared buddy pages into spaced size classes, killing the
+    /// power-of-two internal fragmentation of the small-object path; larger
+    /// requests pass through to the tree.
+    Slab4LvlNb,
+    /// The full small-object stack (`cached-slab-4lvl-nb`): tree → slab →
+    /// magazine cache, so hits come from a per-thread magazine and misses
+    /// refill from spaced slab classes instead of power-of-two chunks.
+    CachedSlab4LvlNb,
 }
 
 impl AllocatorKind {
@@ -80,6 +91,8 @@ impl AllocatorKind {
             AllocatorKind::Cached4LvlNb,
             AllocatorKind::Cached1LvlNb,
             AllocatorKind::Numa4LvlNb,
+            AllocatorKind::Slab4LvlNb,
+            AllocatorKind::CachedSlab4LvlNb,
         ]
     }
 
@@ -106,6 +119,8 @@ impl AllocatorKind {
             AllocatorKind::Cached4LvlNb => "cached-4lvl-nb",
             AllocatorKind::Cached1LvlNb => "cached-1lvl-nb",
             AllocatorKind::Numa4LvlNb => "numa-4lvl-nb",
+            AllocatorKind::Slab4LvlNb => "slab-4lvl-nb",
+            AllocatorKind::CachedSlab4LvlNb => "cached-slab-4lvl-nb",
         }
     }
 
@@ -119,7 +134,10 @@ impl AllocatorKind {
     pub fn is_non_blocking(self) -> bool {
         matches!(
             self,
-            AllocatorKind::FourLevelNb | AllocatorKind::OneLevelNb | AllocatorKind::Numa4LvlNb
+            AllocatorKind::FourLevelNb
+                | AllocatorKind::OneLevelNb
+                | AllocatorKind::Numa4LvlNb
+                | AllocatorKind::Slab4LvlNb
         )
     }
 
@@ -127,7 +145,9 @@ impl AllocatorKind {
     pub fn is_cached(self) -> bool {
         matches!(
             self,
-            AllocatorKind::Cached4LvlNb | AllocatorKind::Cached1LvlNb
+            AllocatorKind::Cached4LvlNb
+                | AllocatorKind::Cached1LvlNb
+                | AllocatorKind::CachedSlab4LvlNb
         )
     }
 }
@@ -152,8 +172,10 @@ impl FromStr for AllocatorKind {
             "cached-4lvl-nb" => Ok(AllocatorKind::Cached4LvlNb),
             "cached-1lvl-nb" => Ok(AllocatorKind::Cached1LvlNb),
             "numa-4lvl-nb" => Ok(AllocatorKind::Numa4LvlNb),
+            "slab-4lvl-nb" => Ok(AllocatorKind::Slab4LvlNb),
+            "cached-slab-4lvl-nb" => Ok(AllocatorKind::CachedSlab4LvlNb),
             other => Err(format!(
-                "unknown allocator '{other}' (expected one of: 4lvl-nb, 1lvl-nb, 4lvl-sl, 1lvl-sl, buddy-sl, linux-buddy, cached-4lvl-nb, cached-1lvl-nb, numa-4lvl-nb)"
+                "unknown allocator '{other}' (expected one of: 4lvl-nb, 1lvl-nb, 4lvl-sl, 1lvl-sl, buddy-sl, linux-buddy, cached-4lvl-nb, cached-1lvl-nb, numa-4lvl-nb, slab-4lvl-nb, cached-slab-4lvl-nb)"
             )),
         }
     }
@@ -185,6 +207,34 @@ pub fn build_cached(kind: AllocatorKind, config: BuddyConfig, cache: CacheConfig
             "cached-1lvl-nb",
         )),
         AllocatorKind::Numa4LvlNb => Arc::new(build_node_set(config)),
+        AllocatorKind::Slab4LvlNb => Arc::new(SlabBackend::with_config_and_name(
+            NbbsFourLevel::new(config),
+            slab_config(config),
+            "slab-4lvl-nb",
+        )),
+        AllocatorKind::CachedSlab4LvlNb => Arc::new(MagazineCache::with_config_and_name(
+            SlabBackend::with_config_and_name(
+                NbbsFourLevel::new(config),
+                slab_config(config),
+                "slab-4lvl-nb",
+            ),
+            cache,
+            "cached-slab-4lvl-nb",
+        )),
+    }
+}
+
+/// The slab configuration for the `slab-*` kinds: the defaults (2 KiB
+/// cutoff, 16 KiB pages), clamped so tiny test arenas still build.  The
+/// constructor clamps the page to the tree's limits on its own; keeping the
+/// cutoff below the page keeps at least two objects per page.
+fn slab_config(config: BuddyConfig) -> SlabConfig {
+    let defaults = SlabConfig::default();
+    let page_size = defaults.page_size.min(config.max_size());
+    SlabConfig {
+        cutoff: defaults.cutoff.min(page_size / 2),
+        page_size,
+        ..defaults
     }
 }
 
@@ -240,6 +290,28 @@ pub fn build_recorded(
             stride,
         ),
         AllocatorKind::Numa4LvlNb => wrap(build_node_set(config), recorder, stride),
+        AllocatorKind::Slab4LvlNb => wrap(
+            SlabBackend::with_config_and_name(
+                NbbsFourLevel::new(config),
+                slab_config(config),
+                "slab-4lvl-nb",
+            ),
+            recorder,
+            stride,
+        ),
+        AllocatorKind::CachedSlab4LvlNb => wrap(
+            MagazineCache::with_config_and_name(
+                SlabBackend::with_config_and_name(
+                    NbbsFourLevel::new(config),
+                    slab_config(config),
+                    "slab-4lvl-nb",
+                ),
+                cache,
+                "cached-slab-4lvl-nb",
+            ),
+            recorder,
+            stride,
+        ),
     }
 }
 
@@ -345,7 +417,11 @@ mod tests {
 
     #[test]
     fn cached_kinds_wrap_their_backends() {
-        for kind in [AllocatorKind::Cached4LvlNb, AllocatorKind::Cached1LvlNb] {
+        for kind in [
+            AllocatorKind::Cached4LvlNb,
+            AllocatorKind::Cached1LvlNb,
+            AllocatorKind::CachedSlab4LvlNb,
+        ] {
             assert!(kind.is_cached());
             let alloc = build(kind, cfg());
             assert_eq!(alloc.name(), kind.name());
@@ -361,5 +437,28 @@ mod tests {
         }
         assert!(!AllocatorKind::FourLevelNb.is_cached());
         assert!(AllocatorKind::cache_ablation().len() == 4);
+    }
+
+    #[test]
+    fn slab_kinds_grant_spaced_classes_and_report_frag_stats() {
+        for kind in [AllocatorKind::Slab4LvlNb, AllocatorKind::CachedSlab4LvlNb] {
+            let alloc = build(kind, cfg());
+            assert_eq!(alloc.name(), kind.name());
+            // 40 bytes lands in a 40-byte slab class, not a 64-byte chunk.
+            assert_eq!(alloc.granted_size_for(40), Some(40));
+            let off = alloc.alloc(40).unwrap();
+            let frag = alloc.frag_stats().expect("slab publishes frag stats");
+            // The cached kind batch-refills a magazine, so more than one
+            // object may be committed — but all of them class-exact.
+            assert!(frag.bytes_committed() >= 40);
+            assert_eq!(frag.bytes_committed() % 40, 0);
+            alloc.dealloc(off);
+            alloc.drain_cache();
+            assert_eq!(alloc.allocated_bytes(), 0);
+        }
+        // The bare tree keeps the default: no frag channel.
+        assert!(build(AllocatorKind::FourLevelNb, cfg())
+            .frag_stats()
+            .is_none());
     }
 }

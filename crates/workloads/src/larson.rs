@@ -193,6 +193,11 @@ pub fn run(alloc: &SharedBackend, params: LarsonParams) -> WorkloadResult {
         seconds,
         cycles,
         failed_allocs: failed.iter().map(|f| f.load(Ordering::Relaxed)).sum(),
+        // Sizes are drawn per-allocation; byte accounting is untracked here
+        // to keep the measured loop free of bookkeeping (the mixed-layout
+        // workload is the fragmentation probe).
+        bytes_requested: 0,
+        bytes_committed: 0,
     }
 }
 

@@ -115,12 +115,18 @@ pub fn run(alloc: &SharedBackend, params: LinuxScalabilityParams) -> WorkloadRes
         );
     }
 
+    // Fixed-size traffic: the byte accounting is pure arithmetic — every
+    // completed pair requested `size` and was committed the granted size.
+    let pairs = pairs_per_thread * params.threads as u64;
+    let granted = alloc.granted_size_for(params.size).unwrap_or(params.size) as u64;
     WorkloadResult {
         threads: params.threads,
-        operations: pairs_per_thread * params.threads as u64 * 2,
+        operations: pairs * 2,
         seconds,
         cycles,
         failed_allocs: failed.iter().map(|f| f.load(Ordering::Relaxed)).sum(),
+        bytes_requested: params.size as u64 * pairs,
+        bytes_committed: granted * pairs,
     }
 }
 

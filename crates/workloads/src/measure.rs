@@ -18,6 +18,14 @@ pub struct WorkloadResult {
     /// that exhausted the scan); the paper's workloads are sized so that this
     /// stays at zero.
     pub failed_allocs: u64,
+    /// Sum of the byte sizes the workload asked the allocator for, over its
+    /// successful allocations.  Zero when the workload does not track bytes
+    /// (fragmentation reporting then shows no ratio).
+    pub bytes_requested: u64,
+    /// Sum of the bytes the allocator actually committed for those requests
+    /// (granted block sizes — a power of two for the plain trees, the size
+    /// class under a slab front-end).  Zero when untracked.
+    pub bytes_committed: u64,
 }
 
 impl WorkloadResult {
@@ -35,6 +43,17 @@ impl WorkloadResult {
             return 0.0;
         }
         self.seconds * 1e9 / self.operations as f64
+    }
+
+    /// Committed-to-requested byte ratio — the workload-measured internal
+    /// fragmentation factor (1.0 = no over-provisioning; a pure power-of-two
+    /// allocator averages ~1.33 over uniform sizes).  `NaN` when the
+    /// workload did not track bytes.
+    pub fn committed_ratio(&self) -> f64 {
+        if self.bytes_requested == 0 {
+            return f64::NAN;
+        }
+        self.bytes_committed as f64 / self.bytes_requested as f64
     }
 }
 
@@ -153,7 +172,8 @@ impl Measurement {
         let mut out = format!(
             "{{\"workload\":\"{}\",\"allocator\":\"{}\",\"size\":{},\"threads\":{},\
              \"operations\":{},\"seconds\":{},\"kops_per_sec\":{},\"cycles\":{},\
-             \"failed_allocs\":{}",
+             \"failed_allocs\":{},\"bytes_requested\":{},\"bytes_committed\":{},\
+             \"committed_ratio\":{}",
             esc(&self.workload),
             esc(&self.allocator),
             self.size,
@@ -162,7 +182,10 @@ impl Measurement {
             fnum(self.result.seconds, 6),
             fnum(self.result.kops_per_sec(), 3),
             self.result.cycles,
-            self.result.failed_allocs
+            self.result.failed_allocs,
+            self.result.bytes_requested,
+            self.result.bytes_committed,
+            fnum(self.result.committed_ratio(), 4)
         );
         if let Some(shares) = &self.node_shares {
             out.push_str(",\"node_shares\":[");
@@ -195,13 +218,14 @@ impl Measurement {
 
     /// CSV header matching [`Measurement::to_csv_row`].
     pub fn csv_header() -> &'static str {
-        "workload,allocator,size,threads,operations,seconds,kops_per_sec,cycles,failed_allocs"
+        "workload,allocator,size,threads,operations,seconds,kops_per_sec,cycles,failed_allocs,\
+         bytes_requested,bytes_committed"
     }
 
     /// Renders the measurement as one CSV row.
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{:.6},{:.3},{},{}",
+            "{},{},{},{},{},{:.6},{:.3},{},{},{},{}",
             self.workload,
             self.allocator,
             self.size,
@@ -210,7 +234,9 @@ impl Measurement {
             self.result.seconds,
             self.result.kops_per_sec(),
             self.result.cycles,
-            self.result.failed_allocs
+            self.result.failed_allocs,
+            self.result.bytes_requested,
+            self.result.bytes_committed
         )
     }
 }
@@ -241,6 +267,8 @@ mod tests {
             seconds: 2.0,
             cycles: 5_400_000_000,
             failed_allocs: 0,
+            bytes_requested: 0,
+            bytes_committed: 0,
         }
     }
 
@@ -259,9 +287,30 @@ mod tests {
             seconds: 0.0,
             cycles: 0,
             failed_allocs: 0,
+            bytes_requested: 0,
+            bytes_committed: 0,
         };
         assert_eq!(r.kops_per_sec(), 0.0);
         assert_eq!(r.ns_per_op(), 0.0);
+        assert!(
+            r.committed_ratio().is_nan(),
+            "untracked bytes have no ratio"
+        );
+    }
+
+    #[test]
+    fn committed_ratio_reflects_fragmentation() {
+        let mut r = sample();
+        r.bytes_requested = 4_000;
+        r.bytes_committed = 5_000;
+        assert!((r.committed_ratio() - 1.25).abs() < 1e-9);
+        let json = Measurement::new("mixed-layout", "slab-4lvl-nb", 40, r).to_json();
+        assert!(json.contains("\"bytes_requested\":4000"));
+        assert!(json.contains("\"bytes_committed\":5000"));
+        assert!(json.contains("\"committed_ratio\":1.2500"));
+        // Untracked runs render the ratio as null, not zero.
+        let json = Measurement::new("larson", "4lvl-nb", 128, sample()).to_json();
+        assert!(json.contains("\"committed_ratio\":null"));
     }
 
     #[test]

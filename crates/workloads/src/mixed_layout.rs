@@ -129,16 +129,34 @@ pub fn run_with_facade(
             .map(|_| CachePadded::new(AtomicU64::new(0)))
             .collect(),
     );
+    // Per-thread byte accounting: what the program asked for vs what the
+    // allocator committed (the granted slice length) — the fragmentation
+    // A/B channel of the `frag` sweep.  Realloc successes re-count the
+    // block at its new size; the sums measure traffic, not peak footprint.
+    let requested: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(
+        (0..params.threads)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+    );
+    let committed: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(
+        (0..params.threads)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+    );
 
     let mut handles = Vec::with_capacity(params.threads);
     for t in 0..params.threads {
         let facade = Arc::clone(&facade);
         let barrier = Arc::clone(&barrier);
         let failed = Arc::clone(&failed);
+        let requested = Arc::clone(&requested);
+        let committed = Arc::clone(&committed);
         handles.push(std::thread::spawn(move || {
             let mut rng = SplitMix64::new(0x51ED ^ (t as u64).wrapping_mul(0x9E37_79B9));
             let mut live: Vec<Block> = Vec::with_capacity(params.live_target + 1);
             let mut local_failed = 0u64;
+            let mut local_requested = 0u64;
+            let mut local_committed = 0u64;
             let mut next_stamp = t as u8;
             barrier.wait();
             for _ in 0..params.ops_per_thread {
@@ -161,6 +179,8 @@ pub fn run_with_facade(
                     };
                     match result {
                         Ok(moved) => {
+                            local_requested += new_size as u64;
+                            local_committed += moved.len() as u64;
                             // SAFETY: the facade preserved the block's first
                             // `min(old, new)` bytes (>= 1), so the leading
                             // stamp must have survived the move.
@@ -186,6 +206,8 @@ pub fn run_with_facade(
                         Layout::from_size_align(size, align).expect("drawn layouts are valid");
                     match facade.allocate(layout) {
                         Ok(block) => {
+                            local_requested += size as u64;
+                            local_committed += block.len() as u64;
                             next_stamp = next_stamp.wrapping_add(1);
                             // SAFETY: fresh exclusive block of >= size bytes.
                             unsafe { stamp(block.cast(), size, next_stamp) };
@@ -210,6 +232,8 @@ pub fn run_with_facade(
                 unsafe { facade.deallocate(block.ptr(), block.layout()) };
             }
             failed[t].store(local_failed, Ordering::Relaxed);
+            requested[t].store(local_requested, Ordering::Relaxed);
+            committed[t].store(local_committed, Ordering::Relaxed);
         }));
     }
 
@@ -226,6 +250,8 @@ pub fn run_with_facade(
         seconds,
         cycles,
         failed_allocs: failed.iter().map(|f| f.load(Ordering::Relaxed)).sum(),
+        bytes_requested: requested.iter().map(|f| f.load(Ordering::Relaxed)).sum(),
+        bytes_committed: committed.iter().map(|f| f.load(Ordering::Relaxed)).sum(),
     }
 }
 

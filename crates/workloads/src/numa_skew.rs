@@ -158,12 +158,16 @@ pub fn run(alloc: &SharedBackend, params: NumaSkewParams) -> WorkloadResult {
     }
     let (seconds, cycles) = timer.stop();
 
+    let pairs = pairs_per_thread * params.threads as u64;
+    let granted = alloc.granted_size_for(params.size).unwrap_or(params.size) as u64;
     WorkloadResult {
         threads: params.threads,
-        operations: pairs_per_thread * params.threads as u64 * 2,
+        operations: pairs * 2,
         seconds,
         cycles,
         failed_allocs: failed,
+        bytes_requested: params.size as u64 * pairs,
+        bytes_committed: granted * pairs,
     }
 }
 
@@ -251,12 +255,16 @@ pub fn run_on_nodes<A: BuddyBackend + 'static>(
     }
     let (seconds, cycles) = timer.stop();
 
+    let pairs = pairs_per_thread * params.threads as u64;
+    let granted = set.granted_size_for(params.size).unwrap_or(params.size) as u64;
     WorkloadResult {
         threads: params.threads,
-        operations: pairs_per_thread * params.threads as u64 * 2,
+        operations: pairs * 2,
         seconds,
         cycles,
         failed_allocs: failed,
+        bytes_requested: params.size as u64 * pairs,
+        bytes_committed: granted * pairs,
     }
 }
 

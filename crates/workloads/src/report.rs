@@ -159,7 +159,9 @@ fn contention_heatmap(levels: &[u64]) -> String {
 /// resize activity, and — when the workspace is built with `op-stats` — the
 /// backend CAS traffic per operation that the spill path still generates,
 /// plus a per-level contention heatmap of where in the tree the remaining
-/// CAS retries land (root leftmost, `1`–`9` scaled to the busiest level).
+/// CAS retries land (root leftmost, `1`–`9` scaled to the busiest level),
+/// and the committed-over-requested byte ratio of the run (`frag`, `-` when
+/// the workload did not track bytes).
 /// Returns an empty string when no measurement has a cache layer.
 pub fn cache_table(measurements: &[Measurement]) -> String {
     let cached: Vec<&Measurement> = measurements.iter().filter(|m| m.cache.is_some()).collect();
@@ -168,7 +170,7 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:<20} {:>8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}  {}\n",
+        "{:<22} {:<20} {:>8} {:>8} {:>9} {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6} {:>8}  {}\n",
         "workload",
         "allocator",
         "bytes",
@@ -183,6 +185,7 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
         "steals",
         "grows",
         "shrinks",
+        "frag",
         "cas/op",
         "cas-by-level"
     ));
@@ -201,7 +204,7 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
             "-".to_string()
         };
         out.push_str(&format!(
-            "{:<22} {:<20} {:>8} {:>8} {:>8.1}% {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}  {}\n",
+            "{:<22} {:<20} {:>8} {:>8} {:>8.1}% {:>12} {:>12} {:>10} {:>10} {:>7} {:>7} {:>7} {:>7} {:>8} {:>6} {:>8}  {}\n",
             m.workload,
             m.allocator,
             m.size,
@@ -216,8 +219,52 @@ pub fn cache_table(measurements: &[Measurement]) -> String {
             c.depot_steals,
             c.resize_grows,
             c.resize_shrinks,
+            fmt_ratio(m.result.committed_ratio()),
             cas_per_op,
             contention_heatmap(&m.backend_ops.cas_failures_by_level)
+        ));
+    }
+    out
+}
+
+/// Formats a committed-over-requested ratio for a table cell (`-` when the
+/// workload did not track bytes and the ratio is NaN).
+fn fmt_ratio(ratio: f64) -> String {
+    if ratio.is_finite() {
+        format!("{ratio:.2}")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Renders the byte-accounting summary of every measurement whose workload
+/// tracked request/commit bytes — requested bytes, committed bytes and their
+/// ratio, for *all* allocators (bare trees included), so the slab stack's
+/// internal-fragmentation advantage reads as a direct A/B column against the
+/// power-of-two kinds.  Returns an empty string when nothing was tracked.
+pub fn frag_table(measurements: &[Measurement]) -> String {
+    let rows: Vec<&Measurement> = measurements
+        .iter()
+        .filter(|m| m.result.bytes_requested > 0)
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:<20} {:>8} {:>8} {:>16} {:>16} {:>13}\n",
+        "workload", "allocator", "bytes", "threads", "req-bytes", "commit-bytes", "commit/req"
+    ));
+    for m in rows {
+        out.push_str(&format!(
+            "{:<22} {:<20} {:>8} {:>8} {:>16} {:>16} {:>13}\n",
+            m.workload,
+            m.allocator,
+            m.size,
+            m.result.threads,
+            m.result.bytes_requested,
+            m.result.bytes_committed,
+            fmt_ratio(m.result.committed_ratio())
         ));
     }
     out
@@ -490,6 +537,8 @@ mod tests {
                 seconds: secs,
                 cycles: (secs * 2.7e9) as u64,
                 failed_allocs: 0,
+                bytes_requested: 0,
+                bytes_committed: 0,
             },
         )
     }
@@ -666,6 +715,36 @@ mod tests {
         set[0].backend_ops = nbbs::OpStatsSnapshot::default();
         let out = cache_table(&set);
         assert!(out.lines().nth(1).unwrap().trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn cache_table_shows_the_committed_ratio_when_tracked() {
+        let mut set = sample_set();
+        set[0].cache = Some(nbbs::CacheStatsSnapshot::default());
+        set[0].allocator = "cached-slab-4lvl-nb".into();
+        set[0].result.bytes_requested = 4_000;
+        set[0].result.bytes_committed = 4_400;
+        let out = cache_table(&set);
+        assert!(out.contains("frag"), "frag column present: {out}");
+        assert!(out.contains("1.10"), "ratio rendered: {out}");
+    }
+
+    #[test]
+    fn frag_table_covers_all_allocators_that_tracked_bytes() {
+        let mut set = sample_set();
+        assert_eq!(frag_table(&set), "", "nothing tracked, nothing rendered");
+        // Bare tree and slab stack both tracked: both appear, A/B style.
+        set[0].result.bytes_requested = 4_000;
+        set[0].result.bytes_committed = 5_320; // power-of-two tree: 1.33
+        set[2].result.bytes_requested = 4_000;
+        set[2].result.bytes_committed = 4_400; // slab classes: 1.10
+        let out = frag_table(&set);
+        assert_eq!(out.lines().count(), 3, "header + two tracked rows");
+        assert!(out.contains("commit/req"));
+        assert!(out.contains("1.33"), "bare-tree ratio: {out}");
+        assert!(out.contains("1.10"), "slab ratio: {out}");
+        // Untracked measurements are excluded, not rendered as zeros.
+        assert!(!out.contains(" 0 "));
     }
 
     #[test]

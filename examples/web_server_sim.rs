@@ -16,9 +16,12 @@
 //! responses are handed to other workers, so the freeing thread is often
 //! not the allocating thread.
 //!
-//! Three back-ends are compared underneath the same facade: the 4-level
+//! Four back-ends are compared underneath the same facade: the 4-level
 //! non-blocking buddy, the same buddy behind the magazine cache (how a
-//! production server would deploy it), and the spin-locked tree baseline —
+//! production server would deploy it), the cached stack with the
+//! `nbbs-slab` size-class layer interposed (whose registry table adds a
+//! `slab` committed/requested line — headers and small response chunks
+//! stop rounding up to powers of two), and the spin-locked tree baseline —
 //! the same ordering Figure 10 shows, now measured at the facade level.
 
 use std::alloc::Layout;
@@ -31,6 +34,7 @@ use nbbs_alloc::NbbsAllocator;
 use nbbs_baselines::CloudwuBuddy;
 use nbbs_cache::MagazineCache;
 use nbbs_obs::{FacadeShare, MetricsRegistry, Recorder};
+use nbbs_slab::{SlabBackend, SlabConfig};
 use nbbs_workloads::rng::SplitMix64;
 
 /// One in-flight request: a connection buffer plus a (grown) response
@@ -212,6 +216,18 @@ fn main() {
                 "cached-4lvl-nb",
             )),
         ),
+        (
+            "cached-slab-4lvl-nb (+slab)",
+            Arc::new(MagazineCache::with_config_and_name(
+                SlabBackend::with_config_and_name(
+                    NbbsFourLevel::new(config),
+                    SlabConfig::default(),
+                    "slab-4lvl-nb",
+                ),
+                nbbs_cache::CacheConfig::default(),
+                "cached-slab-4lvl-nb",
+            )),
+        ),
         ("buddy-sl (spin lock)", Arc::new(CloudwuBuddy::new(config))),
     ];
 
@@ -224,7 +240,7 @@ fn main() {
         );
         results.push((label, completed));
     }
-    if let [(_, nb), (_, cached), (_, sl)] = results[..] {
+    if let [(_, nb), (_, cached), (_, slab), (_, sl)] = results[..] {
         let gain = nb as f64 / sl.max(1) as f64 - 1.0;
         println!(
             "\nnon-blocking back-end completed {:.1}% {} requests than the spin-locked one",
@@ -236,6 +252,13 @@ fn main() {
             "the magazine cache completed {:.1}% {} requests than the bare non-blocking tree",
             cache_gain.abs() * 100.0,
             if cache_gain >= 0.0 { "more" } else { "fewer" }
+        );
+        let slab_cost = slab as f64 / cached.max(1) as f64 - 1.0;
+        println!(
+            "interposing the slab layer completed {:.1}% {} requests than the cached stack \
+             (see its `slab` committed/requested line above for the bytes it saved)",
+            slab_cost.abs() * 100.0,
+            if slab_cost >= 0.0 { "more" } else { "fewer" }
         );
     }
 }

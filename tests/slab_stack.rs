@@ -1,0 +1,444 @@
+//! Integration tests of the full slab stack:
+//! `NbbsAllocator<MagazineCache<SlabBackend<NbbsFourLevel>>>` against the
+//! System-mirror oracle (the `tests/facade_alloc.rs` harness re-targeted at
+//! the slab-fronted backend, with the size mix biased below the slab
+//! cutoff), cross-thread frees routed back to the owning slab page, fault
+//! storms during page grants, and composition of the slab under the
+//! `Recorded`, `FaultInjecting` and `NodeSet` wrappers.
+
+use std::alloc::Layout;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use nbbs::{AllocError, BuddyBackend, BuddyConfig, NbbsFourLevel};
+use nbbs_alloc::NbbsAllocator;
+use nbbs_cache::MagazineCache;
+use nbbs_chaos::{FaultInjecting, FaultPlan};
+use nbbs_numa::{NodePolicy, NodeSet, Topology};
+use nbbs_obs::{OpKind, Recorded, Recorder};
+use nbbs_slab::{SlabBackend, SlabConfig};
+use nbbs_workloads::rng::SplitMix64;
+
+const TOTAL: usize = 1 << 20;
+const MIN: usize = 64;
+const MAX: usize = 1 << 14;
+
+fn cfg() -> BuddyConfig {
+    BuddyConfig::new(TOTAL, MIN, MAX).unwrap()
+}
+
+fn slab_config() -> SlabConfig {
+    SlabConfig {
+        cutoff: 2048,
+        page_size: 8 << 10,
+        keep_empty_pages: 2,
+    }
+}
+
+fn slab() -> SlabBackend<NbbsFourLevel> {
+    SlabBackend::with_config_and_name(NbbsFourLevel::new(cfg()), slab_config(), "slab-4lvl-nb")
+}
+
+fn slab_stack() -> NbbsAllocator<MagazineCache<SlabBackend<NbbsFourLevel>>> {
+    NbbsAllocator::new(MagazineCache::new(slab()))
+}
+
+/// Drains the whole stack (magazines, then warm slab pages) and proves the
+/// innermost tree is back to a fully-coalesced empty state.
+fn assert_stack_quiescent(stack: &NbbsAllocator<MagazineCache<SlabBackend<NbbsFourLevel>>>) {
+    assert_eq!(stack.allocated_bytes(), 0, "no user-live memory");
+    stack.backend().drain_cache();
+    assert_eq!(stack.backend().cached_bytes(), 0, "magazines fully drained");
+    let tree = stack.backend().backend().inner();
+    assert_eq!(tree.allocated_bytes(), 0, "slab retired every page");
+    nbbs::verify::audit_empty(tree).assert_clean();
+}
+
+/// One step of a generated layout workload (mirrors `facade_alloc.rs`, with
+/// the size mix weighted to the slab's small-object range).
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc {
+        size: usize,
+        align_log: u32,
+        zeroed: bool,
+    },
+    Free(usize),
+    Realloc {
+        idx: usize,
+        size: usize,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Mostly sizes at or below the 2 KiB cutoff so the slab classes do
+        // the serving; the tail crosses into buddy passthrough territory.
+        4 => (0u64..u64::MAX).prop_map(|bits| Op::Alloc {
+            size: 1 + (bits % 2048) as usize,
+            align_log: ((bits >> 24) % 10) as u32, // 1 B .. 512 B
+            zeroed: (bits >> 40) & 1 == 1,
+        }),
+        1 => (0u64..u64::MAX).prop_map(|bits| Op::Alloc {
+            size: 2049 + (bits % 6000) as usize,
+            align_log: ((bits >> 24) % 13) as u32, // 1 B .. 4 KiB
+            zeroed: (bits >> 40) & 1 == 1,
+        }),
+        2 => (0usize..64).prop_map(Op::Free),
+        3 => (0u64..u64::MAX).prop_map(|bits| Op::Realloc {
+            idx: (bits % 64) as usize,
+            size: 1 + ((bits >> 16) % 4000) as usize,
+        }),
+    ]
+}
+
+/// A live facade block plus its `System`-side mirror of expected contents.
+struct LiveBlock {
+    ptr: NonNull<u8>,
+    layout: Layout,
+    mirror: Vec<u8>,
+}
+
+impl LiveBlock {
+    fn contents_match(&self) -> bool {
+        let actual = unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.layout.size()) };
+        actual == self.mirror.as_slice()
+    }
+}
+
+/// Deterministic fill pattern for the `n`-th allocation event.
+fn fill(block: &mut LiveBlock, seed: usize) {
+    for (i, byte) in block.mirror.iter_mut().enumerate() {
+        *byte = (seed ^ i).wrapping_mul(0x9E) as u8;
+    }
+    unsafe {
+        std::ptr::copy_nonoverlapping(
+            block.mirror.as_ptr(),
+            block.ptr.as_ptr(),
+            block.mirror.len(),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The slab-fronted facade agrees with the System-mirror oracle over
+    /// arbitrary allocate/grow/shrink/deallocate sequences: contents are
+    /// preserved across grow/shrink, every pointer honours its layout's
+    /// alignment (slab class offsets are not power-of-two aligned, so this
+    /// exercises the facade's alignment bump), no two live blocks overlap,
+    /// and `allocate_zeroed` scrubs recycled class objects.
+    #[test]
+    fn slab_stack_matches_system_oracle(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let alloc = slab_stack();
+        let mut live: Vec<LiveBlock> = Vec::new();
+        let mut event = 0usize;
+        for op in ops {
+            event += 1;
+            match op {
+                Op::Alloc { size, align_log, zeroed } => {
+                    let layout = Layout::from_size_align(size, 1 << align_log).unwrap();
+                    let block = if zeroed {
+                        alloc.allocate_zeroed(layout)
+                    } else {
+                        alloc.allocate(layout)
+                    };
+                    let Ok(block) = block else { continue }; // transient OOM
+                    let ptr = block.cast::<u8>();
+                    prop_assert!(block.len() >= size, "slice covers the request");
+                    prop_assert_eq!(
+                        ptr.as_ptr() as usize % layout.align(), 0,
+                        "alignment honoured"
+                    );
+                    if zeroed {
+                        let bytes = unsafe {
+                            std::slice::from_raw_parts(ptr.as_ptr(), block.len())
+                        };
+                        prop_assert!(
+                            bytes.iter().all(|&b| b == 0),
+                            "allocate_zeroed scrubbed a recycled chunk"
+                        );
+                    }
+                    let mut fresh = LiveBlock { ptr, layout, mirror: vec![0u8; size] };
+                    fill(&mut fresh, event);
+                    live.push(fresh);
+                }
+                Op::Free(k) => {
+                    if live.is_empty() { continue; }
+                    let block = live.swap_remove(k % live.len());
+                    prop_assert!(block.contents_match(), "contents intact at release");
+                    unsafe { alloc.deallocate(block.ptr, block.layout) };
+                }
+                Op::Realloc { idx, size } => {
+                    if live.is_empty() { continue; }
+                    let idx = idx % live.len();
+                    let block = &mut live[idx];
+                    let new_layout =
+                        Layout::from_size_align(size, block.layout.align()).unwrap();
+                    let result = unsafe {
+                        if size >= block.layout.size() {
+                            alloc.grow(block.ptr, block.layout, new_layout)
+                        } else {
+                            alloc.shrink(block.ptr, block.layout, new_layout)
+                        }
+                    };
+                    let Ok(moved) = result else { continue }; // transient OOM
+                    let kept = block.layout.size().min(size);
+                    block.ptr = moved.cast::<u8>();
+                    block.layout = new_layout;
+                    prop_assert_eq!(
+                        block.ptr.as_ptr() as usize % new_layout.align(), 0,
+                        "alignment preserved across realloc"
+                    );
+                    let survived = unsafe {
+                        std::slice::from_raw_parts(block.ptr.as_ptr(), kept)
+                    };
+                    prop_assert_eq!(
+                        survived, &block.mirror[..kept],
+                        "contents preserved across grow/shrink"
+                    );
+                    block.mirror.resize(size, 0);
+                    fill(block, event);
+                }
+            }
+            // Full cross-check: any overlap between live blocks — including
+            // two class objects sharing a slab slot — corrupts a pattern.
+            for block in &live {
+                prop_assert!(block.contents_match(), "no live block was clobbered");
+            }
+        }
+        for block in live.drain(..) {
+            prop_assert!(block.contents_match());
+            unsafe { alloc.deallocate(block.ptr, block.layout) };
+        }
+        prop_assert_eq!(alloc.allocated_bytes(), 0, "everything returned");
+    }
+}
+
+/// Blocks allocated on one thread and released on others must route back to
+/// the owning slab page (a class offset freed on a foreign thread first
+/// parks in that thread's magazines, then flows through the slab's
+/// page-state lookup on flush) — the Larson-style hand-off pattern.
+#[test]
+fn cross_thread_frees_route_to_the_owning_page() {
+    let stack = Arc::new(slab_stack());
+    let layout = Layout::from_size_align(40, 8).unwrap();
+    let producer = Arc::clone(&stack);
+    let blocks: Vec<usize> = std::thread::spawn(move || {
+        (0..600)
+            .map(|_| producer.allocate(layout).unwrap().cast::<u8>().as_ptr() as usize)
+            .collect()
+    })
+    .join()
+    .unwrap();
+    // Split the release across two consumer threads, neither the producer.
+    let mid = blocks.len() / 2;
+    let halves = [blocks[..mid].to_vec(), blocks[mid..].to_vec()];
+    let handles: Vec<_> = halves
+        .into_iter()
+        .map(|half| {
+            let consumer = Arc::clone(&stack);
+            std::thread::spawn(move || {
+                for addr in half {
+                    let ptr = NonNull::new(addr as *mut u8).unwrap();
+                    unsafe { consumer.deallocate(ptr, layout) };
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Freed objects park in the consumers' magazines first; the drain
+    // pushes them through the slab's page-state lookup.
+    assert_eq!(stack.allocated_bytes(), 0, "no user-live memory");
+    stack.backend().drain_cache();
+    let frag = stack.backend().backend().frag_snapshot();
+    assert_eq!(frag.live_objects(), 0, "every cross-thread free landed");
+    assert_stack_quiescent(&stack);
+}
+
+/// Transient and OOM faults firing during slab page grants degrade per the
+/// PR 7 semantics — transients surface as `AllocError::Transient`, hard OOM
+/// falls back to a buddy passthrough grant — and no partially-granted page
+/// is ever orphaned: after the storm, a drain returns the tree to a fully
+/// coalesced empty state.
+#[test]
+fn fault_storm_during_page_grants_orphans_nothing() {
+    let injected = FaultInjecting::new(NbbsFourLevel::new(cfg()), FaultPlan::storm(0x51AB_5EED));
+    let slab = SlabBackend::with_config(injected, slab_config());
+    let mut rng = SplitMix64::new(0x51AB_5EED);
+    let mut live: Vec<usize> = Vec::new();
+    let mut transients = 0u64;
+    for _ in 0..30_000 {
+        if live.is_empty() || rng.next_u64() & 1 == 0 {
+            // Sizes across the class ladder plus the passthrough tail.
+            let size = 8usize << rng.next_below(10); // 8 B .. 4 KiB
+            match slab.try_alloc(size) {
+                Ok(off) => live.push(off),
+                Err(AllocError::Transient { .. }) => transients += 1,
+                Err(_) => {}
+            }
+        } else {
+            let off = live.swap_remove(rng.next_below(live.len()));
+            slab.dealloc(off);
+        }
+    }
+    assert!(transients > 0, "the storm should have injected transients");
+    let stats = slab.inner().fault_stats();
+    assert!(
+        stats.injected_failures > 0 && stats.injected_oom > 0,
+        "both fault kinds must have reached the grant path: {stats:?}"
+    );
+
+    slab.inner().disarm();
+    for off in live {
+        slab.dealloc(off);
+    }
+    assert_eq!(slab.allocated_bytes(), 0);
+    slab.drain_cache();
+    let tree = slab.inner().inner();
+    assert_eq!(tree.allocated_bytes(), 0, "no page was orphaned");
+    nbbs::verify::audit_empty(tree).assert_clean();
+}
+
+/// Injected panics unwinding through the slab's grant path must not orphan
+/// the page either: the grant panics *before* the buddy op runs (the
+/// `nbbs-chaos` contract), so the slab's bookkeeping never observes a
+/// half-granted page.
+#[test]
+fn panic_storm_through_the_slab_orphans_nothing() {
+    let injected = FaultInjecting::new(
+        NbbsFourLevel::new(cfg()),
+        FaultPlan::panic_storm(0x51AB_0BAD),
+    );
+    let slab = SlabBackend::with_config(injected, slab_config());
+    let mut rng = SplitMix64::new(0x51AB_0BAD);
+    let mut live: Vec<usize> = Vec::new();
+    let mut interrupted: Vec<usize> = Vec::new();
+    let mut panics = 0u32;
+    for _ in 0..20_000 {
+        if live.is_empty() || rng.next_u64() & 1 == 0 {
+            let size = 8usize << rng.next_below(10);
+            match catch_unwind(AssertUnwindSafe(|| slab.alloc(size))) {
+                Ok(Some(off)) => live.push(off),
+                Ok(None) => {}
+                Err(_) => panics += 1,
+            }
+        } else {
+            let off = live.swap_remove(rng.next_below(live.len()));
+            if catch_unwind(AssertUnwindSafe(|| slab.dealloc(off))).is_err() {
+                panics += 1;
+                interrupted.push(off);
+            }
+        }
+    }
+    assert!(panics > 0, "the storm should have injected panics");
+
+    slab.inner().disarm();
+    // A panicking dealloc may or may not have released its offset: a class
+    // object is freed in the bitmap before any backend call runs (the panic
+    // can only interrupt the page *retire*, which the orphan list covers),
+    // while a passthrough free panics before the buddy saw it at all.
+    // Retry via `try_dealloc`, which rejects the already-freed case as an
+    // error instead of double-freeing.
+    for off in live.into_iter().chain(interrupted) {
+        let _ = slab.try_dealloc(off);
+    }
+    slab.drain_cache();
+    let tree = slab.inner().inner();
+    assert_eq!(tree.allocated_bytes(), 0, "no page was orphaned by a panic");
+    nbbs::verify::audit_empty(tree).assert_clean();
+}
+
+/// The slab composes under `Recorded`: latency histograms capture the slab
+/// ops, and the frag/alignment hooks forward through the wrapper.
+#[test]
+fn slab_composes_under_recorded() {
+    let recorder = Arc::new(Recorder::new());
+    let recorded = Recorded::new(slab(), Arc::clone(&recorder));
+    assert_eq!(recorded.granted_size_for(40), Some(40));
+    assert_eq!(recorded.grant_alignment_for(40), Some(8));
+
+    let offs: Vec<usize> = (0..128).filter_map(|_| recorded.alloc(40)).collect();
+    assert_eq!(offs.len(), 128);
+    for &off in &offs {
+        recorded.dealloc(off);
+    }
+    let frag = recorded
+        .frag_stats()
+        .expect("frag forwards through Recorded");
+    assert_eq!(frag.bytes_requested(), 128 * 40);
+    assert_eq!(frag.bytes_committed(), 128 * 40);
+    assert_eq!(frag.live_objects(), 0);
+    assert!(
+        recorder.snapshot(OpKind::Alloc).total() >= 128,
+        "histograms observed the slab allocs"
+    );
+    assert!(recorder.snapshot(OpKind::Free).total() >= 128);
+    recorded.drain_cache();
+    assert_eq!(recorded.allocated_bytes(), 0);
+}
+
+/// The slab composes under an inert `FaultInjecting`: pure forwarding of
+/// the grant geometry and the frag payload.
+#[test]
+fn slab_composes_under_inert_fault_injection() {
+    let wrapped = FaultInjecting::inert(slab());
+    assert_eq!(wrapped.granted_size_for(40), Some(40));
+    assert_eq!(wrapped.grant_alignment_for(48), Some(16));
+    let off = wrapped.alloc(40).expect("inert wrapper forwards");
+    wrapped.dealloc(off);
+    let frag = wrapped
+        .frag_stats()
+        .expect("frag forwards through FaultInjecting");
+    assert_eq!(frag.bytes_requested(), 40);
+    assert_eq!(frag.live_objects(), 0);
+    wrapped.drain_cache();
+    assert_eq!(wrapped.allocated_bytes(), 0);
+}
+
+/// Per-node slabs compose under `NodeSet`: allocations land on the home
+/// node's slab, frees route back to the owning node's page via the packed
+/// offset, and `frag_stats` merges the per-node snapshots.
+#[test]
+fn slab_composes_under_node_set() {
+    const NODES: usize = 3; // deliberately not a power of two
+    let per_node = BuddyConfig::new(1 << 18, MIN, 1 << 13).unwrap();
+    let set = NodeSet::with_topology(
+        (0..NODES)
+            .map(|_| SlabBackend::with_config(NbbsFourLevel::new(per_node), slab_config()))
+            .collect(),
+        Topology::synthetic(NODES),
+        NodePolicy::HomeFirst,
+    );
+    // The class grant and its sub-node alignment survive the widening.
+    assert_eq!(set.granted_size_for(40), Some(40));
+    assert_eq!(set.grant_alignment_for(40), Some(8));
+
+    // Spread allocations explicitly across all nodes, free every one from
+    // this (foreign-to-most-nodes) context.
+    let mut offs = Vec::new();
+    for node in 0..NODES {
+        for _ in 0..64 {
+            offs.push(set.alloc_on(node, 40).expect("node-local slab grant"));
+        }
+    }
+    let frag = set.frag_stats().expect("frag merges across nodes");
+    assert_eq!(frag.bytes_requested(), (NODES * 64 * 40) as u64);
+    assert_eq!(frag.live_objects(), (NODES * 64) as u64);
+    for off in offs {
+        set.dealloc(off);
+    }
+    let frag = set.frag_stats().unwrap();
+    assert_eq!(frag.live_objects(), 0, "cross-node frees found their pages");
+    set.drain_cache();
+    assert_eq!(set.allocated_bytes(), 0);
+    for i in 0..NODES {
+        nbbs::verify::audit_empty(set.node(i).inner()).assert_clean();
+    }
+}
