@@ -9,6 +9,7 @@ use nbbs::error::AllocError;
 use nbbs::{BuddyBackend, BuddyRegion};
 use nbbs_obs::{size_detail, OpKind, OpOutcome, Recorder};
 use nbbs_sync::cycles_now;
+use nbbs_trace::HeapProfiler;
 
 use crate::reserve::{EmergencyReserve, ReserveStatsSnapshot};
 
@@ -30,6 +31,13 @@ pub struct FacadeStatsSnapshot {
     /// `shrink` calls that moved to a smaller size class (releasing the
     /// difference back to the buddy).
     pub shrinks_moved: u64,
+    /// Cumulative bytes *asked for* by successful allocations
+    /// (`layout.size()`, zero-sized grilled up to 1).
+    pub requested_bytes: u64,
+    /// Cumulative bytes *handed out* for those allocations (the granted
+    /// block sizes).  `granted - requested` is internal fragmentation as
+    /// the caller experiences it.
+    pub granted_bytes: u64,
 }
 
 impl FacadeStatsSnapshot {
@@ -40,6 +48,16 @@ impl FacadeStatsSnapshot {
             0.0
         } else {
             self.grows_in_place as f64 / total as f64
+        }
+    }
+
+    /// Granted-to-requested byte ratio — 1.0 means no internal
+    /// fragmentation (and covers the nothing-allocated-yet case).
+    pub fn granted_over_requested(&self) -> f64 {
+        if self.requested_bytes == 0 {
+            1.0
+        } else {
+            self.granted_bytes as f64 / self.requested_bytes as f64
         }
     }
 }
@@ -90,10 +108,16 @@ pub struct NbbsAllocator<A: BuddyBackend> {
     grows_moved: AtomicU64,
     shrinks_in_place: AtomicU64,
     shrinks_moved: AtomicU64,
+    requested_bytes: AtomicU64,
+    granted_bytes: AtomicU64,
     /// Optional latency recorder: every *public* facade operation records
     /// exactly one event (a moved grow is one `Grow`, not a
     /// `Grow` + `Alloc` + `Free`).  `None` skips all timestamp reads.
     obs: Option<Arc<Recorder>>,
+    /// Optional sampled heap profiler: every granted block is offered to
+    /// [`HeapProfiler::record_alloc`] (which samples 1-in-stride) and every
+    /// release to [`HeapProfiler::record_free`].  `None` skips both.
+    profiler: Option<Arc<HeapProfiler>>,
 }
 
 impl<A: BuddyBackend> NbbsAllocator<A> {
@@ -106,7 +130,10 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             grows_moved: AtomicU64::new(0),
             shrinks_in_place: AtomicU64::new(0),
             shrinks_moved: AtomicU64::new(0),
+            requested_bytes: AtomicU64::new(0),
+            granted_bytes: AtomicU64::new(0),
             obs: None,
+            profiler: None,
         }
     }
 
@@ -126,6 +153,25 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
     /// The attached latency recorder, if any.
     pub fn recorder(&self) -> Option<&Arc<Recorder>> {
         self.obs.as_ref()
+    }
+
+    /// Attaches a sampled allocation-site heap profiler: every block the
+    /// facade hands out (buddy or reserve) is offered to the profiler, and
+    /// every release probes its live map.
+    #[must_use]
+    pub fn with_profiler(mut self, profiler: Arc<HeapProfiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Sets or clears the heap profiler in place.
+    pub fn set_profiler(&mut self, profiler: Option<Arc<HeapProfiler>>) {
+        self.profiler = profiler;
+    }
+
+    /// The attached heap profiler, if any.
+    pub fn profiler(&self) -> Option<&Arc<HeapProfiler>> {
+        self.profiler.as_ref()
     }
 
     /// Carves an OOM-path [`EmergencyReserve`] of up to `blocks` blocks of
@@ -216,6 +262,20 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             grows_moved: self.grows_moved.load(Ordering::Relaxed),
             shrinks_in_place: self.shrinks_in_place.load(Ordering::Relaxed),
             shrinks_moved: self.shrinks_moved.load(Ordering::Relaxed),
+            requested_bytes: self.requested_bytes.load(Ordering::Relaxed),
+            granted_bytes: self.granted_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Books a successful grant: requested-vs-granted byte accounting plus
+    /// the (sampled) heap-profiler capture.
+    fn account_grant(&self, layout: Layout, granted: usize, offset: Option<usize>) {
+        self.requested_bytes
+            .fetch_add(layout.size().max(1) as u64, Ordering::Relaxed);
+        self.granted_bytes
+            .fetch_add(granted as u64, Ordering::Relaxed);
+        if let (Some(profiler), Some(offset)) = (&self.profiler, offset) {
+            profiler.record_alloc(offset, granted);
         }
     }
 
@@ -258,13 +318,26 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
                 // `block_size` bytes, naturally aligned like every buddy
                 // block, so the whole block is the grant.
                 if let Some(reserve) = &self.reserve {
-                    if let Some(offset) = reserve.serve(want) {
+                    let t0 = self.obs.as_ref().map(|_| cycles_now());
+                    let served = reserve.serve(want);
+                    if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                        // A miss records too (outcome Failed): the flight
+                        // ring and trace then show the reserve running dry.
+                        rec.record_since(
+                            OpKind::ReserveHit,
+                            t0,
+                            size_detail(want),
+                            OpOutcome::from_ok(served.is_some()),
+                        );
+                    }
+                    if let Some(offset) = served {
                         // SAFETY: `offset` was carved from this region's
                         // backend, so `base + offset` is in bounds.
                         let ptr = unsafe {
                             NonNull::new_unchecked(self.region.base().as_ptr().add(offset))
                         };
                         debug_assert_eq!(ptr.as_ptr() as usize % layout.align(), 0);
+                        self.account_grant(layout, reserve.block_size(), Some(offset));
                         return Ok(NonNull::slice_from_raw_parts(ptr, reserve.block_size()));
                     }
                 }
@@ -273,6 +346,13 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             Err(err) => return Err(err),
         };
         debug_assert_eq!(ptr.as_ptr() as usize % layout.align(), 0);
+        self.account_grant(
+            layout,
+            granted,
+            self.profiler
+                .as_ref()
+                .and_then(|_| self.region.offset_of(ptr)),
+        );
         Ok(NonNull::slice_from_raw_parts(ptr, granted))
     }
 
@@ -316,13 +396,18 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
     unsafe fn deallocate_inner(&self, ptr: NonNull<u8>, layout: Layout) {
         debug_assert!(self.region.contains(ptr), "pointer outside the region");
         debug_assert!(self.granted_size(layout).is_some());
-        if let Some(reserve) = &self.reserve {
+        if self.reserve.is_some() || self.profiler.is_some() {
             if let Some(offset) = self.region.offset_of(ptr) {
-                if reserve.owns(offset) {
-                    // A reserve block refills the pool — the only
-                    // replenishment path — instead of rejoining the buddy.
-                    reserve.replenish(offset);
-                    return;
+                if let Some(profiler) = &self.profiler {
+                    profiler.record_free(offset);
+                }
+                if let Some(reserve) = &self.reserve {
+                    if reserve.owns(offset) {
+                        // A reserve block refills the pool — the only
+                        // replenishment path — instead of rejoining the buddy.
+                        reserve.replenish(offset);
+                        return;
+                    }
                 }
             }
         }
@@ -699,6 +784,77 @@ mod tests {
         assert_eq!(rec.snapshot(OpKind::Shrink).total(), 1);
         assert_eq!(rec.snapshot(OpKind::Free).total(), 1);
         assert_eq!(a.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn requested_vs_granted_accounting_is_cumulative() {
+        let a = facade();
+        let layout = Layout::from_size_align(100, 8).unwrap();
+        let block = a.allocate(layout).unwrap();
+        let granted = block.len() as u64;
+        assert!(granted >= 100);
+        let stats = a.facade_stats();
+        assert_eq!(stats.requested_bytes, 100);
+        assert_eq!(stats.granted_bytes, granted);
+        assert!(stats.granted_over_requested() >= 1.0);
+        unsafe { a.deallocate(block.cast(), layout) };
+        // Frees do not rewind the odometer: both figures are cumulative.
+        assert_eq!(a.facade_stats().requested_bytes, 100);
+        // Zero-sized layouts count as the 1 byte they are grilled up to.
+        let zst = Layout::from_size_align(0, 1).unwrap();
+        let z = a.allocate(zst).unwrap();
+        assert_eq!(a.facade_stats().requested_bytes, 101);
+        unsafe { a.deallocate(z.cast(), zst) };
+    }
+
+    #[test]
+    fn attached_profiler_tracks_live_blocks_through_alloc_and_free() {
+        let profiler = Arc::new(HeapProfiler::new(1)); // sample everything
+        let config = BuddyConfig::new(1 << 20, 64, 1 << 16).unwrap();
+        let a = NbbsAllocator::new(MagazineCache::new(NbbsFourLevel::new(config)))
+            .with_profiler(Arc::clone(&profiler));
+        let layout = Layout::from_size_align(100, 8).unwrap();
+        let block = a.allocate(layout).unwrap();
+        let live = profiler.report();
+        assert_eq!(live.attributed_live_bytes(), block.len() as u64);
+        unsafe { a.deallocate(block.cast(), layout) };
+        assert_eq!(profiler.report().attributed_live_bytes(), 0);
+        // Reallocs track too: the moved block swaps one live entry for
+        // another at the new size.
+        let small = a.allocate(layout).unwrap();
+        let big_layout = Layout::from_size_align(5000, 8).unwrap();
+        let big = unsafe { a.grow(small.cast(), layout, big_layout).unwrap() };
+        assert_eq!(
+            profiler.report().attributed_live_bytes(),
+            big.len() as u64,
+            "old block freed, new block live"
+        );
+        unsafe { a.deallocate(big.cast(), big_layout) };
+        assert_eq!(profiler.report().attributed_live_bytes(), 0);
+    }
+
+    #[test]
+    fn reserve_service_records_reserve_hit_events() {
+        let rec = Arc::new(Recorder::new());
+        let config = BuddyConfig::new(1 << 12, 64, 1 << 10).unwrap();
+        let a = NbbsAllocator::new(NbbsFourLevel::new(config))
+            .with_reserve(1, 1 << 10)
+            .with_recorder(Arc::clone(&rec));
+        let layout = Layout::from_size_align(1 << 10, 8).unwrap();
+        let held: Vec<_> = (0..3).map(|_| a.allocate(layout).unwrap()).collect();
+        let rescued = a.allocate(layout).unwrap(); // OOM -> reserve hit
+        assert!(a.allocate(layout).is_err()); // pool empty -> recorded miss
+        assert_eq!(
+            rec.snapshot(OpKind::ReserveHit).total(),
+            2,
+            "one hit, one miss"
+        );
+        unsafe {
+            a.deallocate(rescued.cast(), layout);
+            for block in held {
+                a.deallocate(block.cast(), layout);
+            }
+        }
     }
 
     #[test]

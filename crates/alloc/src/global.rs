@@ -51,6 +51,7 @@ use nbbs::{BuddyBackend, BuddyConfig, NbbsFourLevel};
 use nbbs_cache::{drain_on_thread_exit, CacheConfig, DrainOnExit, MagazineCache, NodeOfFn};
 use nbbs_numa::{topology, NodePolicy, NodeSet, NodeStatsSnapshot, Topology};
 use nbbs_obs::{FacadeShare, MetricsRegistry, NodeShare, Recorder};
+use nbbs_trace::{HeapProfiler, TraceRing, DEFAULT_PROFILE_STRIDE};
 
 use crate::facade::NbbsAllocator;
 use crate::FacadeStatsSnapshot;
@@ -111,6 +112,13 @@ struct State {
     /// ([`NbbsGlobalAlloc::with_recording`] or `NBBS_OBS=1`); shared by the
     /// facade and the cache's slow paths.
     recorder: Option<Arc<Recorder>>,
+    /// Sampled allocation-site heap profiler, when profiling was requested
+    /// ([`NbbsGlobalAlloc::with_profiling`] or `NBBS_PROFILE=<stride>`).
+    profiler: Option<Arc<HeapProfiler>>,
+    /// Event trace ring, armed by `NBBS_TRACE=1` (dump to stderr on exit)
+    /// or `NBBS_TRACE=<path>` (dump chrome-trace JSON to `<path>`);
+    /// installed as the recorder's event sink.
+    trace: Option<Arc<TraceRing>>,
 }
 
 /// Global-allocator facade over the cached non-blocking buddy.
@@ -143,6 +151,9 @@ pub struct NbbsGlobalAlloc {
     /// Force latency recording on (also switchable per process with
     /// `NBBS_OBS=1`).
     recording: bool,
+    /// Heap-profiling stride baked in at construction (0 = off unless
+    /// `NBBS_PROFILE` arms it; 1 = sample every allocation).
+    profile_stride: u32,
     state: OnceLock<Option<State>>,
     /// Bytes served from the buddy region (cumulative, by requested size).
     buddy_bytes: AtomicU64,
@@ -170,6 +181,7 @@ impl NbbsGlobalAlloc {
             max_size,
             nodes: 1,
             recording: false,
+            profile_stride: 0,
             state: OnceLock::new(),
             buddy_bytes: AtomicU64::new(0),
             system_bytes: AtomicU64::new(0),
@@ -204,6 +216,18 @@ impl NbbsGlobalAlloc {
     #[must_use]
     pub const fn with_recording(mut self) -> Self {
         self.recording = true;
+        self
+    }
+
+    /// Turns on the sampled allocation-site heap profiler: 1-in-`stride`
+    /// allocations capture a backtrace and feed the live-bytes site table
+    /// that [`NbbsGlobalAlloc::heap_profile`] and
+    /// [`NbbsGlobalAlloc::stats_report`] rank (`stride == 1` samples every
+    /// allocation; `0` is treated as 1).  Also switchable per process with
+    /// `NBBS_PROFILE=<stride>` (`NBBS_PROFILE=1` samples everything).
+    #[must_use]
+    pub const fn with_profiling(mut self, stride: u32) -> Self {
+        self.profile_stride = if stride == 0 { 1 } else { stride };
         self
     }
 
@@ -287,9 +311,32 @@ impl NbbsGlobalAlloc {
                 } else {
                     (CacheConfig::default(), "cached-4lvl-nb")
                 };
+                // `NBBS_TRACE` needs a recorder to hook: arming the trace
+                // arms recording too.
+                let trace_armed = std::env::var("NBBS_TRACE").ok().filter(|v| v != "0");
                 let recorder = (self.recording
+                    || trace_armed.is_some()
                     || std::env::var_os("NBBS_OBS").is_some_and(|v| v != "0"))
                 .then(|| Arc::new(Recorder::new()));
+                let trace = trace_armed.is_some().then(|| {
+                    let ring = Arc::new(TraceRing::new());
+                    ring.start();
+                    if let Some(rec) = &recorder {
+                        rec.set_event_sink(Arc::clone(&ring) as _);
+                    }
+                    ring
+                });
+                let env_profile = std::env::var("NBBS_PROFILE").ok().filter(|v| v != "0");
+                let profiler = (self.profile_stride > 0 || env_profile.is_some()).then(|| {
+                    let stride = env_profile.and_then(|v| v.parse::<u32>().ok()).unwrap_or(
+                        if self.profile_stride > 0 {
+                            self.profile_stride
+                        } else {
+                            DEFAULT_PROFILE_STRIDE
+                        },
+                    );
+                    Arc::new(HeapProfiler::new(stride))
+                });
                 let mut cache = MagazineCache::with_config_and_name(set, cache_config, name);
                 cache.set_recorder(recorder.clone());
                 let cache = Arc::new(cache);
@@ -298,6 +345,7 @@ impl NbbsGlobalAlloc {
                     facade = facade.with_reserve(self.reserve_blocks, self.reserve_block_size);
                 }
                 facade.set_recorder(recorder.clone());
+                facade.set_profiler(profiler.clone());
                 let exit_hook = Arc::new(ExitLatch {
                     cache: Arc::clone(&cache),
                 });
@@ -306,6 +354,8 @@ impl NbbsGlobalAlloc {
                     cache,
                     exit_hook,
                     recorder,
+                    profiler,
+                    trace,
                 })
             })
             .as_ref()
@@ -437,6 +487,44 @@ impl NbbsGlobalAlloc {
         self.built_state().and_then(|s| s.recorder.as_ref())
     }
 
+    /// The heap profiler (present when built with
+    /// [`NbbsGlobalAlloc::with_profiling`] or `NBBS_PROFILE=<stride>`).
+    pub fn profiler(&self) -> Option<&Arc<HeapProfiler>> {
+        self.built_state().and_then(|s| s.profiler.as_ref())
+    }
+
+    /// A ranked point-in-time heap profile (live bytes by allocation
+    /// site), when profiling is on.
+    pub fn heap_profile(&self) -> Option<nbbs_trace::ProfileReport> {
+        self.profiler().map(|p| p.report())
+    }
+
+    /// The armed event-trace ring (present when built under
+    /// `NBBS_TRACE=1` or `NBBS_TRACE=<path>`).
+    pub fn trace_ring(&self) -> Option<&Arc<TraceRing>> {
+        self.built_state().and_then(|s| s.trace.as_ref())
+    }
+
+    /// Stops the armed trace ring and dumps it as chrome-trace JSON:
+    /// to the file `NBBS_TRACE` names, or to stderr when `NBBS_TRACE=1`.
+    /// No-op without an armed ring.  Runs automatically from the
+    /// [`NbbsGlobalAlloc::print_stats_on_exit`] hook.
+    pub fn dump_trace(&self) {
+        let Some(ring) = self.trace_ring() else {
+            return;
+        };
+        ring.stop();
+        let json = ring.to_chrome_json("nbbs-global");
+        match std::env::var("NBBS_TRACE") {
+            Ok(path) if path != "1" && !path.is_empty() => {
+                if std::fs::write(&path, &json).is_err() {
+                    eprintln!("{json}");
+                }
+            }
+            _ => eprintln!("{json}"),
+        }
+    }
+
     /// The full telemetry of the stack as one unified
     /// [`nbbs_obs::StackSnapshot`] — backend counters, cache counters,
     /// magazine capacities, per-node shares, facade byte shares, and (when
@@ -453,6 +541,8 @@ impl NbbsGlobalAlloc {
             facade.grows_moved = f.grows_moved;
             facade.shrinks_in_place = f.shrinks_in_place;
             facade.shrinks_moved = f.shrinks_moved;
+            facade.requested_bytes = f.requested_bytes;
+            facade.granted_bytes = f.granted_bytes;
         }
         facade.system_failovers = self.system_failovers();
         if let Some(r) = self.reserve_stats() {
@@ -501,6 +591,9 @@ impl NbbsGlobalAlloc {
                 out.push_str(&rec.flight().render());
             }
         }
+        if let Some(profile) = self.heap_profile() {
+            out.push_str(&profile.text(10));
+        }
         out
     }
 
@@ -543,7 +636,9 @@ mod exit_dump {
             if !ptr.is_null() {
                 // SAFETY: only `register` stores here, always a valid
                 // `&'static NbbsGlobalAlloc`.
-                eprint!("{}", unsafe { &*ptr }.stats_report());
+                let alloc = unsafe { &*ptr };
+                eprint!("{}", alloc.stats_report());
+                alloc.dump_trace();
             }
         }
     }
@@ -912,6 +1007,29 @@ mod tests {
         a.print_stats_on_exit();
         a.print_stats_on_exit();
         super::exit_dump::dump_now();
+    }
+
+    #[test]
+    fn profiling_build_attributes_live_bytes_to_sites() {
+        let a = NbbsGlobalAlloc::new(1 << 18, 64, 1 << 12).with_profiling(1);
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(a.owns(p));
+            let profile = a.heap_profile().expect("profiler armed");
+            assert_eq!(profile.stride, 1);
+            assert_eq!(profile.attributed_live_bytes(), 256);
+            assert!(
+                a.stats_report().contains("== heap profile:"),
+                "report carries the ranked site table"
+            );
+            a.dealloc(p, layout);
+        }
+        assert_eq!(a.heap_profile().unwrap().attributed_live_bytes(), 0);
+        // Requested-vs-granted flows into the unified snapshot.
+        let share = a.metrics().facade.expect("facade share present");
+        assert_eq!(share.requested_bytes, 256);
+        assert_eq!(share.granted_bytes, 256);
     }
 
     #[test]

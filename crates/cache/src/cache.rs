@@ -521,6 +521,8 @@ impl<A: BuddyBackend> MagazineCache<A> {
         if stranded.is_empty() {
             return;
         }
+        let rescued = stranded.len() as u64;
+        let t0 = self.obs.as_ref().map(|_| cycles_now());
         let mut guard = OrphanGuard {
             cache: self,
             chunks: stranded,
@@ -529,6 +531,9 @@ impl<A: BuddyBackend> MagazineCache<A> {
             self.backend.dealloc(off);
             guard.chunks.pop();
             self.counters.orphan_rescues.fetch_add(1, Ordering::Relaxed);
+        }
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.record_since(OpKind::OrphanRescue, t0, rescued, OpOutcome::Ok);
         }
     }
 
@@ -548,7 +553,17 @@ impl<A: BuddyBackend> MagazineCache<A> {
                     self.counters
                         .transient_retries
                         .fetch_add(1, Ordering::Relaxed);
+                    let t0 = self.obs.as_ref().map(|_| cycles_now());
                     backoff.spin_jittered(salt ^ (u64::from(attempt) << 32));
+                    if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                        // One retry round: the latency is the backoff spin.
+                        rec.record_since(
+                            OpKind::TransientRetry,
+                            t0,
+                            u64::from(attempt),
+                            OpOutcome::Ok,
+                        );
+                    }
                 }
                 Err(_) => return None,
             }
@@ -1171,6 +1186,10 @@ impl<A: BuddyBackend> BuddyBackend for MagazineCache<A> {
         // the freshly-drained inner cache.
         self.drain_all();
         self.backend.drain_cache();
+    }
+
+    fn occupancy(&self) -> Option<nbbs::OccupancySnapshot> {
+        self.backend.occupancy()
     }
 }
 

@@ -427,6 +427,10 @@ impl<A: BuddyBackend> BuddyBackend for FaultInjecting<A> {
     fn drain_cache(&self) {
         self.inner.drain_cache()
     }
+
+    fn occupancy(&self) -> Option<nbbs::OccupancySnapshot> {
+        self.inner.occupancy()
+    }
 }
 
 impl<A: TreeInspect> TreeInspect for FaultInjecting<A> {

@@ -812,6 +812,10 @@ impl BuddyBackend for NbbsFourLevel {
         }
         Some(geo.size_of(n))
     }
+
+    fn occupancy(&self) -> Option<crate::occupancy::OccupancySnapshot> {
+        Some(crate::occupancy::occupancy_of(self))
+    }
 }
 
 impl TreeInspect for NbbsFourLevel {

@@ -102,6 +102,7 @@ pub mod geometry;
 pub mod global;
 pub mod locked;
 pub mod multi;
+pub mod occupancy;
 pub mod onelvl;
 pub mod region;
 pub mod stats;
@@ -119,6 +120,7 @@ pub use locked::{LockedBuddy, LockedFourLevel, LockedOneLevel};
 pub use multi::nearest_first_order;
 #[allow(deprecated)]
 pub use multi::MultiInstance;
+pub use occupancy::{occupancy_of, LevelOccupancy, OccupancySnapshot};
 pub use onelvl::NbbsOneLevel;
 pub use region::BuddyRegion;
 pub use stats::{

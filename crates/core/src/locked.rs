@@ -116,6 +116,11 @@ impl<A: BuddyBackend> BuddyBackend for LockedBuddy<A> {
         let _guard = self.lock.lock();
         self.inner.drain_cache();
     }
+
+    fn occupancy(&self) -> Option<crate::occupancy::OccupancySnapshot> {
+        // Atomic metadata reads only, same contract as the snapshots.
+        self.inner.occupancy()
+    }
 }
 
 impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for LockedBuddy<A> {

@@ -1,0 +1,341 @@
+//! Tree occupancy inspection: per-level fill and external fragmentation.
+//!
+//! The status tree already encodes, node by node, everything needed to
+//! answer "how full is each level and how shattered is the free space" —
+//! the questions a soak or a capacity planner asks between the aggregate
+//! counters (`allocated_bytes`) and a full [`crate::verify`] audit.  This
+//! module walks a [`TreeInspect`] view once and folds it into an
+//! [`OccupancySnapshot`]:
+//!
+//! * per-level node classification (free / occupied-here / branch-busy),
+//!   which renders as the occupancy heatmap in the metrics registry.  Only
+//!   the *allocatable* levels (`max_level..=depth`) are walked: the climb
+//!   of both release and allocation stops at `max_level`, so status bytes
+//!   above it are never written and carry no information;
+//! * the maximal free blocks (a free node whose ancestors up to
+//!   `max_level` are not free is the root of one), coalesced into
+//!   contiguous *runs* by offset — adjacent free subtrees are one run even
+//!   though the tree never merges them above `max_level` — giving *total
+//!   free bytes* and the *largest free block*;
+//! * the external-fragmentation metric the ISSUE tracks:
+//!   `largest-free-block / total-free` — `1.0` means the free space is one
+//!   contiguous chunk, values near `0` mean it is shattered into slivers
+//!   no large request can use.
+//!
+//! The walk is read-only and runs over live atomics, so concurrent
+//! operations can tear the answer; like every other snapshot in the stack
+//! it is exact at quiescence and best-effort in flight.
+
+use crate::geometry::Geometry;
+use crate::status::{is_free, is_occupied};
+use crate::traits::TreeInspect;
+
+/// Node classification counts for one tree level.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LevelOccupancy {
+    /// Level index in the tree (0 = root; the first reported level is the
+    /// geometry's `max_level`).
+    pub level: u32,
+    /// Chunk size one node of this level manages, in bytes.
+    pub chunk_size: usize,
+    /// Nodes at this level.
+    pub nodes: usize,
+    /// Nodes whose whole subtree is free.
+    pub free: usize,
+    /// Nodes serving an allocation targeted exactly at them (or covered by
+    /// an occupied ancestor — their bytes are just as taken).
+    pub occupied: usize,
+    /// Nodes neither free nor occupied: branch bits say allocations live
+    /// somewhere below.
+    pub busy: usize,
+}
+
+impl LevelOccupancy {
+    /// Fraction of this level's nodes that are not entirely free,
+    /// in `0.0..=1.0` (`0.0` for a level with no nodes).
+    pub fn fill(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            (self.occupied + self.busy) as f64 / self.nodes as f64
+        }
+    }
+}
+
+/// Point-in-time occupancy of one tree (or several merged trees).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OccupancySnapshot {
+    /// Per-level classification over the allocatable levels, largest
+    /// chunks first.
+    pub levels: Vec<LevelOccupancy>,
+    /// Bytes under maximal free subtrees.
+    pub total_free_bytes: usize,
+    /// Largest contiguous run of free bytes (adjacent free subtrees
+    /// coalesced by offset), in bytes.
+    pub largest_free_block: usize,
+    /// Number of contiguous free runs the free bytes are split into.
+    pub free_blocks: usize,
+    /// Trees folded into this snapshot (NUMA node sets merge one per node).
+    pub merged_trees: usize,
+}
+
+impl OccupancySnapshot {
+    /// The external-fragmentation metric: `largest_free_block /
+    /// total_free_bytes`.  `1.0` when the free space is a single contiguous
+    /// block (no external fragmentation), approaching `0.0` as it shatters;
+    /// reported as `1.0` for a tree with no free space at all (nothing is
+    /// fragmented when nothing is free).
+    pub fn external_frag(&self) -> f64 {
+        if self.total_free_bytes == 0 {
+            1.0
+        } else {
+            self.largest_free_block as f64 / self.total_free_bytes as f64
+        }
+    }
+
+    /// Folds another tree's snapshot into this one: levels are matched by
+    /// chunk size, free bytes add up, and the largest block is the maximum
+    /// across trees (free space on different nodes is never contiguous).
+    pub fn merge(&mut self, other: &OccupancySnapshot) {
+        for lvl in &other.levels {
+            match self
+                .levels
+                .iter_mut()
+                .find(|l| l.chunk_size == lvl.chunk_size)
+            {
+                Some(mine) => {
+                    mine.nodes += lvl.nodes;
+                    mine.free += lvl.free;
+                    mine.occupied += lvl.occupied;
+                    mine.busy += lvl.busy;
+                }
+                None => self.levels.push(lvl.clone()),
+            }
+        }
+        self.levels
+            .sort_by_key(|l| core::cmp::Reverse(l.chunk_size));
+        self.total_free_bytes += other.total_free_bytes;
+        self.largest_free_block = self.largest_free_block.max(other.largest_free_block);
+        self.free_blocks += other.free_blocks;
+        self.merged_trees += other.merged_trees;
+    }
+}
+
+/// Walks the status tree of `tree` into an [`OccupancySnapshot`].
+///
+/// A free node under an occupied ancestor is counted as occupied (its bytes
+/// are granted even though its own status byte is untouched), so the
+/// per-level counts reflect the *derived* occupancy rather than the raw
+/// bits.  Coalescing bits do not make a node busy, mirroring
+/// [`is_free`].
+pub fn occupancy_of<T: TreeInspect + ?Sized>(tree: &T) -> OccupancySnapshot {
+    let g = tree.inspect_geometry();
+    let top = g.max_level();
+    let mut snap = OccupancySnapshot {
+        levels: (top..=g.depth())
+            .map(|level| LevelOccupancy {
+                level,
+                chunk_size: g.size_of_level(level),
+                nodes: g.nodes_at_level(level),
+                ..LevelOccupancy::default()
+            })
+            .collect(),
+        merged_trees: 1,
+        ..OccupancySnapshot::default()
+    };
+    // DFS left-to-right over each max_level subtree yields the maximal free
+    // subtrees in ascending offset order, ready for run coalescing.
+    let mut free_subtrees: Vec<(usize, usize)> = Vec::new();
+    for pos in 0..g.nodes_at_level(top) {
+        walk(
+            tree,
+            g,
+            g.node_at(top, pos),
+            Cover::None,
+            &mut snap,
+            &mut free_subtrees,
+        );
+    }
+    let mut run_len = 0usize;
+    let mut run_end = usize::MAX;
+    for (off, size) in free_subtrees {
+        if off == run_end {
+            run_len += size;
+        } else {
+            if run_len > 0 {
+                snap.free_blocks += 1;
+            }
+            run_len = size;
+        }
+        run_end = off + size;
+        snap.total_free_bytes += size;
+        snap.largest_free_block = snap.largest_free_block.max(run_len);
+    }
+    if run_len > 0 {
+        snap.free_blocks += 1;
+    }
+    snap
+}
+
+/// How an ancestor constrains the node being visited.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Cover {
+    /// No ancestor decided this subtree's fate.
+    None,
+    /// An ancestor is occupied: every byte below is granted.
+    Occupied,
+    /// An ancestor is entirely free: every byte below is free (and already
+    /// counted as part of the ancestor's maximal free block).
+    Free,
+}
+
+fn walk<T: TreeInspect + ?Sized>(
+    tree: &T,
+    g: &Geometry,
+    n: usize,
+    cover: Cover,
+    snap: &mut OccupancySnapshot,
+    free_subtrees: &mut Vec<(usize, usize)>,
+) {
+    let level = (g.level_of(n) - g.max_level()) as usize;
+    let next = match cover {
+        Cover::Occupied => {
+            snap.levels[level].occupied += 1;
+            Cover::Occupied
+        }
+        Cover::Free => {
+            snap.levels[level].free += 1;
+            Cover::Free
+        }
+        Cover::None => {
+            let status = tree.node_status(n);
+            if is_occupied(status) {
+                snap.levels[level].occupied += 1;
+                Cover::Occupied
+            } else if is_free(status) {
+                // Root of a maximal free subtree: account the whole block.
+                snap.levels[level].free += 1;
+                free_subtrees.push((g.offset_of(n), g.size_of(n)));
+                Cover::Free
+            } else {
+                snap.levels[level].busy += 1;
+                Cover::None
+            }
+        }
+    };
+    let left = g.left_child(n);
+    if left <= g.node_count() {
+        walk(tree, g, left, next, snap, free_subtrees);
+        walk(tree, g, g.right_child(n), next, snap, free_subtrees);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BuddyConfig;
+    use crate::fourlvl::NbbsFourLevel;
+    use crate::onelvl::NbbsOneLevel;
+    use crate::traits::BuddyBackend;
+
+    fn config() -> BuddyConfig {
+        BuddyConfig::new(1 << 16, 64, 1 << 12).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_is_one_free_block() {
+        let buddy = NbbsOneLevel::new(config());
+        let snap = occupancy_of(&buddy);
+        assert_eq!(snap.total_free_bytes, 1 << 16);
+        assert_eq!(snap.largest_free_block, 1 << 16);
+        assert_eq!(snap.free_blocks, 1);
+        assert_eq!(snap.external_frag(), 1.0);
+        assert_eq!(snap.merged_trees, 1);
+        assert_eq!(
+            snap.levels[0].chunk_size,
+            1 << 12,
+            "reporting starts at max_level"
+        );
+        for lvl in &snap.levels {
+            assert_eq!(lvl.free, lvl.nodes, "everything below is covered-free");
+            assert_eq!(lvl.fill(), 0.0);
+        }
+    }
+
+    #[test]
+    fn allocations_shrink_the_free_side() {
+        let buddy = NbbsFourLevel::new(config());
+        let a = buddy.alloc(4096).unwrap();
+        let snap = occupancy_of(&buddy);
+        assert_eq!(
+            snap.total_free_bytes,
+            (1 << 16) - 4096,
+            "free bytes exclude the granted chunk"
+        );
+        assert!(snap.largest_free_block >= 1 << 15);
+        assert_eq!(
+            snap.levels[0].occupied, 1,
+            "one max_level chunk is taken whole"
+        );
+        let leaf_level = snap.levels.last().unwrap();
+        assert!(leaf_level.occupied >= 1, "covered leaves count as occupied");
+        buddy.dealloc(a);
+        let after = occupancy_of(&buddy);
+        assert_eq!(after.total_free_bytes, 1 << 16);
+        assert_eq!(after.free_blocks, 1);
+    }
+
+    #[test]
+    fn interleaved_frees_fragment_the_tree() {
+        let buddy = NbbsOneLevel::new(config());
+        let offs: Vec<usize> = (0..8).map(|_| buddy.alloc(4096).unwrap()).collect();
+        // Free every other chunk: the free space is shattered.
+        for off in offs.iter().step_by(2) {
+            buddy.dealloc(*off);
+        }
+        let snap = occupancy_of(&buddy);
+        assert!(
+            snap.free_blocks >= 4,
+            "alternating frees leave many blocks: {snap:?}"
+        );
+        assert!(
+            snap.external_frag() < 1.0,
+            "largest block no longer covers all free bytes"
+        );
+        for off in offs.iter().skip(1).step_by(2) {
+            buddy.dealloc(*off);
+        }
+        assert_eq!(occupancy_of(&buddy).free_blocks, 1, "coalesced back");
+    }
+
+    #[test]
+    fn merge_folds_levels_and_extremes() {
+        let a = NbbsOneLevel::new(config());
+        let b = NbbsOneLevel::new(config());
+        let _hold = b.alloc(4096).unwrap();
+        let mut merged = occupancy_of(&a);
+        merged.merge(&occupancy_of(&b));
+        assert_eq!(merged.merged_trees, 2);
+        assert_eq!(merged.total_free_bytes, 2 * (1 << 16) - 4096);
+        assert_eq!(
+            merged.largest_free_block,
+            1 << 16,
+            "blocks on different trees never merge"
+        );
+        assert_eq!(merged.levels[0].nodes, 32, "levels folded by chunk size");
+    }
+
+    #[test]
+    fn occupancy_hook_reaches_through_the_trait() {
+        let buddy: &dyn BuddyBackend = &NbbsFourLevel::new(config());
+        let snap = buddy.occupancy().expect("trees answer the hook");
+        assert_eq!(snap.total_free_bytes, 1 << 16);
+        let arc = std::sync::Arc::new(NbbsOneLevel::new(config()));
+        assert!(arc.occupancy().is_some(), "Arc forwards the hook");
+        let by_ref: &NbbsOneLevel = &arc;
+        assert!(
+            BuddyBackend::occupancy(&by_ref).is_some(),
+            "&T forwards the hook"
+        );
+    }
+}

@@ -409,6 +409,10 @@ impl BuddyBackend for NbbsOneLevel {
         }
         Some(self.geo.size_of(n))
     }
+
+    fn occupancy(&self) -> Option<crate::occupancy::OccupancySnapshot> {
+        Some(crate::occupancy::occupancy_of(self))
+    }
 }
 
 impl TreeInspect for NbbsOneLevel {

@@ -12,6 +12,7 @@
 
 use crate::error::{AllocError, FreeError};
 use crate::geometry::Geometry;
+use crate::occupancy::OccupancySnapshot;
 use crate::stats::{CacheStatsSnapshot, FragStatsSnapshot, OpStatsSnapshot};
 
 /// A concurrent back-end buddy allocator over a contiguous region.
@@ -190,6 +191,20 @@ pub trait BuddyBackend: Send + Sync {
     /// Callers use it at quiescent points (between benchmark epochs, before
     /// capacity assertions or metadata audits).
     fn drain_cache(&self) {}
+
+    /// Point-in-time tree occupancy (per-level fill, maximal free blocks,
+    /// external fragmentation), or `None` for backends without a status
+    /// tree to walk.
+    ///
+    /// The tree-based allocators answer via
+    /// [`crate::occupancy::occupancy_of`]; wrappers forward so reports can
+    /// render the occupancy heatmap through `dyn BuddyBackend`, and
+    /// multi-node backends merge one snapshot per node.  Like every other
+    /// snapshot the answer is exact at quiescence and best-effort while
+    /// operations are in flight.
+    fn occupancy(&self) -> Option<OccupancySnapshot> {
+        None
+    }
 }
 
 /// Read-only access to the logical status of every tree node.
@@ -260,6 +275,9 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for std::sync::Arc<T> {
     fn drain_cache(&self) {
         (**self).drain_cache()
     }
+    fn occupancy(&self) -> Option<OccupancySnapshot> {
+        (**self).occupancy()
+    }
 }
 
 impl<T: BuddyBackend + ?Sized> BuddyBackend for &T {
@@ -310,5 +328,8 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for &T {
     }
     fn drain_cache(&self) {
         (**self).drain_cache()
+    }
+    fn occupancy(&self) -> Option<OccupancySnapshot> {
+        (**self).occupancy()
     }
 }

@@ -215,9 +215,12 @@ impl<A: BuddyBackend> NodeSet<A> {
     }
 
     /// The calling thread's home node (topology home, modulo the node
-    /// count).
+    /// count).  Publishes the answer as the thread's trace node hint, so
+    /// events this thread subsequently records carry the node lane.
     pub fn home_node(&self) -> usize {
-        self.topology.current_node() % self.nodes.len()
+        let node = self.topology.current_node() % self.nodes.len();
+        nbbs_trace::set_thread_node(node);
+        node
     }
 
     /// Packs `(node, local offset)` into a global offset.
@@ -432,6 +435,19 @@ impl<A: BuddyBackend> BuddyBackend for NodeSet<A> {
         for n in &self.nodes {
             n.drain_cache();
         }
+    }
+
+    fn occupancy(&self) -> Option<nbbs::OccupancySnapshot> {
+        let mut merged: Option<nbbs::OccupancySnapshot> = None;
+        for n in &self.nodes {
+            if let Some(s) = n.occupancy() {
+                match &mut merged {
+                    Some(acc) => acc.merge(&s),
+                    None => merged = Some(s),
+                }
+            }
+        }
+        merged
     }
 }
 

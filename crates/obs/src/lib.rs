@@ -42,7 +42,7 @@ pub use hist::{
     LatencyHistogram, LatencyPercentiles, BUCKETS,
 };
 pub use recorded::{Recorded, DEFAULT_SAMPLE_STRIDE};
-pub use recorder::{size_detail, OpKind, OpOutcome, Recorder};
+pub use recorder::{size_detail, EventSink, OpKind, OpOutcome, Recorder};
 pub use registry::{FacadeShare, MetricsRegistry, NodeShare, StackSnapshot};
 
 /// Hand-rolled JSON helpers shared by every exposition path in the

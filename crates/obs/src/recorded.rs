@@ -196,6 +196,10 @@ impl<A: BuddyBackend> BuddyBackend for Recorded<A> {
     fn drain_cache(&self) {
         self.inner.drain_cache()
     }
+
+    fn occupancy(&self) -> Option<nbbs::OccupancySnapshot> {
+        self.inner.occupancy()
+    }
 }
 
 #[cfg(test)]

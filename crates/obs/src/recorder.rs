@@ -43,11 +43,21 @@ pub enum OpKind {
     CacheFlush = 5,
     /// A batched backend refill after a miss.
     CacheRefill = 6,
+    /// The slab layer carving a fresh page out of the buddy tree.
+    PageGrant = 7,
+    /// The slab layer returning an empty page to the buddy tree.
+    PageRetire = 8,
+    /// A rescue pass returning chunks or pages a panic stranded mid-flight.
+    OrphanRescue = 9,
+    /// A hard backend OOM served from the facade's emergency reserve.
+    ReserveHit = 10,
+    /// One retry-with-backoff round after a transient backend failure.
+    TransientRetry = 11,
 }
 
 impl OpKind {
     /// Number of kinds (the recorder keeps one histogram per kind).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 12;
 
     /// Every kind, in discriminant order.
     pub const ALL: [OpKind; OpKind::COUNT] = [
@@ -58,6 +68,11 @@ impl OpKind {
         OpKind::CacheMiss,
         OpKind::CacheFlush,
         OpKind::CacheRefill,
+        OpKind::PageGrant,
+        OpKind::PageRetire,
+        OpKind::OrphanRescue,
+        OpKind::ReserveHit,
+        OpKind::TransientRetry,
     ];
 
     /// Short stable name used in reports and JSON keys.
@@ -70,6 +85,11 @@ impl OpKind {
             OpKind::CacheMiss => "cache_miss",
             OpKind::CacheFlush => "cache_flush",
             OpKind::CacheRefill => "cache_refill",
+            OpKind::PageGrant => "page_grant",
+            OpKind::PageRetire => "page_retire",
+            OpKind::OrphanRescue => "orphan_rescue",
+            OpKind::ReserveHit => "reserve_hit",
+            OpKind::TransientRetry => "transient_retry",
         }
     }
 
@@ -100,14 +120,41 @@ impl OpOutcome {
     }
 }
 
+/// A consumer of raw, per-operation events — the hook the trace plane
+/// (`nbbs-trace`) installs to see every recorded operation with its start
+/// timestamp, not just the aggregate histogram bucket.
+///
+/// Implementations must be lock-free and cheap: the sink runs inline on
+/// every (sampled) recording of every instrumented layer.  Enable/disable
+/// gating is the sink's own business (the trace ring checks one relaxed
+/// atomic and returns), so a Recorder with a stopped sink stays within the
+/// recording-disabled overhead budget.
+pub trait EventSink: Send + Sync {
+    /// One completed operation: its kind, the TSC value at which it
+    /// started, its duration in cycles, the flight-recorder `detail`
+    /// payload (size-class log2, refill count, tree level…), and outcome.
+    fn event(
+        &self,
+        kind: OpKind,
+        start_cycles: u64,
+        duration_cycles: u64,
+        detail: u64,
+        outcome: OpOutcome,
+    );
+}
+
 /// The per-stack recording sink: one latency histogram per [`OpKind`] plus
-/// the flight recorder of recent operations.
+/// the flight recorder of recent operations, and an optional [`EventSink`]
+/// fan-out feeding the trace plane.
 ///
 /// Shared as `Arc<Recorder>` by every instrumented layer of one allocator
-/// stack, so a single snapshot sees the facade and the cache together.
+/// stack, so a single snapshot sees the facade and the cache together —
+/// and a single `set_event_sink` call threads the trace ring through every
+/// layer at once.
 pub struct Recorder {
     hists: [LatencyHistogram; OpKind::COUNT],
     flight: FlightRecorder,
+    sink: std::sync::OnceLock<std::sync::Arc<dyn EventSink>>,
 }
 
 impl Recorder {
@@ -116,7 +163,21 @@ impl Recorder {
         Recorder {
             hists: std::array::from_fn(|_| LatencyHistogram::new()),
             flight: FlightRecorder::new(),
+            sink: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Installs the event sink every subsequent recording fans out to.
+    /// A recorder accepts one sink for its lifetime (the layers sharing it
+    /// hold plain `Arc`s — swapping sinks under them would race); returns
+    /// `false` if one was already installed.
+    pub fn set_event_sink(&self, sink: std::sync::Arc<dyn EventSink>) -> bool {
+        self.sink.set(sink).is_ok()
+    }
+
+    /// The installed event sink, if any.
+    pub fn event_sink(&self) -> Option<&std::sync::Arc<dyn EventSink>> {
+        self.sink.get()
     }
 
     /// Records one operation that started at TSC value `start_cycles`.
@@ -126,7 +187,12 @@ impl Recorder {
     #[inline]
     pub fn record_since(&self, kind: OpKind, start_cycles: u64, detail: u64, outcome: OpOutcome) {
         let dt = cycles_now().wrapping_sub(start_cycles);
-        self.record_cycles(kind, dt, detail, outcome);
+        let bucket = bucket_index(dt);
+        self.hists[kind as usize].record_with_bucket(dt, bucket);
+        self.flight.push(kind, outcome, bucket as u8, detail);
+        if let Some(sink) = self.sink.get() {
+            sink.event(kind, start_cycles, dt, detail, outcome);
+        }
     }
 
     /// Records one operation of known duration `cycles`.
@@ -135,6 +201,17 @@ impl Recorder {
         let bucket = bucket_index(cycles);
         self.hists[kind as usize].record_with_bucket(cycles, bucket);
         self.flight.push(kind, outcome, bucket as u8, detail);
+        if let Some(sink) = self.sink.get() {
+            // The start is reconstructed; one TSC read is paid only when a
+            // sink is actually installed.
+            sink.event(
+                kind,
+                cycles_now().wrapping_sub(cycles),
+                cycles,
+                detail,
+                outcome,
+            );
+        }
     }
 
     /// The histogram of one operation kind.
@@ -229,6 +306,39 @@ mod tests {
         let snap = rec.snapshot(OpKind::Alloc);
         assert_eq!(snap.total(), 1);
         assert!(snap.max > 0, "real work takes nonzero cycles");
+    }
+
+    #[test]
+    fn event_sink_sees_every_recording_once_installed() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        #[derive(Default)]
+        struct Counting {
+            events: AtomicU64,
+            cycles: AtomicU64,
+        }
+        impl EventSink for Counting {
+            fn event(&self, _: OpKind, start: u64, dur: u64, _: u64, _: OpOutcome) {
+                assert!(start > 0, "start TSC is reconstructed when absent");
+                self.events.fetch_add(1, Ordering::Relaxed);
+                self.cycles.fetch_add(dur, Ordering::Relaxed);
+            }
+        }
+
+        let rec = Recorder::new();
+        rec.record_cycles(OpKind::Alloc, 10, 0, OpOutcome::Ok);
+        let sink = Arc::new(Counting::default());
+        assert!(rec.set_event_sink(Arc::clone(&sink) as Arc<dyn EventSink>));
+        assert!(
+            !rec.set_event_sink(Arc::clone(&sink) as Arc<dyn EventSink>),
+            "a recorder accepts one sink for its lifetime"
+        );
+        rec.record_cycles(OpKind::PageGrant, 70, 3, OpOutcome::Ok);
+        rec.record_since(OpKind::ReserveHit, cycles_now(), 1, OpOutcome::Failed);
+        assert_eq!(sink.events.load(Ordering::Relaxed), 2);
+        assert!(sink.cycles.load(Ordering::Relaxed) >= 70);
+        assert_eq!(rec.snapshot(OpKind::PageGrant).total(), 1);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 
 use std::sync::Arc;
 
-use nbbs::{BuddyBackend, CacheStatsSnapshot, FragStatsSnapshot, OpStatsSnapshot, CAS_LEVELS};
+use nbbs::{
+    BuddyBackend, CacheStatsSnapshot, FragStatsSnapshot, OccupancySnapshot, OpStatsSnapshot,
+    CAS_LEVELS,
+};
 
 use crate::hist::LatencyPercentiles;
 use crate::recorder::{OpKind, Recorder};
@@ -67,6 +70,13 @@ pub struct FacadeShare {
     pub reserve_hits: u64,
     /// Reserve blocks returned by frees of reserve-owned memory.
     pub reserve_refills: u64,
+    /// Cumulative bytes end users *requested* through the facade
+    /// (`Layout::size`), before any rounding.
+    pub requested_bytes: u64,
+    /// Cumulative bytes the backend actually *granted* for those requests
+    /// (size class or power-of-two chunk) — the facade-level
+    /// fragmentation numerator.
+    pub granted_bytes: u64,
 }
 
 impl FacadeShare {
@@ -90,6 +100,19 @@ impl FacadeShare {
             self.grows_in_place as f64 / total as f64
         }
     }
+
+    /// Granted-over-requested ratio at the facade boundary — internal
+    /// fragmentation as the *end user* experiences it (`1.0` = no waste,
+    /// and when nothing was requested).  Unlike the slab layer's
+    /// `FragStatsSnapshot::ratio`, which sees magazine refill batches,
+    /// this measures the caller's `Layout` sizes.
+    pub fn granted_over_requested(&self) -> f64 {
+        if self.requested_bytes == 0 {
+            1.0
+        } else {
+            self.granted_bytes as f64 / self.requested_bytes as f64
+        }
+    }
 }
 
 /// Everything one allocator stack reports, in one typed value.
@@ -110,6 +133,9 @@ pub struct StackSnapshot {
     pub frag: Option<FragStatsSnapshot>,
     /// Facade byte shares and realloc counters, if the stack has a facade.
     pub facade: Option<FacadeShare>,
+    /// Tree occupancy (per-level fill, free-block runs, external
+    /// fragmentation), if the backend exposes a status tree.
+    pub occupancy: Option<OccupancySnapshot>,
     /// Tail-latency summaries per recorded operation kind (only kinds with
     /// at least one sample appear; ordered by [`OpKind::ALL`]).
     pub latency: Vec<(OpKind, LatencyPercentiles)>,
@@ -152,6 +178,15 @@ impl StackSnapshot {
                 f.shrinks_in_place,
                 f.shrinks_moved
             );
+            if f.requested_bytes > 0 {
+                let _ = writeln!(
+                    out,
+                    "  facade   {:.2} granted/requested ({} B granted over {} B asked)",
+                    f.granted_over_requested(),
+                    f.granted_bytes,
+                    f.requested_bytes
+                );
+            }
             if f.system_failovers + f.reserve_hits + f.reserve_refills > 0 {
                 let _ = writeln!(
                     out,
@@ -233,6 +268,23 @@ impl StackSnapshot {
                 .map(|i| format!("L{i}:{}", ops.cas_failures_by_level[i]))
                 .collect();
             let _ = writeln!(out, "  backend  CAS failures by level: {}", bins.join(" "));
+        }
+        if let Some(occ) = &self.occupancy {
+            let heat: Vec<String> = occ
+                .levels
+                .iter()
+                .map(|l| format!("{}:{:>3.0}%", fmt_size(l.chunk_size), l.fill() * 100.0))
+                .collect();
+            let _ = writeln!(out, "  tree     occupancy by chunk: {}", heat.join(" "));
+            let _ = writeln!(
+                out,
+                "  tree     free: {} B in {} run(s), largest {} B \
+                 (external frag {:.2})",
+                occ.total_free_bytes,
+                occ.free_blocks,
+                occ.largest_free_block,
+                occ.external_frag()
+            );
         }
         if !self.nodes.is_empty() {
             let total_served: u64 = self.nodes.iter().map(NodeShare::served).sum();
@@ -369,7 +421,8 @@ impl StackSnapshot {
                 out,
                 ",\"facade\":{{\"buddy_bytes\":{},\"system_bytes\":{},\"grows_in_place\":{},\
                  \"grows_moved\":{},\"shrinks_in_place\":{},\"shrinks_moved\":{},\
-                 \"system_failovers\":{},\"reserve_hits\":{},\"reserve_refills\":{}}}",
+                 \"system_failovers\":{},\"reserve_hits\":{},\"reserve_refills\":{},\
+                 \"requested_bytes\":{},\"granted_bytes\":{},\"granted_over_requested\":{}}}",
                 f.buddy_bytes,
                 f.system_bytes,
                 f.grows_in_place,
@@ -378,7 +431,40 @@ impl StackSnapshot {
                 f.shrinks_moved,
                 f.system_failovers,
                 f.reserve_hits,
-                f.reserve_refills
+                f.reserve_refills,
+                f.requested_bytes,
+                f.granted_bytes,
+                crate::json::num(f.granted_over_requested())
+            );
+        }
+        if let Some(occ) = &self.occupancy {
+            let levels: Vec<String> = occ
+                .levels
+                .iter()
+                .map(|l| {
+                    format!(
+                        "{{\"chunk_size\":{},\"nodes\":{},\"free\":{},\"occupied\":{},\
+                         \"busy\":{},\"fill\":{}}}",
+                        l.chunk_size,
+                        l.nodes,
+                        l.free,
+                        l.occupied,
+                        l.busy,
+                        crate::json::num(l.fill())
+                    )
+                })
+                .collect();
+            let _ = write!(
+                out,
+                ",\"occupancy\":{{\"total_free_bytes\":{},\"largest_free_block\":{},\
+                 \"free_blocks\":{},\"external_frag\":{},\"merged_trees\":{},\
+                 \"levels\":[{}]}}",
+                occ.total_free_bytes,
+                occ.largest_free_block,
+                occ.free_blocks,
+                crate::json::num(occ.external_frag()),
+                occ.merged_trees,
+                levels.join(",")
             );
         }
         if !self.latency.is_empty() {
@@ -391,6 +477,17 @@ impl StackSnapshot {
         }
         out.push('}');
         out
+    }
+}
+
+/// Formats a byte size compactly for the occupancy heatmap row.
+fn fmt_size(bytes: usize) -> String {
+    if bytes >= (1 << 20) && bytes.is_multiple_of(1 << 20) {
+        format!("{}M", bytes >> 20)
+    } else if bytes >= (1 << 10) && bytes.is_multiple_of(1 << 10) {
+        format!("{}K", bytes >> 10)
+    } else {
+        format!("{bytes}B")
     }
 }
 
@@ -433,6 +530,7 @@ pub struct MetricsRegistry {
     nodes: Vec<NodeShare>,
     frag: Option<FragStatsSnapshot>,
     facade: Option<FacadeShare>,
+    occupancy: Option<OccupancySnapshot>,
     recorder: Option<Arc<Recorder>>,
 }
 
@@ -452,6 +550,7 @@ impl MetricsRegistry {
         self.cache = backend.cache_stats();
         self.capacities = backend.cache_class_capacities();
         self.frag = backend.frag_stats();
+        self.occupancy = backend.occupancy();
         self
     }
 
@@ -491,6 +590,12 @@ impl MetricsRegistry {
         self
     }
 
+    /// Sets the tree occupancy snapshot directly.
+    pub fn set_occupancy(&mut self, occupancy: Option<OccupancySnapshot>) -> &mut Self {
+        self.occupancy = occupancy;
+        self
+    }
+
     /// Attaches the stack's latency recorder; its histograms are merged
     /// into every subsequent [`MetricsRegistry::snapshot`].
     pub fn set_recorder(&mut self, recorder: Arc<Recorder>) -> &mut Self {
@@ -517,6 +622,7 @@ impl MetricsRegistry {
             nodes: self.nodes.clone(),
             frag: self.frag.clone(),
             facade: self.facade,
+            occupancy: self.occupancy.clone(),
             latency,
         }
     }
@@ -655,6 +761,45 @@ mod tests {
         let bare = MetricsRegistry::new("bare").snapshot();
         assert!(bare.frag.is_none());
         assert!(!bare.to_json().contains("\"frag\""));
+    }
+
+    #[test]
+    fn occupancy_and_request_accounting_render() {
+        use nbbs::{BuddyConfig, NbbsFourLevel};
+        let tree = NbbsFourLevel::new(BuddyConfig::new(1 << 16, 64, 1 << 12).unwrap());
+        let hold = tree.alloc(4096).unwrap();
+        let mut reg = MetricsRegistry::new("occ");
+        reg.observe_backend(&tree).set_facade(FacadeShare {
+            requested_bytes: 4000,
+            granted_bytes: 4096,
+            ..Default::default()
+        });
+        let snap = reg.snapshot();
+        assert!(snap.occupancy.is_some(), "trees report occupancy");
+        let table = snap.text_table();
+        assert!(table.contains("occupancy by chunk: 4K:"), "{table}");
+        assert!(table.contains("external frag"), "{table}");
+        assert!(table.contains("1.02 granted/requested"), "{table}");
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"occupancy\":{\"total_free_bytes\":"),
+            "{json}"
+        );
+        assert!(json.contains("\"requested_bytes\":4000"), "{json}");
+        assert!(json.contains("\"granted_over_requested\":1.024"), "{json}");
+        tree.dealloc(hold);
+        // Backends without a tree stay silent.
+        let bare = MetricsRegistry::new("bare").snapshot();
+        assert!(bare.occupancy.is_none());
+        assert!(!bare.to_json().contains("\"occupancy\""));
+    }
+
+    #[test]
+    fn fmt_size_picks_natural_units() {
+        assert_eq!(fmt_size(64), "64B");
+        assert_eq!(fmt_size(4096), "4K");
+        assert_eq!(fmt_size(1 << 21), "2M");
+        assert_eq!(fmt_size(1536), "1536B");
     }
 
     #[test]

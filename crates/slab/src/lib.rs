@@ -59,7 +59,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use nbbs::error::{AllocError, FreeError};
 use nbbs::stats::{CacheStatsSnapshot, FragClassSnapshot, FragStatsSnapshot, OpStatsSnapshot};
 use nbbs::{BuddyBackend, BuddyConfig, Geometry};
-use nbbs_sync::{BoundedStack, CachePadded, SpinLock};
+use nbbs_obs::{OpKind, OpOutcome, Recorder};
+use nbbs_sync::{cycles_now, BoundedStack, CachePadded, SpinLock};
 
 /// Smallest class size and slot granule: every class size is a multiple of
 /// this, so every object offset is too.
@@ -234,6 +235,9 @@ pub struct SlabBackend<A> {
     orphaned_pages: SpinLock<Vec<usize>>,
     /// Fast-path gate for the orphan list: one relaxed load when empty.
     has_orphans: AtomicBool,
+    /// Slow-path latency recorder (page grants/retires, orphan rescues);
+    /// `None` means no timestamp is ever taken.
+    obs: Option<std::sync::Arc<Recorder>>,
 }
 
 impl<A: BuddyBackend> SlabBackend<A> {
@@ -297,7 +301,21 @@ impl<A: BuddyBackend> SlabBackend<A> {
             passthrough: AtomicU64::new(0),
             orphaned_pages: SpinLock::new(Vec::new()),
             has_orphans: AtomicBool::new(false),
+            obs: None,
         }
+    }
+
+    /// Attaches a latency recorder: page grants, page retires and orphan
+    /// rescues show up as [`OpKind::PageGrant`] / [`OpKind::PageRetire`] /
+    /// [`OpKind::OrphanRescue`] in its histograms, flight ring and trace.
+    pub fn with_recorder(mut self, recorder: std::sync::Arc<Recorder>) -> Self {
+        self.obs = Some(recorder);
+        self
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&std::sync::Arc<Recorder>> {
+        self.obs.as_ref()
     }
 
     /// The wrapped backend.
@@ -477,7 +495,17 @@ impl<A: BuddyBackend> SlabBackend<A> {
     /// after the grant is plain atomics, so no path can orphan a page.
     fn grant_page(&self, class: usize, requested: usize) -> Result<usize, AllocError> {
         self.rescue_orphaned_pages();
-        let page_off = match self.inner.try_alloc(self.page_size) {
+        let t0 = self.obs.as_ref().map(|_| cycles_now());
+        let granted = self.inner.try_alloc(self.page_size);
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.record_since(
+                OpKind::PageGrant,
+                t0,
+                class as u64,
+                OpOutcome::from_ok(granted.is_ok()),
+            );
+        }
+        let page_off = match granted {
             Ok(off) => off,
             Err(AllocError::OutOfMemory { .. }) => {
                 self.passthrough.fetch_add(1, Ordering::Relaxed);
@@ -577,7 +605,11 @@ impl<A: BuddyBackend> SlabBackend<A> {
                 Ok(_) => {
                     self.pages_held.fetch_sub(1, Ordering::Relaxed);
                     self.pages_retired.fetch_add(1, Ordering::Relaxed);
+                    let t0 = self.obs.as_ref().map(|_| cycles_now());
                     self.return_page(idx * self.page_size);
+                    if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                        rec.record_since(OpKind::PageRetire, t0, class as u64, OpOutcome::Ok);
+                    }
                     return true;
                 }
                 Err(cur) => s = cur,
@@ -616,6 +648,8 @@ impl<A: BuddyBackend> SlabBackend<A> {
         if stranded.is_empty() {
             return;
         }
+        let rescued = stranded.len() as u64;
+        let t0 = self.obs.as_ref().map(|_| cycles_now());
         let mut guard = OrphanGuard {
             slab: self,
             pages: stranded,
@@ -623,6 +657,9 @@ impl<A: BuddyBackend> SlabBackend<A> {
         while let Some(&off) = guard.pages.last() {
             self.inner.dealloc(off);
             guard.pages.pop();
+        }
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.record_since(OpKind::OrphanRescue, t0, rescued, OpOutcome::Ok);
         }
     }
 
@@ -826,6 +863,10 @@ impl<A: BuddyBackend> BuddyBackend for SlabBackend<A> {
         self.reclaim_empty_pages();
         self.inner.drain_cache()
     }
+
+    fn occupancy(&self) -> Option<nbbs::OccupancySnapshot> {
+        self.inner.occupancy()
+    }
 }
 
 impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for SlabBackend<A> {
@@ -852,6 +893,32 @@ mod tests {
 
     fn slab() -> SlabBackend<NbbsFourLevel> {
         SlabBackend::new(tree())
+    }
+
+    #[test]
+    fn page_lifecycle_is_recorded_when_a_recorder_is_attached() {
+        let rec = Arc::new(Recorder::new());
+        let s = SlabBackend::new(tree()).with_recorder(Arc::clone(&rec));
+        let a = s.alloc(40).unwrap();
+        assert_eq!(
+            rec.snapshot(OpKind::PageGrant).total(),
+            1,
+            "first class alloc grants a page"
+        );
+        s.dealloc(a);
+        s.drain_cache();
+        assert_eq!(
+            rec.snapshot(OpKind::PageRetire).total(),
+            1,
+            "drain retires the empty page"
+        );
+        assert_eq!(
+            rec.snapshot(OpKind::OrphanRescue).total(),
+            0,
+            "no panic stranded anything"
+        );
+        let bare = slab();
+        assert!(bare.recorder().is_none(), "recording is opt-in");
     }
 
     #[test]

@@ -25,6 +25,19 @@
 //!                   web-server request mix, slab stacks vs power-of-two
 //!                   stacks; prints `committed_over_requested=` and
 //!                   `slab_reduction_pct=` lines for CI gates
+//!   profile         Sampled allocation-site heap profile of the facade-level
+//!                   web-server mix; prints the ranked site table and a
+//!                   `profile_attributed_pct=` line (CI gates ≥95% at
+//!                   stride 1); `--prom <path>` also runs a background
+//!                   `MetricsSampler` over the run and writes Prometheus
+//!                   text + JSON-lines series
+//!   trace           Record a deterministic Larson run into the lock-free
+//!                   trace ring and write chrome://tracing (Perfetto) JSON
+//!                   to `--out` (default nbbs-trace.json); `--check`
+//!                   re-parses the file and gates an event-count floor
+//!   trace-overhead  Tracing-compiled-in-but-disabled A/B (Larson, event
+//!                   sink installed with the ring stopped vs recording
+//!                   only) — min-gap `overhead_pct=` line for the CI gate
 //!   ablation-scan   Scan-start policy ablation (first-fit vs scattered)
 //!   ablation-rmw    RMW-per-operation ablation (1lvl vs 4lvl)
 //!   ablation-frag   Fragmentation-resilience ablation
@@ -47,6 +60,15 @@
 //!                     explicit `0x` prefix, decimal otherwise; default:
 //!                     wall clock — the chosen seed is always printed)
 //!   --rounds <n>      Seeded rounds for `chaos` (default 8)
+//!   --stride <n>      Heap-profiler sampling stride for `profile`
+//!                     (default 1: sample every allocation)
+//!   --out <path>      Output path for `trace` (default nbbs-trace.json)
+//!   --prom <path>     For `profile`: sample the stack in the background and
+//!                     write a Prometheus text series to <path> (plus
+//!                     JSON-lines to <path>.jsonl)
+//!   --check           For `trace`: re-parse the emitted chrome-trace JSON
+//!                     with the strict nbbs-trace validator and fail below
+//!                     the event-count floor
 //!   --quiet           Suppress progress output
 //! ```
 //!
@@ -83,6 +105,7 @@ use nbbs_cache::{verify_cached_empty, CacheConfig, MagazineCache};
 use nbbs_chaos::{FaultInjecting, FaultPlan};
 use nbbs_numa::{NodePolicy, NodeSet, Topology};
 use nbbs_sync::CycleTimer;
+use nbbs_trace::{HeapProfiler, MetricsSampler, TraceRing};
 use nbbs_workloads::factory::{AllocatorKind, SharedBackend};
 use nbbs_workloads::harness::{FigureSpec, Harness, Metric, SweepConfig, Workload};
 use nbbs_workloads::linux_scalability::{self, LinuxScalabilityParams};
@@ -104,6 +127,10 @@ struct Options {
     date: Option<String>,
     seed: Option<u64>,
     rounds: Option<u64>,
+    stride: Option<u32>,
+    out_path: Option<String>,
+    prom_path: Option<String>,
+    check: bool,
     verbose: bool,
 }
 
@@ -120,6 +147,10 @@ impl Default for Options {
             date: None,
             seed: None,
             rounds: None,
+            stride: None,
+            out_path: None,
+            prom_path: None,
+            check: false,
             verbose: true,
         }
     }
@@ -236,6 +267,24 @@ fn parse_args(args: &[String]) -> Result<(String, Options), String> {
                         .map_err(|e| format!("bad --rounds: {e}"))?,
                 );
             }
+            "--stride" => {
+                i += 1;
+                opts.stride = Some(
+                    args.get(i)
+                        .ok_or("--stride needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --stride: {e}"))?,
+                );
+            }
+            "--out" => {
+                i += 1;
+                opts.out_path = Some(args.get(i).ok_or("--out needs a path")?.clone());
+            }
+            "--prom" => {
+                i += 1;
+                opts.prom_path = Some(args.get(i).ok_or("--prom needs a path")?.clone());
+            }
+            "--check" => opts.check = true,
             "--quiet" => opts.verbose = false,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -756,6 +805,320 @@ fn obs_overhead(opts: &Options) -> Vec<Measurement> {
     measurements
 }
 
+/// Sampled allocation-site heap profile: the facade-level web-server
+/// request mix (header + streamed body chunks per request, random
+/// retirement) with a [`nbbs_trace::HeapProfiler`] attached to an
+/// `NbbsAllocator` over the cached tree.  Each thread keeps its last 64
+/// blocks live at exit, so the quiescent report has something to rank; the
+/// printed `profile_attributed_pct=` compares the profiler's attributed
+/// live bytes against the facade's own grant accounting (CI gates ≥95% at
+/// stride 1, where sampling is exhaustive).  With `--prom <path>` a
+/// background [`nbbs_trace::MetricsSampler`] snapshots the stack during
+/// the run and the delta series is written as Prometheus text (plus
+/// JSON-lines next to it).
+fn profile(opts: &Options) -> Result<Vec<Measurement>, String> {
+    println!("\n=== Heap profile: allocation sites of the facade web-server mix ===");
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![4]);
+    let stride = opts.stride.unwrap_or(1);
+    let requests = ((50_000f64 * opts.scale) as u64).max(500);
+    let mut measurements = Vec::new();
+    for &t in &threads {
+        let config = BuddyConfig::new(64 << 20, 64, 64 << 10).expect("profile configuration");
+        let profiler = Arc::new(HeapProfiler::new(stride));
+        let cache = Arc::new(MagazineCache::new(NbbsFourLevel::new(config)));
+        let facade = Arc::new(
+            nbbs_alloc::NbbsAllocator::new(Arc::clone(&cache)).with_profiler(Arc::clone(&profiler)),
+        );
+        let sampler = opts.prom_path.as_ref().map(|_| {
+            let cache = Arc::clone(&cache);
+            MetricsSampler::spawn(
+                "nbbs-bench/profile",
+                std::time::Duration::from_millis(20),
+                512,
+                move || {
+                    let mut reg = nbbs_obs::MetricsRegistry::new("nbbs-bench");
+                    reg.observe_backend(&*cache);
+                    reg.snapshot()
+                },
+            )
+        });
+        if opts.verbose {
+            eprintln!(
+                "[nbbs-bench] profile/web-mix threads={t} stride={stride} requests={requests} ..."
+            );
+        }
+        let barrier = Arc::new(std::sync::Barrier::new(t + 1));
+        let mut handles = Vec::with_capacity(t);
+        for worker in 0..t {
+            let facade = Arc::clone(&facade);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0xFACE ^ worker as u64);
+                // (address, layout) — addresses as usize so survivors can
+                // cross back to the main thread for the post-report frees.
+                let mut live: Vec<(usize, std::alloc::Layout)> = Vec::new();
+                let (mut ops, mut failed) = (0u64, 0u64);
+                barrier.wait();
+                for _ in 0..requests {
+                    let header = 64 + rng.next_below(960);
+                    let chunks = 1 + rng.next_below(4);
+                    for i in 0..=chunks {
+                        let size = if i == 0 {
+                            header
+                        } else {
+                            256 + rng.next_below(2 << 10)
+                        };
+                        let layout = std::alloc::Layout::from_size_align(size, 8)
+                            .expect("sizes are small and the alignment fixed");
+                        match facade.allocate(layout) {
+                            Ok(block) => {
+                                live.push((block.cast::<u8>().as_ptr() as usize, layout));
+                                ops += 1;
+                            }
+                            Err(_) => failed += 1,
+                        }
+                    }
+                    while live.len() > 64 {
+                        let idx = rng.next_below(live.len());
+                        let (addr, layout) = live.swap_remove(idx);
+                        // SAFETY: `addr` came from this facade with this
+                        // layout and is released exactly once.
+                        unsafe {
+                            facade.deallocate(
+                                std::ptr::NonNull::new_unchecked(addr as *mut u8),
+                                layout,
+                            );
+                        }
+                        ops += 1;
+                    }
+                }
+                (live, ops, failed)
+            }));
+        }
+        let timer = CycleTimer::start();
+        barrier.wait();
+        let mut survivors = Vec::new();
+        let (mut ops, mut failed) = (0u64, 0u64);
+        for h in handles {
+            let (live, o, f) = h.join().expect("worker panicked");
+            survivors.extend(live);
+            ops += o;
+            failed += f;
+        }
+        let (seconds, cycles) = timer.stop();
+        if let (Some(sampler), Some(path)) = (sampler, &opts.prom_path) {
+            let series = sampler.stop();
+            std::fs::write(path, series.to_prometheus())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            let jsonl = format!("{path}.jsonl");
+            std::fs::write(&jsonl, series.to_json_lines())
+                .map_err(|e| format!("cannot write {jsonl}: {e}"))?;
+            println!(
+                "[profile] wrote {} samples: prometheus to {path}, json-lines to {jsonl}",
+                series.len()
+            );
+        }
+        // Quiescent now: the survivors are the only live blocks, so the
+        // facade's grant math is the oracle the attribution is held to.
+        let actual_live: u64 = survivors
+            .iter()
+            .map(|&(_, layout)| facade.granted_size(layout).unwrap_or(layout.size()) as u64)
+            .sum();
+        let report = profiler.report();
+        let attributed = report.attributed_live_bytes();
+        let pct = if actual_live == 0 {
+            100.0
+        } else {
+            attributed as f64 / actual_live as f64 * 100.0
+        };
+        print!("{}", report.text(15));
+        println!(
+            "[profile] web-mix threads={t} stride={stride} live_bytes={actual_live} \
+             attributed_bytes={attributed} profile_attributed_pct={pct:.1}"
+        );
+        for (addr, layout) in survivors {
+            // SAFETY: same provenance as the worker-side frees.
+            unsafe {
+                facade.deallocate(std::ptr::NonNull::new_unchecked(addr as *mut u8), layout);
+            }
+            ops += 1;
+        }
+        let stats = facade.facade_stats();
+        let result = WorkloadResult {
+            threads: t,
+            operations: ops,
+            seconds,
+            cycles,
+            failed_allocs: failed,
+            bytes_requested: stats.requested_bytes,
+            bytes_committed: stats.granted_bytes,
+        };
+        measurements.push(
+            Measurement::new("profile/web-mix", "cached-4lvl-nb", 0, result)
+                .with_cache(cache.cache_stats()),
+        );
+    }
+    println!("Byte accounting (requested vs granted, facade odometer):");
+    print!("{}", report::frag_table(&measurements));
+    Ok(measurements)
+}
+
+/// Event-trace capture: a deterministic Larson run over the cached tree
+/// with every operation recorded (`Recorded` stride 1) and fanned out to
+/// the lock-free [`nbbs_trace::TraceRing`], exported as chrome://tracing
+/// (Perfetto) JSON.  `--check` re-parses the emitted file with the strict
+/// `nbbs_trace::jsoncheck` validator and enforces an event-count floor, so
+/// CI catches both malformed output and a silently disconnected sink.
+fn trace(opts: &Options) -> Result<Vec<Measurement>, String> {
+    println!("\n=== Trace: chrome://tracing capture of a Larson run ===");
+    let t = opts.threads.clone().unwrap_or_else(|| vec![4])[0];
+    let size = opts.sizes.clone().unwrap_or_else(|| vec![128])[0];
+    let sweep = SweepConfig::user_space(Workload::Larson, opts.scale);
+    let rec = Arc::new(nbbs_obs::Recorder::new());
+    let ring = Arc::new(TraceRing::new());
+    assert!(
+        rec.set_event_sink(Arc::clone(&ring) as _),
+        "fresh recorder has no sink yet"
+    );
+    let alloc: SharedBackend = Arc::new(nbbs_obs::Recorded::new(
+        MagazineCache::with_config_and_name(
+            NbbsFourLevel::new(sweep.memory),
+            CacheConfig::default(),
+            "traced-cached-4lvl",
+        )
+        .with_recorder(Arc::clone(&rec)),
+        Arc::clone(&rec),
+    ));
+    if opts.verbose {
+        eprintln!("[nbbs-bench] trace/larson size={size} threads={t} ...");
+    }
+    ring.start();
+    let result = Workload::Larson.run(&alloc, t, size, opts.scale);
+    ring.stop();
+    let events = ring.events();
+    let json = ring.to_chrome_json("nbbs-bench larson");
+    let path = opts
+        .out_path
+        .clone()
+        .unwrap_or_else(|| "nbbs-trace.json".into());
+    std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!(
+        "[trace] larson size={size} threads={t} trace_events={} trace_dropped={} \
+         wrote chrome-trace JSON to {path}",
+        events.len(),
+        ring.dropped(),
+    );
+    if opts.check {
+        let slices = nbbs_trace::jsoncheck::validate_chrome_trace(&json)
+            .map_err(|e| format!("chrome-trace validation failed: {e}"))?;
+        if slices < 16 {
+            return Err(format!(
+                "trace too sparse: {slices} slices (floor 16) — is the sink connected?"
+            ));
+        }
+        println!("[trace] check ok: {slices} valid slices");
+    }
+    println!("open the file in https://ui.perfetto.dev or chrome://tracing");
+    Ok(vec![Measurement::new(
+        "trace/larson",
+        "traced-cached-4lvl",
+        size,
+        result,
+    )])
+}
+
+/// Tracing-compiled-in-but-disabled A/B: Larson with full recording on
+/// both sides; the on-side additionally has a [`TraceRing`] installed as
+/// the recorder's event sink but never started, so the measured gap is
+/// exactly the disabled-sink fan-out cost on the record path.  Same seven
+/// alternating rounds / min-gap estimator as `obs-overhead`; CI gates the
+/// printed `overhead_pct=` at 5%.
+fn trace_overhead(opts: &Options) -> Vec<Measurement> {
+    println!("\n=== Trace overhead: Larson, sink installed (ring stopped) vs recording only ===");
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![4]);
+    let sizes = opts.sizes.clone().unwrap_or_else(|| vec![128]);
+    let mut measurements = Vec::new();
+    for &size in &sizes {
+        for &t in &threads {
+            let sweep = SweepConfig::user_space(Workload::Larson, opts.scale);
+            let run_side = |with_sink: bool| {
+                let rec = Arc::new(nbbs_obs::Recorder::new());
+                if with_sink {
+                    // Installed but never started: every record call takes
+                    // the sink branch and bails on the disabled flag.
+                    rec.set_event_sink(Arc::new(TraceRing::new()) as _);
+                }
+                let alloc: SharedBackend = Arc::new(nbbs_obs::Recorded::sampled(
+                    MagazineCache::with_config_and_name(
+                        NbbsFourLevel::new(sweep.memory),
+                        CacheConfig::default(),
+                        "cached-4lvl",
+                    )
+                    .with_recorder(Arc::clone(&rec)),
+                    rec,
+                    nbbs_obs::DEFAULT_SAMPLE_STRIDE,
+                ));
+                Workload::Larson.run(&alloc, t, size, opts.scale)
+            };
+            let mut rounds = Vec::new();
+            let (mut best_off, mut best_on): (Option<WorkloadResult>, Option<WorkloadResult>) =
+                (None, None);
+            for round in 0..7 {
+                // Alternate order each round, as in obs-overhead: back-to-
+                // back runs are not exchangeable on a busy host.
+                let (off, on) = if round % 2 == 0 {
+                    let off = run_side(false);
+                    (off, run_side(true))
+                } else {
+                    let on = run_side(true);
+                    (run_side(false), on)
+                };
+                let off_kops = off.kops_per_sec();
+                let on_kops = on.kops_per_sec();
+                if off_kops > 0.0 {
+                    rounds.push((off_kops - on_kops) / off_kops * 100.0);
+                }
+                for (slot, r) in [(&mut best_off, off), (&mut best_on, on)] {
+                    if slot
+                        .as_ref()
+                        .is_none_or(|b| r.kops_per_sec() > b.kops_per_sec())
+                    {
+                        *slot = Some(r);
+                    }
+                }
+            }
+            let off = best_off.expect("seven rounds ran");
+            let on = best_on.expect("seven rounds ran");
+            let floor = rounds.iter().copied().fold(f64::INFINITY, f64::min);
+            let overhead = if floor.is_finite() { floor } else { 0.0 };
+            println!(
+                "[trace-overhead] larson size={size} threads={t} \
+                 off_kops={:.1} on_kops={:.1} rounds={} overhead_pct={overhead:.2}",
+                off.kops_per_sec(),
+                on.kops_per_sec(),
+                rounds
+                    .iter()
+                    .map(|r| format!("{r:.1}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            measurements.push(Measurement::new(
+                "trace-overhead/off",
+                "cached-4lvl+rec",
+                size,
+                off,
+            ));
+            measurements.push(Measurement::new(
+                "trace-overhead/on",
+                "cached-4lvl+rec+sink",
+                size,
+                on,
+            ));
+        }
+    }
+    measurements
+}
+
 /// Chaos rounds: the paper-evaluation workloads (Larson and the
 /// facade-level Mixed Layout churn) run over the cached 4-level tree with
 /// an armed `nbbs-chaos` storm at the backend boundary — transient
@@ -1123,7 +1486,7 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|fig13|all|frag|obs-overhead|chaos|chaos-overhead|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
+            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|fig13|all|frag|profile|trace|trace-overhead|obs-overhead|chaos|chaos-overhead|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
             return ExitCode::FAILURE;
         }
     };
@@ -1168,6 +1531,21 @@ fn main() -> ExitCode {
             (all, Metric::Seconds)
         }
         "frag" => (frag(&opts), Metric::Seconds),
+        "profile" => match profile(&opts) {
+            Ok(m) => (m, Metric::Seconds),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "trace" => match trace(&opts) {
+            Ok(m) => (m, Metric::Seconds),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        "trace-overhead" => (trace_overhead(&opts), Metric::KopsPerSec),
         "obs-overhead" => (obs_overhead(&opts), Metric::KopsPerSec),
         "chaos" => (chaos(&opts), Metric::Seconds),
         "chaos-overhead" => (chaos_overhead(&opts), Metric::KopsPerSec),

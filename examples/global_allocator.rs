@@ -81,6 +81,17 @@ where
 }
 
 fn main() {
+    // A real deployment registers the exit dump up front: with NBBS_OBS=1
+    // the stats report lands on stderr at process exit, NBBS_TRACE=<path>
+    // additionally writes the chrome-trace JSON there, and NBBS_PROFILE
+    // appends the ranked heap profile.
+    if ["NBBS_OBS", "NBBS_TRACE", "NBBS_PROFILE"]
+        .iter()
+        .any(|k| std::env::var_os(k).is_some_and(|v| v != "0"))
+    {
+        GLOBAL.print_stats_on_exit();
+    }
+
     // Ordinary collection work — served by the cached buddy.
     let mut map: HashMap<String, Vec<u64>> = HashMap::new();
     for i in 0..10_000u64 {

@@ -12,9 +12,11 @@
 //! (`nbbs-cache`), topping it with the layout-aware facade (`nbbs-alloc`),
 //! carrying the whole stack across NUMA nodes (`nbbs-numa`), watching it
 //! run with the observability layer (`nbbs-obs`), storm-testing it
-//! with deterministic fault injection (`nbbs-chaos`), and killing
+//! with deterministic fault injection (`nbbs-chaos`), killing
 //! power-of-two internal fragmentation on the small-object path with the
-//! size-class slab layer (`nbbs-slab`).
+//! size-class slab layer (`nbbs-slab`), and tracing/profiling the whole
+//! stack with the event-trace, heap-profile, and metrics-exposition layer
+//! (`nbbs-trace`).
 
 use std::sync::Arc;
 
@@ -510,4 +512,146 @@ fn main() {
     assert_eq!(slab_stack.allocated_bytes(), 0);
     slab_stack.backend().drain_cache(); // drain magazines, retire warm pages
     assert_eq!(slab_stack.backend().backend().inner().allocated_bytes(), 0);
+
+    // ------------------------------------------------------------------
+    // 13. Tracing and profiling (`nbbs-trace`): three instruments, one
+    //     crate, zero locks on the hot path.
+    //
+    //     (a) TraceRing — a per-thread binary event ring that plugs into
+    //     the recorder as an EventSink.  `start()` opens an epoch,
+    //     `stop()` closes it, and `to_chrome_json()` exports a timeline
+    //     you can drop straight into chrome://tracing or Perfetto
+    //     (`nbbs-bench trace --out trace.json --check` does exactly this
+    //     over a Larson run, and `NBBS_TRACE=trace.json` arms the same
+    //     pipeline on NbbsGlobalAlloc with an exit-hook dump).  When the
+    //     sink is attached but tracing is stopped, the recording path is
+    //     one relaxed load — `nbbs-bench trace-overhead` measures the
+    //     disabled-cost on Larson with a min-gap estimator, and CI gates
+    //     it at <= 5%, the same bar PR 6 set for the sampled recorder.
+    // ------------------------------------------------------------------
+    use nbbs_trace::{HeapProfiler, MetricsSampler, TraceRing};
+    use std::time::Duration;
+
+    let trace_rec = Arc::new(Recorder::new());
+    let ring = Arc::new(TraceRing::new());
+    trace_rec.set_event_sink(Arc::clone(&ring) as _);
+    let traced = Arc::new(Recorded::new(
+        MagazineCache::new(NbbsFourLevel::new(config)),
+        Arc::clone(&trace_rec),
+    ));
+    ring.start();
+    let workers: Vec<_> = (0..2)
+        .map(|t| {
+            let alloc = Arc::clone(&traced);
+            std::thread::spawn(move || {
+                let _drain = alloc.inner().thread_guard();
+                for i in 0..5_000usize {
+                    if let Some(off) = alloc.alloc(64 << ((i + t) % 5)) {
+                        alloc.dealloc(off);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    ring.stop();
+    let chrome = ring.to_chrome_json("quickstart");
+    let slices = nbbs_trace::jsoncheck::validate_chrome_trace(&chrome)
+        .expect("the exporter must emit valid chrome-trace JSON");
+    println!(
+        "trace ring captured {} events ({} dropped once full) -> {} chrome-trace \
+         slices, {} B of JSON for Perfetto",
+        ring.events().len(),
+        ring.dropped(),
+        slices,
+        chrome.len()
+    );
+
+    // ------------------------------------------------------------------
+    //     (b) HeapProfiler — sampled allocation-site profiling.  Attach it
+    //     to the facade (stride 1 here; production uses 1-in-64 and scales
+    //     the estimates back up) and every sampled allocation captures a
+    //     backtrace into a lock-free site table.  The report ranks sites
+    //     by live bytes — at quiescence it must attribute everything the
+    //     facade still holds.  `NBBS_PROFILE=64` arms the same profiler on
+    //     NbbsGlobalAlloc, and `nbbs-bench profile` prints the table after
+    //     a web-mix storm.
+    // ------------------------------------------------------------------
+    let profiled = NbbsAllocator::new(MagazineCache::new(NbbsFourLevel::new(config)))
+        .with_profiler(Arc::new(HeapProfiler::new(1)));
+    let layout = Layout::from_size_align(256, 8).unwrap();
+    let held: Vec<_> = (0..32)
+        .filter_map(|_| profiled.allocate(layout).ok())
+        .collect();
+    let report = profiled.profiler().expect("profiler attached").report();
+    println!(
+        "heap profiler attributes {} B live across {} site(s) \
+         (facade holds {} B): \n{}",
+        report.attributed_live_bytes(),
+        report.sites.len(),
+        profiled.allocated_bytes(),
+        report.text(3)
+    );
+    assert_eq!(
+        report.attributed_live_bytes(),
+        profiled.allocated_bytes() as u64,
+        "stride-1 profiling attributes every live byte"
+    );
+    for block in held {
+        unsafe { profiled.deallocate(block.cast(), layout) };
+    }
+    assert_eq!(
+        profiled
+            .profiler()
+            .unwrap()
+            .report()
+            .attributed_live_bytes(),
+        0
+    );
+
+    // ------------------------------------------------------------------
+    //     (c) MetricsSampler — a background thread that snapshots the
+    //     MetricsRegistry on an interval into a delta time-series ring,
+    //     then serialises it as JSON-lines or Prometheus text v0 (file or
+    //     stdout only; nothing listens on a network).  The registry rows
+    //     include the tree-occupancy inspector: per-level occupancy and
+    //     the external-fragmentation metric (largest-free-block deficit),
+    //     so a series shows fragmentation evolving under load.
+    // ------------------------------------------------------------------
+    let sampled = Arc::new(MagazineCache::new(NbbsFourLevel::new(config)));
+    let source = Arc::clone(&sampled);
+    let sampler = MetricsSampler::spawn("quickstart", Duration::from_millis(5), 128, move || {
+        let mut reg = MetricsRegistry::new("quickstart");
+        reg.observe_backend(&*source);
+        reg.snapshot()
+    });
+    let mut held = Vec::new();
+    for i in 0..20_000usize {
+        if let Some(off) = sampled.alloc(64 << (i % 5)) {
+            held.push(off);
+        }
+        if held.len() > 256 {
+            sampled.dealloc(held.swap_remove(0));
+        }
+        if i % 4_000 == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    for off in held {
+        sampled.dealloc(off);
+    }
+    let series = sampler.stop();
+    let prom = series.to_prometheus();
+    println!(
+        "metrics sampler took {} snapshots -> {} JSON lines, {} B of \
+         Prometheus text (e.g. {:?})",
+        series.len(),
+        series.to_json_lines().lines().count(),
+        prom.len(),
+        prom.lines().find(|l| l.starts_with("nbbs_")).unwrap_or("")
+    );
+    sampled.drain_all();
+    assert_eq!(sampled.backend().allocated_bytes(), 0);
 }

@@ -184,6 +184,8 @@ fn simulate(label: &str, alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: 
         system_failovers: 0,
         reserve_hits: 0,
         reserve_refills: 0,
+        requested_bytes: stats.requested_bytes,
+        granted_bytes: stats.granted_bytes,
     });
     registry.set_recorder(Arc::clone(&recorder));
     println!("{}", registry.snapshot().text_table());
