@@ -188,6 +188,15 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
     #[must_use]
     pub fn with_reserve(mut self, blocks: usize, block_size: usize) -> Self {
         self.reserve = EmergencyReserve::carve(self.region.backend(), blocks, block_size);
+        if let Some(reserve) = &self.reserve {
+            // Pin every carved block: reserve memory must stay resident so
+            // an OOM-path hit is served from committed pages, not a string
+            // of fresh page faults (and the scrubber must never claim what
+            // the reserve already owns).
+            for &offset in reserve.owned() {
+                self.region.pin_range(offset, reserve.block_size());
+            }
+        }
         self
     }
 
@@ -253,6 +262,12 @@ impl<A: BuddyBackend> NbbsAllocator<A> {
             .as_ref()
             .map_or(0, EmergencyReserve::idle_bytes);
         self.region.allocated_bytes().saturating_sub(idle)
+    }
+
+    /// Committed-versus-managed accounting of the backing region, including
+    /// the decommit scrubber's counters.
+    pub fn memory_stats(&self) -> nbbs::MemoryStatsSnapshot {
+        self.region.memory_stats()
     }
 
     /// Point-in-time copy of the grow/shrink counters.
@@ -890,6 +905,47 @@ mod tests {
 
         for block in held {
             unsafe { a.deallocate(block.cast(), layout) };
+        }
+        assert_eq!(a.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn scrub_pass_leaves_pinned_reserve_blocks_committed_and_servable() {
+        let config = BuddyConfig::new(1 << 16, 64, 1 << 12).unwrap();
+        let a = NbbsAllocator::new(NbbsFourLevel::new(config)).with_reserve(1, 1 << 12);
+        assert_eq!(a.reserve_stats().unwrap().capacity, 1);
+        // Idle arena: the scrubber may decommit every free page, but the
+        // pinned reserve block must survive the pass untouched.
+        let scrubbed = a.region().scrub_pass();
+        assert!(scrubbed > 0, "idle pages were decommitted");
+        let mem = a.memory_stats();
+        assert_eq!(mem.scrub_passes, 1);
+        assert!(
+            mem.committed_bytes >= 1 << 12,
+            "pinned reserve block stays committed: {mem}"
+        );
+        assert!(mem.decommitted_bytes > 0, "{mem}");
+        assert_eq!(
+            a.reserve_stats().unwrap().available,
+            1,
+            "the scrubber never claims reserve blocks"
+        );
+        // Exhaust the buddy, then hit the reserve: the pinned block serves
+        // promptly and every byte is writable.
+        let layout = Layout::from_size_align(1 << 12, 8).unwrap();
+        let held: Vec<_> = (0..15).map(|_| a.allocate(layout).unwrap()).collect();
+        let rescued = a.allocate(layout).unwrap();
+        assert_eq!(a.reserve_stats().unwrap().hits, 1);
+        unsafe {
+            rescued
+                .cast::<u8>()
+                .as_ptr()
+                .write_bytes(0xAB, rescued.len());
+            assert_eq!(*rescued.cast::<u8>().as_ptr().add(rescued.len() - 1), 0xAB);
+            a.deallocate(rescued.cast(), layout);
+            for block in held {
+                a.deallocate(block.cast(), layout);
+            }
         }
         assert_eq!(a.allocated_bytes(), 0);
     }

@@ -1,8 +1,9 @@
 //! The `#[global_allocator]` entry point: a lazily-built, magazine-cached
 //! [`NbbsAllocator`] behind a `const`-constructible shell.
 //!
-//! Replaces the deprecated thin adapter in the core crate
-//! (`nbbs::NbbsGlobalAlloc`).  What changed:
+//! Replaces the PR-0 thin adapter that used to live in the core crate as
+//! `nbbs::NbbsGlobalAlloc` (deprecated there, deleted since).  What
+//! changed:
 //!
 //! * **Cached.**  Requests route through
 //!   `MagazineCache<NodeSet<NbbsFourLevel>>`, so the hot path is a
@@ -346,6 +347,20 @@ impl NbbsGlobalAlloc {
                 }
                 facade.set_recorder(recorder.clone());
                 facade.set_profiler(profiler.clone());
+                // `NBBS_SCRUB=<ms>` arms the background decommit scrubber:
+                // every `<ms>` milliseconds it claims quiescent free blocks
+                // through the allocation CAS protocol and returns their
+                // pages to the kernel, so a long-idle process's RSS follows
+                // its live set instead of its high-water mark.
+                if let Some(ms) = std::env::var("NBBS_SCRUB")
+                    .ok()
+                    .filter(|v| v != "0")
+                    .map(|v| v.parse::<u64>().unwrap_or(100).max(1))
+                {
+                    facade
+                        .region()
+                        .start_scrubber(std::time::Duration::from_millis(ms));
+                }
                 let exit_hook = Arc::new(ExitLatch {
                     cache: Arc::clone(&cache),
                 });
@@ -391,6 +406,10 @@ impl NbbsGlobalAlloc {
         let want = NbbsAllocator::<Arc<CachedTree>>::base_request_size(layout);
         if want <= state.cache.backend().max_size() {
             if let Some(offset) = state.cache.backend().alloc(want) {
+                // This path bypasses the region's granting wrapper, so the
+                // decommit bookkeeping must be told by hand that these pages
+                // are in use again.
+                state.facade.region().commit_range(offset, want);
                 self.buddy_bytes
                     .fetch_add(layout.size() as u64, Ordering::Relaxed);
                 return state.facade.region().base().as_ptr().add(offset);
@@ -463,6 +482,20 @@ impl NbbsGlobalAlloc {
     /// The facade's grow/shrink counters, if the state has been built.
     pub fn facade_stats(&self) -> Option<FacadeStatsSnapshot> {
         self.built_state().map(|s| s.facade.facade_stats())
+    }
+
+    /// Committed-versus-managed accounting of the backing region and the
+    /// decommit scrubber's counters, if the state has been built.
+    pub fn memory_stats(&self) -> Option<nbbs::MemoryStatsSnapshot> {
+        self.built_state().map(|s| s.facade.memory_stats())
+    }
+
+    /// One synchronous decommit-scrubber pass over the backing region (see
+    /// `BuddyRegion::scrub_pass`); returns the bytes decommitted.  The
+    /// background variant is armed by `NBBS_SCRUB=<ms>`.
+    pub fn scrub_pass(&self) -> usize {
+        self.built_state()
+            .map_or(0, |s| s.facade.region().scrub_pass())
     }
 
     /// Returns every magazine-parked chunk to the tree (a quiescent-point
@@ -553,6 +586,7 @@ impl NbbsGlobalAlloc {
         reg.set_facade(facade);
         if let Some(state) = self.built_state() {
             reg.observe_backend(&state.cache);
+            reg.set_memory(Some(state.facade.memory_stats()));
             reg.set_nodes(
                 state
                     .cache
@@ -1061,6 +1095,55 @@ mod tests {
         let json = a.metrics().to_json();
         assert!(json.contains("\"system_failovers\":1"), "{json}");
         assert!(json.contains("\"reserve_hits\":1"), "{json}");
+    }
+
+    #[test]
+    fn metrics_carry_committed_memory_and_scrub_counters() {
+        let a = NbbsGlobalAlloc::new(1 << 20, 64, 1 << 16);
+        let layout = Layout::from_size_align(512, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            a.dealloc(p, layout);
+        }
+        let mem = a.memory_stats().expect("state built");
+        assert_eq!(mem.managed_bytes, 1 << 20);
+        assert!(mem.committed_bytes <= mem.managed_bytes);
+        // Magazine-parked chunks are backend-live and refuse scrub claims;
+        // drain first so the pass sees a fully idle tree.
+        a.drain_cache();
+        let freed = a.scrub_pass();
+        assert!(freed > 0, "idle arena pages were decommitted");
+        let mem = a.memory_stats().unwrap();
+        assert!(mem.scrub_passes >= 1);
+        assert!(mem.committed_bytes < mem.managed_bytes);
+        let report = a.stats_report();
+        assert!(report.contains("  memory   "), "{report}");
+        assert!(report.contains("  scrub    "), "{report}");
+        let json = a.metrics().to_json();
+        assert!(
+            json.contains("\"memory\":{\"managed_bytes\":1048576"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn nbbs_scrub_env_arms_the_background_scrubber() {
+        std::env::set_var("NBBS_SCRUB", "5");
+        let a = NbbsGlobalAlloc::new(1 << 18, 64, 1 << 12);
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout); // first touch builds with the env set
+            a.dealloc(p, layout);
+        }
+        std::env::remove_var("NBBS_SCRUB");
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while a.memory_stats().map_or(0, |m| m.scrub_passes) == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background scrubber never completed a pass"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
     }
 
     #[test]

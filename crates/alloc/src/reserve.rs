@@ -123,6 +123,14 @@ impl EmergencyReserve {
         self.block_size
     }
 
+    /// Every carved block offset, sorted ascending — the facade pins these
+    /// in its [`nbbs::BuddyRegion`] so the decommit scrubber never releases
+    /// a reserve block's pages (a reserve hit must be promptly usable, not
+    /// a string of fresh page faults in the middle of an OOM storm).
+    pub fn owned(&self) -> &[usize] {
+        &self.owned
+    }
+
     /// Total blocks carved at build time.
     pub fn capacity(&self) -> usize {
         self.owned.len()

@@ -104,8 +104,8 @@ struct ClassCtl {
 /// [`CacheConfig::cache_bytes_budget`] bounds the total bytes parked.
 ///
 /// `MagazineCache` implements [`BuddyBackend`] itself, so it nests unchanged
-/// inside `BuddyRegion`, `NbbsGlobalAlloc`, `MultiInstance` and the workload
-/// factory.
+/// inside `BuddyRegion`, the `nbbs-alloc` facade (`NbbsGlobalAlloc`), a NUMA
+/// `NodeSet` and the workload factory.
 ///
 /// # Consistency
 ///
@@ -1190,6 +1190,28 @@ impl<A: BuddyBackend> BuddyBackend for MagazineCache<A> {
 
     fn occupancy(&self) -> Option<nbbs::OccupancySnapshot> {
         self.backend.occupancy()
+    }
+
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        self.backend.free_chunks(min_size)
+    }
+
+    fn scrub_claim(&self, offset: usize, size: usize) -> bool {
+        // Straight past the magazines: a chunk parked in a magazine is
+        // allocated in the backend, so the claim CAS refuses it — only
+        // genuinely free blocks are claimable, which is the point.
+        self.backend.scrub_claim(offset, size)
+    }
+
+    fn scrub_dealloc(&self, offset: usize) {
+        // Bypass the magazines on release too: a scrubbed (decommitted)
+        // block parked in a magazine could never coalesce or be claimed
+        // again, and the next cache hit would hand out cold pages anyway.
+        self.backend.scrub_dealloc(offset)
+    }
+
+    fn trim_empty_pages(&self) -> usize {
+        self.backend.trim_empty_pages()
     }
 }
 

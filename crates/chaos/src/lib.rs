@@ -431,6 +431,25 @@ impl<A: BuddyBackend> BuddyBackend for FaultInjecting<A> {
     fn occupancy(&self) -> Option<nbbs::OccupancySnapshot> {
         self.inner.occupancy()
     }
+
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        self.inner.free_chunks(min_size)
+    }
+
+    // Scrubber maintenance is forwarded ungated: fault plans model mutator
+    // failures, and a "failed" claim would just be skipped silently —
+    // injecting there would only hide coverage, not exercise recovery.
+    fn scrub_claim(&self, offset: usize, size: usize) -> bool {
+        self.inner.scrub_claim(offset, size)
+    }
+
+    fn scrub_dealloc(&self, offset: usize) {
+        self.inner.scrub_dealloc(offset)
+    }
+
+    fn trim_empty_pages(&self) -> usize {
+        self.inner.trim_empty_pages()
+    }
 }
 
 impl<A: TreeInspect> TreeInspect for FaultInjecting<A> {

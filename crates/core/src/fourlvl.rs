@@ -392,6 +392,33 @@ impl NbbsFourLevel {
         None
     }
 
+    /// Claims the *specific* block `[offset, offset + size)` — the targeted
+    /// form of [`NbbsFourLevel::alloc_at_level`] the decommit scrubber uses
+    /// to take ownership of a block the occupancy walk reported free.  See
+    /// the 1-level twin for the contract; the claim rides the same
+    /// bunch-word CAS protocol as allocation, so a stale target fails
+    /// rather than racing a live chunk.
+    pub fn claim_block(&self, offset: usize, size: usize) -> bool {
+        let geo = *self.geometry();
+        let Some(level) = geo.target_level(size) else {
+            return false;
+        };
+        if geo.size_of_level(level) != size
+            || !offset.is_multiple_of(size)
+            || offset + size > geo.total_memory()
+        {
+            return false;
+        }
+        let n = geo.node_at(level, offset / size);
+        if self.try_alloc_node(n).is_err() {
+            return false;
+        }
+        self.index[geo.unit_of_offset(offset)].store(n as u32, Ordering::Release);
+        self.allocated.fetch_add(size, Ordering::Relaxed);
+        self.stats.record_alloc(1);
+        true
+    }
+
     fn scan_range(&self, level: u32, from: usize, to: usize) -> Option<usize> {
         let geo = *self.geometry();
         let mut i = from;
@@ -816,6 +843,14 @@ impl BuddyBackend for NbbsFourLevel {
     fn occupancy(&self) -> Option<crate::occupancy::OccupancySnapshot> {
         Some(crate::occupancy::occupancy_of(self))
     }
+
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        Some(crate::occupancy::free_chunks_of(self, min_size))
+    }
+
+    fn scrub_claim(&self, offset: usize, size: usize) -> bool {
+        self.claim_block(offset, size)
+    }
 }
 
 impl TreeInspect for NbbsFourLevel {
@@ -857,6 +892,28 @@ mod tests {
 
     fn buddy(total: usize, min: usize, max: usize) -> NbbsFourLevel {
         NbbsFourLevel::new(BuddyConfig::new(total, min, max).unwrap())
+    }
+
+    #[test]
+    fn claim_block_targets_specific_free_blocks() {
+        let b = buddy(1 << 16, 64, 1 << 12);
+        assert!(b.claim_block(2 << 12, 1 << 12));
+        assert!(!b.claim_block(2 << 12, 1 << 12), "double claim refused");
+        assert!(!b.claim_block(2 << 12, 64), "overlap refused");
+        assert!(b.claim_block(0, 64), "leaf-sized claim works");
+        b.dealloc(0);
+        b.dealloc(2 << 12);
+        let held = b.alloc(4096).unwrap();
+        let snap = BuddyBackend::occupancy(&b).unwrap();
+        for &(off, size) in &snap.free_chunks {
+            assert!(b.scrub_claim(off, size), "chunk ({off}, {size})");
+        }
+        assert_eq!(b.allocated_bytes(), 1 << 16);
+        for &(off, _) in &snap.free_chunks {
+            b.dealloc(off);
+        }
+        b.dealloc(held);
+        assert_eq!(b.allocated_bytes(), 0);
     }
 
     fn buddy_first_fit(total: usize, min: usize, max: usize) -> NbbsFourLevel {

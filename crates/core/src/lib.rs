@@ -25,10 +25,13 @@
 //!   every variant (and by the baselines in `nbbs-baselines`), expressed in
 //!   terms of byte *offsets* into the managed region so the core state machine
 //!   contains no `unsafe`.
-//! * [`BuddyRegion`] — wrapper that attaches real backing memory and exposes
-//!   a pointer-returning API.  (The deprecated [`NbbsGlobalAlloc`] thin
-//!   adapter remains for compatibility; programs should use the `nbbs-alloc`
-//!   crate's layout-aware, magazine-cached facade instead.)
+//! * [`BuddyRegion`] — wrapper that attaches real backing memory (a
+//!   demand-zero [`Mapping`]) and exposes a pointer-returning API, plus the
+//!   decommit scrubber that makes the region *elastic*: committed memory
+//!   follows the live set instead of staying pinned at the configured peak.
+//! * [`ElasticSet`] — a chain of buddy instances behind one widened
+//!   [`BuddyBackend`] that grows under sustained OOM pressure and retires
+//!   drained regions at trough.
 //! * [`MultiInstance`] — a NUMA-style multi-instance router, mirroring how the
 //!   Linux kernel deploys one buddy instance per NUMA node.  (Deprecated: the
 //!   `nbbs-numa` crate's `NodeSet` carries the same routing but implements
@@ -96,11 +99,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod elastic;
 pub mod error;
 pub mod fourlvl;
 pub mod geometry;
-pub mod global;
 pub mod locked;
+pub mod mapping;
 pub mod multi;
 pub mod occupancy;
 pub mod onelvl;
@@ -111,12 +115,12 @@ pub mod traits;
 pub mod verify;
 
 pub use config::{BuddyConfig, ScanPolicy};
+pub use elastic::{ElasticSet, ElasticStatsSnapshot};
 pub use error::{AllocError, ConfigError, FreeError};
 pub use fourlvl::NbbsFourLevel;
 pub use geometry::Geometry;
-#[allow(deprecated)]
-pub use global::NbbsGlobalAlloc;
 pub use locked::{LockedBuddy, LockedFourLevel, LockedOneLevel};
+pub use mapping::Mapping;
 pub use multi::nearest_first_order;
 #[allow(deprecated)]
 pub use multi::MultiInstance;
@@ -124,6 +128,7 @@ pub use occupancy::{occupancy_of, LevelOccupancy, OccupancySnapshot};
 pub use onelvl::NbbsOneLevel;
 pub use region::BuddyRegion;
 pub use stats::{
-    CacheStatsSnapshot, FragClassSnapshot, FragStatsSnapshot, OpStats, OpStatsSnapshot, CAS_LEVELS,
+    CacheStatsSnapshot, FragClassSnapshot, FragStatsSnapshot, MemoryStatsSnapshot, OpStats,
+    OpStatsSnapshot, CAS_LEVELS,
 };
 pub use traits::{BuddyBackend, TreeInspect};

@@ -121,6 +121,25 @@ impl<A: BuddyBackend> BuddyBackend for LockedBuddy<A> {
         // Atomic metadata reads only, same contract as the snapshots.
         self.inner.occupancy()
     }
+
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        self.inner.free_chunks(min_size)
+    }
+
+    fn scrub_claim(&self, offset: usize, size: usize) -> bool {
+        let _guard = self.lock.lock();
+        self.inner.scrub_claim(offset, size)
+    }
+
+    fn scrub_dealloc(&self, offset: usize) {
+        let _guard = self.lock.lock();
+        self.inner.scrub_dealloc(offset)
+    }
+
+    fn trim_empty_pages(&self) -> usize {
+        let _guard = self.lock.lock();
+        self.inner.trim_empty_pages()
+    }
 }
 
 impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for LockedBuddy<A> {

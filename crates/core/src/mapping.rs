@@ -1,0 +1,548 @@
+//! Demand-zero backing memory with page-granular decommit accounting.
+//!
+//! [`Mapping`] is the raw-memory half of [`crate::BuddyRegion`]: a span of
+//! `len` bytes aligned to `align`, obtained from an anonymous private
+//! `mmap` on Linux (so untouched pages cost no physical memory) and from
+//! `alloc_zeroed` elsewhere.  On top of the span it keeps a page-granular
+//! *decommit bitmap*: the scrub path marks quiescent free ranges as
+//! decommitted (releasing their frames with `madvise(MADV_DONTNEED)` on
+//! Linux, rewriting them to zero elsewhere so the "decommitted memory reads
+//! zero" contract holds on every platform), and the grant path clears the
+//! marks again — the kernel recommits lazily on first touch, the bitmap
+//! only tracks the accounting.
+//!
+//! `committed_bytes` derived from the bitmap is an **upper bound** on
+//! resident memory: a page that was never touched *and* never scrubbed
+//! counts as committed even though the kernel has not backed it yet.  The
+//! bound is what the elastic-region telemetry needs — it converges on the
+//! truth as soon as the scrubber has made one pass over the idle span.
+//!
+//! All bitmap operations are lock-free (`fetch_or` / `fetch_and` over
+//! `AtomicU64` words).  Callers must guarantee that a range passed to
+//! [`Mapping::decommit`] holds no live data (the buddy scrubber claims the
+//! block through the allocation path first); ranges passed to
+//! [`Mapping::commit_range`] and [`Mapping::pin_range`] only ever touch
+//! pages of blocks the caller owns, so the two directions never race on the
+//! same page.
+
+#[cfg(not(target_os = "linux"))]
+use std::alloc::Layout;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Fallback page granule when the platform page size cannot be queried.
+const FALLBACK_PAGE_SIZE: usize = 4096;
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const PROT_WRITE: c_int = 2;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MAP_ANONYMOUS: c_int = 0x20;
+    pub const MADV_DONTNEED: c_int = 4;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    // std already links libc; declaring the handful of calls we need keeps
+    // the crate dependency-free.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+        pub fn getpagesize() -> c_int;
+    }
+}
+
+/// The platform page size (the decommit granule), falling back to 4 KiB.
+pub fn page_size() -> usize {
+    #[cfg(target_os = "linux")]
+    {
+        // SAFETY: getpagesize has no preconditions.
+        let p = unsafe { sys::getpagesize() };
+        if p > 0 {
+            return p as usize;
+        }
+    }
+    FALLBACK_PAGE_SIZE
+}
+
+/// How the span is backed (and must be released).
+enum Backing {
+    /// Anonymous private mapping; the whole reservation (which may be larger
+    /// than the usable span, to satisfy over-page alignment) is unmapped on
+    /// drop.
+    #[cfg(target_os = "linux")]
+    Mapped { map_base: *mut u8, map_len: usize },
+    /// Heap allocation from the global allocator (non-Linux fallback).
+    #[cfg(not(target_os = "linux"))]
+    Heap { raw: *mut u8, layout: Layout },
+}
+
+/// A demand-zero span of memory with page-granular decommit accounting.
+pub struct Mapping {
+    base: NonNull<u8>,
+    len: usize,
+    page_size: usize,
+    backing: Backing,
+    /// One bit per page of the span: set = decommitted (reads zero, costs
+    /// no physical frame on Linux).
+    decommitted: Box<[AtomicU64]>,
+    /// Gauge: pages currently marked decommitted.
+    decommitted_pages: AtomicUsize,
+    /// Cumulative bytes ever decommitted.
+    decommit_bytes_total: AtomicU64,
+    /// Cumulative bytes whose decommit mark was cleared by a grant (an
+    /// upper bound on lazily recommitted memory).
+    recommit_bytes_total: AtomicU64,
+}
+
+// SAFETY: the span is only dereferenced through disjoint ranges handed out
+// by a thread-safe buddy backend; the bitmap is atomic.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Reserves a demand-zero span of `len` bytes aligned to `align`
+    /// (`align` must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation fails (mirroring `handle_alloc_error` for
+    /// the heap path: a region that cannot be backed is unrecoverable).
+    pub fn new(len: usize, align: usize) -> Self {
+        assert!(len > 0, "empty mapping");
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let page = page_size();
+        let (base, backing) = Self::reserve(len, align, page);
+        let pages = len.div_ceil(page);
+        let words = pages.div_ceil(64);
+        Mapping {
+            base,
+            len,
+            page_size: page,
+            backing,
+            decommitted: (0..words).map(|_| AtomicU64::new(0)).collect(),
+            decommitted_pages: AtomicUsize::new(0),
+            decommit_bytes_total: AtomicU64::new(0),
+            recommit_bytes_total: AtomicU64::new(0),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn reserve(len: usize, align: usize, page: usize) -> (NonNull<u8>, Backing) {
+        // Over-reserve when the requested alignment exceeds what mmap
+        // guarantees; the slack pages are never touched, so demand paging
+        // makes them free.
+        let map_len = len
+            .div_ceil(page)
+            .checked_mul(page)
+            .and_then(|l| l.checked_add(if align > page { align } else { 0 }))
+            .expect("mapping length overflow");
+        // SAFETY: anonymous private mapping, no fd, no fixed address.
+        let raw = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                map_len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_PRIVATE | sys::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        assert!(
+            raw != sys::MAP_FAILED && !raw.is_null(),
+            "mmap of {map_len} bytes failed"
+        );
+        let map_base = raw as *mut u8;
+        let aligned = (map_base as usize).next_multiple_of(align);
+        // mmap returns page-aligned memory, and any align > page is a
+        // multiple of page, so `aligned` stays page-aligned: offset-space
+        // page boundaries coincide with address-space page boundaries,
+        // which `decommit` relies on for madvise.
+        let base = NonNull::new(aligned as *mut u8).expect("aligned base is non-null");
+        (base, Backing::Mapped { map_base, map_len })
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn reserve(len: usize, align: usize, _page: usize) -> (NonNull<u8>, Backing) {
+        let layout = Layout::from_size_align(len, align.max(std::mem::align_of::<usize>()))
+            .expect("invalid mapping layout");
+        // SAFETY: layout has non-zero size.
+        let raw = unsafe { std::alloc::alloc_zeroed(layout) };
+        let base = NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+        (base, Backing::Heap { raw, layout })
+    }
+
+    /// Base address of the usable span.
+    pub fn base(&self) -> NonNull<u8> {
+        self.base
+    }
+
+    /// Usable span length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the span is empty (never true: construction requires
+    /// `len > 0`; provided for `len`/`is_empty` lint symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The page size the decommit bitmap is expressed in.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pages currently marked decommitted.
+    pub fn decommitted_pages(&self) -> usize {
+        self.decommitted_pages.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently marked decommitted.
+    pub fn decommitted_bytes(&self) -> usize {
+        self.decommitted_pages() * self.page_size
+    }
+
+    /// Committed bytes: span length minus decommitted bytes.  An upper
+    /// bound on resident memory (see the module docs).
+    pub fn committed_bytes(&self) -> usize {
+        self.len.saturating_sub(self.decommitted_bytes())
+    }
+
+    /// Cumulative bytes ever decommitted.
+    pub fn decommit_bytes_total(&self) -> u64 {
+        self.decommit_bytes_total.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes whose decommit mark was cleared by a grant.
+    pub fn recommit_bytes_total(&self) -> u64 {
+        self.recommit_bytes_total.load(Ordering::Relaxed)
+    }
+
+    /// Releases the physical frames of `[offset, offset + len)`, shrunk
+    /// inward to whole pages, and marks them decommitted.  Returns the
+    /// number of bytes *newly* decommitted (0 when the range was already
+    /// fully decommitted — the madvise is skipped in that case).
+    ///
+    /// The caller must guarantee the range holds no live data: afterwards
+    /// it reads as zero.
+    pub fn decommit(&self, offset: usize, len: usize) -> usize {
+        let Some((first, end)) = self.page_span_inward(offset, len) else {
+            return 0;
+        };
+        let newly = self.mark_range(first, end, true);
+        if newly == 0 {
+            return 0; // already decommitted end to end: nothing to release
+        }
+        let start_byte = first * self.page_size;
+        let span = (end - first) * self.page_size;
+        #[cfg(target_os = "linux")]
+        {
+            // SAFETY: the range lies inside the mapping, is page-aligned
+            // (base is page-aligned), and the caller owns it exclusively.
+            let rc = unsafe {
+                sys::madvise(
+                    self.base.as_ptr().add(start_byte) as *mut std::os::raw::c_void,
+                    span,
+                    sys::MADV_DONTNEED,
+                )
+            };
+            debug_assert_eq!(rc, 0, "madvise(MADV_DONTNEED) failed");
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            // No kernel decommit available: emulate the observable contract
+            // (decommitted memory reads zero) so behaviour and tests match
+            // across platforms.
+            // SAFETY: as above — the caller owns the range exclusively.
+            unsafe { self.base.as_ptr().add(start_byte).write_bytes(0, span) };
+        }
+        let bytes = newly * self.page_size;
+        self.decommitted_pages.fetch_add(newly, Ordering::Relaxed);
+        self.decommit_bytes_total
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        bytes
+    }
+
+    /// Whether every page of `[offset, offset + len)` (shrunk inward to
+    /// whole pages) is already marked decommitted.
+    pub fn is_fully_decommitted(&self, offset: usize, len: usize) -> bool {
+        let Some((first, end)) = self.page_span_inward(offset, len) else {
+            return false;
+        };
+        for page in first..end {
+            let bit = 1u64 << (page % 64);
+            if self.decommitted[page / 64].load(Ordering::Relaxed) & bit == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Clears the decommit marks of every page overlapping
+    /// `[offset, offset + len)` — called on the grant path so the
+    /// committed-bytes gauge follows memory back into service.  The kernel
+    /// recommits lazily on first touch; this only maintains the accounting.
+    pub fn commit_range(&self, offset: usize, len: usize) {
+        if self.decommitted_pages.load(Ordering::Relaxed) == 0 {
+            return; // fast path: nothing is decommitted
+        }
+        let (first, end) = self.page_span_outward(offset, len);
+        let cleared = self.mark_range(first, end, false);
+        if cleared > 0 {
+            self.decommitted_pages.fetch_sub(cleared, Ordering::Relaxed);
+            self.recommit_bytes_total
+                .fetch_add((cleared * self.page_size) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Commits *and write-touches* every page overlapping
+    /// `[offset, offset + len)`, faulting the frames in right now.  Used to
+    /// pin latency-critical ranges (the OOM emergency reserve) so they
+    /// never take a page fault on the path that needs them.
+    ///
+    /// The caller must own the range (the touch is a volatile read/write
+    /// round-trip, so the data is preserved).
+    pub fn pin_range(&self, offset: usize, len: usize) {
+        self.commit_range(offset, len);
+        let end = (offset + len).min(self.len);
+        let mut at = offset;
+        while at < end {
+            // SAFETY: `at < len`; the caller owns the range, and rewriting
+            // the byte just read leaves the contents intact.
+            unsafe {
+                let p = self.base.as_ptr().add(at);
+                let v = p.read_volatile();
+                p.write_volatile(v);
+            }
+            at = match at.checked_add(self.page_size) {
+                Some(next) => next,
+                None => break,
+            };
+        }
+        // Touch the final page when len is not page-multiple.
+        if end > offset {
+            // SAFETY: end - 1 < len and the caller owns the range.
+            unsafe {
+                let p = self.base.as_ptr().add(end - 1);
+                let v = p.read_volatile();
+                p.write_volatile(v);
+            }
+        }
+    }
+
+    /// Whole pages strictly inside `[offset, offset + len)`, as a
+    /// `[first, end)` page-index range.
+    fn page_span_inward(&self, offset: usize, len: usize) -> Option<(usize, usize)> {
+        let lo = offset.min(self.len);
+        let hi = offset.checked_add(len)?.min(self.len);
+        let first = lo.div_ceil(self.page_size);
+        let end = hi / self.page_size;
+        (first < end).then_some((first, end))
+    }
+
+    /// Every page overlapping `[offset, offset + len)`, as a `[first, end)`
+    /// page-index range (clamped to the span).
+    fn page_span_outward(&self, offset: usize, len: usize) -> (usize, usize) {
+        let lo = offset.min(self.len);
+        let hi = offset.saturating_add(len).min(self.len);
+        let first = lo / self.page_size;
+        let end = hi.div_ceil(self.page_size);
+        (first, end)
+    }
+
+    /// Sets (`true`) or clears (`false`) the bitmap over `[first, end)`
+    /// pages, word at a time; returns how many bits actually changed.
+    fn mark_range(&self, first: usize, end: usize, set: bool) -> usize {
+        let mut changed = 0usize;
+        let mut page = first;
+        while page < end {
+            let word = page / 64;
+            let lo_bit = page % 64;
+            let hi_bit = (end - word * 64).min(64);
+            let mask = if hi_bit - lo_bit == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << (hi_bit - lo_bit)) - 1) << lo_bit
+            };
+            let prev = if set {
+                self.decommitted[word].fetch_or(mask, Ordering::AcqRel)
+            } else {
+                self.decommitted[word].fetch_and(!mask, Ordering::AcqRel)
+            };
+            changed += if set {
+                (mask & !prev).count_ones() as usize
+            } else {
+                (mask & prev).count_ones() as usize
+            };
+            page = (word + 1) * 64;
+        }
+        changed
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        match self.backing {
+            #[cfg(target_os = "linux")]
+            Backing::Mapped { map_base, map_len } => {
+                // SAFETY: exactly the reservation made in `reserve`.
+                unsafe { sys::munmap(map_base as *mut std::os::raw::c_void, map_len) };
+            }
+            #[cfg(not(target_os = "linux"))]
+            Backing::Heap { raw, layout } => {
+                // SAFETY: allocated with exactly this layout in `reserve`.
+                unsafe { std::alloc::dealloc(raw, layout) };
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping")
+            .field("base", &self.base)
+            .field("len", &self.len)
+            .field("page_size", &self.page_size)
+            .field("decommitted_pages", &self.decommitted_pages())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_is_aligned_zeroed_and_writable() {
+        let m = Mapping::new(1 << 16, 1 << 12);
+        assert_eq!(m.base().as_ptr() as usize % (1 << 12), 0);
+        assert_eq!(m.len(), 1 << 16);
+        assert!(!m.is_empty());
+        unsafe {
+            for i in [0usize, 1 << 12, (1 << 16) - 1] {
+                assert_eq!(*m.base().as_ptr().add(i), 0, "byte {i} not zero");
+            }
+            m.base().as_ptr().write_bytes(0xAB, 1 << 16);
+            assert_eq!(*m.base().as_ptr().add((1 << 16) - 1), 0xAB);
+        }
+    }
+
+    #[test]
+    fn over_page_alignment_is_honoured() {
+        let align = page_size() * 4;
+        let m = Mapping::new(align * 2, align);
+        assert_eq!(m.base().as_ptr() as usize % align, 0);
+    }
+
+    #[test]
+    fn decommit_zeroes_and_accounts() {
+        let page = page_size();
+        let m = Mapping::new(page * 8, page);
+        unsafe { m.base().as_ptr().write_bytes(0xFF, page * 8) };
+        assert_eq!(m.committed_bytes(), page * 8);
+
+        let freed = m.decommit(page * 2, page * 3);
+        assert_eq!(freed, page * 3);
+        assert_eq!(m.decommitted_pages(), 3);
+        assert_eq!(m.decommitted_bytes(), page * 3);
+        assert_eq!(m.committed_bytes(), page * 5);
+        assert!(m.is_fully_decommitted(page * 2, page * 3));
+        assert!(!m.is_fully_decommitted(page, page * 2));
+        unsafe {
+            assert_eq!(
+                *m.base().as_ptr().add(page * 2),
+                0,
+                "decommitted reads zero"
+            );
+            assert_eq!(*m.base().as_ptr().add(page * 5 - 1), 0);
+            assert_eq!(*m.base().as_ptr().add(page), 0xFF, "neighbour untouched");
+            assert_eq!(*m.base().as_ptr().add(page * 5), 0xFF);
+        }
+
+        // Second decommit of the same range is a no-op.
+        assert_eq!(m.decommit(page * 2, page * 3), 0);
+        assert_eq!(m.decommit_bytes_total(), (page * 3) as u64);
+    }
+
+    #[test]
+    fn sub_page_ranges_round_inward_to_nothing() {
+        let page = page_size();
+        let m = Mapping::new(page * 4, page);
+        assert_eq!(m.decommit(10, page - 20), 0, "no whole page inside");
+        assert_eq!(m.decommitted_pages(), 0);
+        assert!(!m.is_fully_decommitted(10, page - 20));
+    }
+
+    #[test]
+    fn commit_clears_marks_and_counts_recommits() {
+        let page = page_size();
+        let m = Mapping::new(page * 8, page);
+        m.decommit(0, page * 8);
+        assert_eq!(m.decommitted_pages(), 8);
+
+        // A grant overlapping pages 1..3 (partially) recommits pages 1..=3.
+        m.commit_range(page + 7, page * 2);
+        assert_eq!(m.decommitted_pages(), 5);
+        assert_eq!(m.recommit_bytes_total(), (page * 3) as u64);
+        assert_eq!(m.committed_bytes(), page * 3);
+
+        // Fast path: committing an already-committed range changes nothing.
+        m.commit_range(page, page * 2);
+        assert_eq!(m.decommitted_pages(), 5);
+        m.commit_range(0, page * 8);
+        assert_eq!(m.decommitted_pages(), 0);
+        m.commit_range(0, page * 8); // decommitted_pages == 0 fast path
+        assert_eq!(m.recommit_bytes_total(), (page * 8) as u64);
+    }
+
+    #[test]
+    fn pin_touches_without_clobbering() {
+        let page = page_size();
+        let m = Mapping::new(page * 4, page);
+        unsafe { m.base().as_ptr().add(page).write_bytes(0x5C, page) };
+        m.pin_range(page, page * 2);
+        unsafe {
+            assert_eq!(*m.base().as_ptr().add(page), 0x5C);
+            assert_eq!(*m.base().as_ptr().add(page * 2 - 1), 0x5C);
+        }
+        // Pinning a decommitted range recommits it (reads zero afterwards).
+        m.decommit(0, page);
+        m.pin_range(0, page);
+        assert_eq!(m.decommitted_pages(), 0);
+        unsafe { assert_eq!(*m.base().as_ptr(), 0) };
+    }
+
+    #[test]
+    fn spans_smaller_than_a_page_work() {
+        let m = Mapping::new(1024, 1024);
+        unsafe {
+            m.base().as_ptr().write_bytes(0x11, 1024);
+            assert_eq!(*m.base().as_ptr().add(1023), 0x11);
+        }
+        assert_eq!(m.decommit(0, 1024), 0, "smaller than one page");
+        assert_eq!(m.committed_bytes(), 1024);
+    }
+
+    #[test]
+    fn bitmap_word_boundaries_are_exact() {
+        let page = page_size();
+        // 130 pages spans three bitmap words.
+        let m = Mapping::new(page * 130, page);
+        assert_eq!(m.decommit(0, page * 130), page * 130);
+        assert_eq!(m.decommitted_pages(), 130);
+        m.commit_range(page * 63, page * 2); // straddles the word boundary
+        assert_eq!(m.decommitted_pages(), 128);
+        assert!(m.is_fully_decommitted(page * 65, page * 65));
+        assert!(!m.is_fully_decommitted(page * 63, page * 2));
+    }
+}

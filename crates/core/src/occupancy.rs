@@ -77,6 +77,14 @@ pub struct OccupancySnapshot {
     pub free_blocks: usize,
     /// Trees folded into this snapshot (NUMA node sets merge one per node).
     pub merged_trees: usize,
+    /// The maximal free subtrees as `(offset, size)` pairs in ascending
+    /// offset order (within each merged tree).  Each entry is a whole,
+    /// naturally aligned buddy block that was entirely free at walk time —
+    /// exactly the claim targets the decommit scrubber needs
+    /// ([`crate::BuddyBackend::scrub_claim`]).  Wrappers that pack several
+    /// trees into one offset space remap these with
+    /// [`OccupancySnapshot::shift_free_chunks`] before merging.
+    pub free_chunks: Vec<(usize, usize)>,
 }
 
 impl OccupancySnapshot {
@@ -118,6 +126,17 @@ impl OccupancySnapshot {
         self.largest_free_block = self.largest_free_block.max(other.largest_free_block);
         self.free_blocks += other.free_blocks;
         self.merged_trees += other.merged_trees;
+        self.free_chunks.extend_from_slice(&other.free_chunks);
+    }
+
+    /// Rebases every free chunk by `delta` bytes — used by wrappers (NUMA
+    /// node sets, elastic region sets) whose global offset space places
+    /// tree `i` at `i << shift`, so a tree-local chunk offset becomes a
+    /// global one before snapshots are merged.
+    pub fn shift_free_chunks(&mut self, delta: usize) {
+        for (off, _) in &mut self.free_chunks {
+            *off += delta;
+        }
     }
 }
 
@@ -158,7 +177,7 @@ pub fn occupancy_of<T: TreeInspect + ?Sized>(tree: &T) -> OccupancySnapshot {
     }
     let mut run_len = 0usize;
     let mut run_end = usize::MAX;
-    for (off, size) in free_subtrees {
+    for &(off, size) in &free_subtrees {
         if off == run_end {
             run_len += size;
         } else {
@@ -174,7 +193,56 @@ pub fn occupancy_of<T: TreeInspect + ?Sized>(tree: &T) -> OccupancySnapshot {
     if run_len > 0 {
         snap.free_blocks += 1;
     }
+    snap.free_chunks = free_subtrees;
     snap
+}
+
+/// Collects the maximal free subtrees of `tree` that are at least
+/// `min_size` bytes, ascending by offset, without the unit-granular
+/// descent [`occupancy_of`] performs: a free or occupied node settles its
+/// whole subtree, and busy subtrees too small to hold a `min_size` chunk
+/// are pruned.  The walk therefore touches `O(total / min_size)` nodes —
+/// at page granularity that is thousands of times cheaper than a full
+/// occupancy snapshot, which is what lets the decommit scrubber poll it
+/// every pass without shadowing the allocation path.
+pub fn free_chunks_of<T: TreeInspect + ?Sized>(tree: &T, min_size: usize) -> Vec<(usize, usize)> {
+    let g = tree.inspect_geometry();
+    let mut chunks = Vec::new();
+    if min_size > g.max_size() {
+        return chunks;
+    }
+    let top = g.max_level();
+    for pos in 0..g.nodes_at_level(top) {
+        pruned_walk(tree, g, g.node_at(top, pos), min_size, &mut chunks);
+    }
+    chunks
+}
+
+fn pruned_walk<T: TreeInspect + ?Sized>(
+    tree: &T,
+    g: &Geometry,
+    n: usize,
+    min_size: usize,
+    chunks: &mut Vec<(usize, usize)>,
+) {
+    let status = tree.node_status(n);
+    if is_occupied(status) {
+        return;
+    }
+    if is_free(status) {
+        chunks.push((g.offset_of(n), g.size_of(n)));
+        return;
+    }
+    // Busy: free descendants are strictly smaller than this node, so stop
+    // once the children could no longer hold a min_size chunk.
+    if g.size_of(n) / 2 < min_size {
+        return;
+    }
+    let left = g.left_child(n);
+    if left <= g.node_count() {
+        pruned_walk(tree, g, left, min_size, chunks);
+        pruned_walk(tree, g, g.right_child(n), min_size, chunks);
+    }
 }
 
 /// How an ancestor constrains the node being visited.
@@ -323,6 +391,44 @@ mod tests {
             "blocks on different trees never merge"
         );
         assert_eq!(merged.levels[0].nodes, 32, "levels folded by chunk size");
+    }
+
+    #[test]
+    fn free_chunks_name_the_maximal_free_subtrees() {
+        let buddy = NbbsOneLevel::new(config());
+        let snap = occupancy_of(&buddy);
+        // An empty tree decomposes into its max_level blocks, in order.
+        assert_eq!(snap.free_chunks.len(), 16);
+        assert_eq!(snap.free_chunks[0], (0, 1 << 12));
+        assert_eq!(snap.free_chunks[15], (15 << 12, 1 << 12));
+
+        let held = buddy.alloc(4096).unwrap();
+        let snap = occupancy_of(&buddy);
+        assert!(
+            snap.free_chunks
+                .iter()
+                .all(|&(off, size)| { off + size <= held || off >= held + 4096 }),
+            "no free chunk overlaps the live block"
+        );
+        assert_eq!(
+            snap.free_chunks.iter().map(|&(_, s)| s).sum::<usize>(),
+            snap.total_free_bytes,
+            "chunks account for every free byte"
+        );
+        for &(off, size) in &snap.free_chunks {
+            assert!(
+                size.is_power_of_two() && off % size == 0,
+                "whole buddy blocks"
+            );
+        }
+        buddy.dealloc(held);
+
+        let mut shifted = occupancy_of(&buddy);
+        shifted.shift_free_chunks(1 << 16);
+        assert_eq!(shifted.free_chunks[0].0, 1 << 16);
+        let mut merged = occupancy_of(&buddy);
+        merged.merge(&shifted);
+        assert_eq!(merged.free_chunks.len(), 32, "merge appends chunk lists");
     }
 
     #[test]

@@ -148,6 +148,37 @@ impl NbbsOneLevel {
         None
     }
 
+    /// Claims the *specific* block `[offset, offset + size)` — the targeted
+    /// form of [`NbbsOneLevel::alloc_at_level`] the decommit scrubber uses
+    /// to take ownership of a block the occupancy walk reported free.
+    ///
+    /// `size` must be the exact chunk size of an allocatable level and
+    /// `offset` naturally aligned to it; returns `false` for an invalid
+    /// descriptor or when the block gained an occupant since it was
+    /// observed (the claim is the ordinary `TRYALLOC` CAS protocol, so a
+    /// stale target simply fails).  On success the caller owns the block as
+    /// if `alloc(size)` had returned it.  The scan cursor is deliberately
+    /// not advanced: maintenance claims must not perturb placement.
+    pub fn claim_block(&self, offset: usize, size: usize) -> bool {
+        let Some(level) = self.geo.target_level(size) else {
+            return false;
+        };
+        if self.geo.size_of_level(level) != size
+            || !offset.is_multiple_of(size)
+            || offset + size > self.geo.total_memory()
+        {
+            return false;
+        }
+        let n = self.geo.node_at(level, offset / size);
+        if self.try_alloc_node(n).is_err() {
+            return false;
+        }
+        self.index[self.geo.unit_of_offset(offset)].store(n as u32, Ordering::Release);
+        self.allocated.fetch_add(size, Ordering::Relaxed);
+        self.stats.record_alloc(1);
+        true
+    }
+
     /// Scans nodes of `level` with indices in `[from, to)`, attempting to
     /// reserve the first free one.  Implements lines A11–A22 of Algorithm 1,
     /// including the sub-tree skip after a failed `TRYALLOC`.
@@ -413,6 +444,14 @@ impl BuddyBackend for NbbsOneLevel {
     fn occupancy(&self) -> Option<crate::occupancy::OccupancySnapshot> {
         Some(crate::occupancy::occupancy_of(self))
     }
+
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        Some(crate::occupancy::free_chunks_of(self, min_size))
+    }
+
+    fn scrub_claim(&self, offset: usize, size: usize) -> bool {
+        self.claim_block(offset, size)
+    }
 }
 
 impl TreeInspect for NbbsOneLevel {
@@ -454,6 +493,41 @@ mod tests {
 
     fn buddy(total: usize, min: usize, max: usize) -> NbbsOneLevel {
         NbbsOneLevel::new(BuddyConfig::new(total, min, max).unwrap())
+    }
+
+    #[test]
+    fn claim_block_targets_specific_free_blocks() {
+        let b = buddy(1 << 16, 64, 1 << 12);
+        assert!(b.claim_block(1 << 12, 1 << 12), "free block is claimable");
+        assert!(
+            !b.claim_block(1 << 12, 1 << 12),
+            "a claimed block refuses a second claim"
+        );
+        assert!(!b.claim_block(0, 1 << 13), "size above max_size rejected");
+        assert!(!b.claim_block(0, 96), "non-chunk size rejected");
+        assert!(!b.claim_block(100, 4096), "misaligned offset rejected");
+        assert!(!b.claim_block(1 << 16, 4096), "out of range rejected");
+        assert_eq!(b.allocated_bytes(), 1 << 12);
+        // A claim is an ordinary allocation: overlapping requests fail and
+        // the release path is the ordinary dealloc.
+        assert!(!b.claim_block(1 << 12, 64));
+        b.dealloc(1 << 12);
+        assert_eq!(b.allocated_bytes(), 0);
+        assert!(b.claim_block(1 << 12, 64), "freed block claimable again");
+        b.dealloc(1 << 12);
+        // Claims compose with occupancy: every reported free chunk of an
+        // idle tree can be claimed, and a live block never appears there.
+        let held = b.alloc(4096).unwrap();
+        let snap = BuddyBackend::occupancy(&b).unwrap();
+        for &(off, size) in &snap.free_chunks {
+            assert!(b.scrub_claim(off, size), "chunk ({off}, {size})");
+        }
+        assert_eq!(b.allocated_bytes(), 1 << 16, "whole region claimed");
+        for &(off, _) in &snap.free_chunks {
+            b.dealloc(off);
+        }
+        b.dealloc(held);
+        assert_eq!(b.allocated_bytes(), 0);
     }
 
     fn buddy_first_fit(total: usize, min: usize, max: usize) -> NbbsOneLevel {

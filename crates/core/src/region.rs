@@ -1,93 +1,185 @@
 //! Backing memory for a buddy backend: turns offsets into real pointers.
 //!
 //! The allocator state machines in this crate are expressed over byte
-//! offsets.  [`BuddyRegion`] owns an actual heap region of `total_memory`
+//! offsets.  [`BuddyRegion`] owns an actual memory span of `total_memory`
 //! bytes, aligned to the maximum chunk size (so that every chunk handed out
 //! is naturally aligned to its own size, like physical page frames under the
 //! kernel buddy allocator), and converts offsets to [`NonNull<u8>`] pointers
-//! and back.  This is the only place (together with [`crate::global`]) where
-//! the crate touches raw memory.
+//! and back.  This is the only place where the crate touches raw memory.
+//!
+//! The span is a demand-zero [`Mapping`]: pages cost nothing until touched,
+//! and the region can give quiescent pages *back*.  [`BuddyRegion::scrub_pass`]
+//! walks the backend's occupancy snapshot, claims each maximal free block
+//! through the ordinary allocation protocol
+//! ([`BuddyBackend::scrub_claim`] — so a decommit can never race a live
+//! chunk), releases its physical frames, and frees the block back.
+//! [`BuddyRegion::start_scrubber`] runs that pass periodically on a
+//! background thread, which makes the region *elastic*: committed memory
+//! follows the live set down at trough instead of staying pinned at peak.
+//! Recommit is automatic — the kernel faults fresh zero pages in on first
+//! touch, and the grant path clears the accounting marks.
 
-use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
 use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::error::{AllocError, FreeError};
+use crate::mapping::Mapping;
+use crate::stats::MemoryStatsSnapshot;
 use crate::traits::BuddyBackend;
+
+/// The state shared between a region and its scrubber thread.
+struct RegionInner<A: BuddyBackend> {
+    backend: A,
+    mapping: Mapping,
+    /// Ranges excluded from scrubbing (the OOM emergency reserve pins its
+    /// blocks here so the path that needs them never takes a page fault).
+    pinned: Mutex<Vec<(usize, usize)>>,
+    scrub_passes: AtomicU64,
+    scrub_blocks: AtomicU64,
+    scrub_bytes: AtomicU64,
+    trimmed_pages: AtomicU64,
+}
+
+impl<A: BuddyBackend> RegionInner<A> {
+    fn overlaps_pinned(&self, offset: usize, size: usize) -> bool {
+        let pinned = self.pinned.lock().unwrap_or_else(|e| e.into_inner());
+        pinned
+            .iter()
+            .any(|&(p_off, p_len)| offset < p_off + p_len && p_off < offset + size)
+    }
+
+    /// One synchronous scrub pass; returns bytes newly decommitted.
+    fn scrub_pass(&self) -> usize {
+        let trimmed = self.backend.trim_empty_pages();
+        if trimmed > 0 {
+            self.trimmed_pages
+                .fetch_add(trimmed as u64, Ordering::Relaxed);
+        }
+        let min_block = self.backend.min_size().max(self.mapping.page_size());
+        let mut freed = 0usize;
+        // The pruned free-chunk walk stops at `min_block` granularity —
+        // sub-page blocks have no whole page to release anyway — so a pass
+        // costs O(total / page_size) even on unit-granular trees.
+        if let Some(chunks) = self.backend.free_chunks(min_block) {
+            for &(off, size) in &chunks {
+                if self.mapping.is_fully_decommitted(off, size) {
+                    continue; // nothing left to release, skip the claim
+                }
+                if self.overlaps_pinned(off, size) {
+                    continue;
+                }
+                // Claim-before-scrub: take the block through the ordinary
+                // allocation protocol, so a stale snapshot entry (the block
+                // gained an occupant since the walk) fails the CAS instead
+                // of racing a live chunk.  One block is held at a time.
+                if !self.backend.scrub_claim(off, size) {
+                    continue;
+                }
+                let n = self.mapping.decommit(off, size);
+                self.backend.scrub_dealloc(off);
+                if n > 0 {
+                    freed += n;
+                    self.scrub_blocks.fetch_add(1, Ordering::Relaxed);
+                    self.scrub_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        self.scrub_passes.fetch_add(1, Ordering::Relaxed);
+        freed
+    }
+}
+
+/// A running background scrubber.
+struct ScrubberHandle {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
 
 /// A buddy backend plus the contiguous memory region it manages.
 ///
 /// See the [crate docs](crate) for an example.
 pub struct BuddyRegion<A: BuddyBackend> {
-    backend: A,
-    base: NonNull<u8>,
-    layout: Layout,
+    inner: Arc<RegionInner<A>>,
+    scrubber: Mutex<Option<ScrubberHandle>>,
 }
 
-// SAFETY: the region's base pointer is only used through offsets handed out
-// by the thread-safe backend; the region itself is immutable after
-// construction.
-unsafe impl<A: BuddyBackend> Send for BuddyRegion<A> {}
-unsafe impl<A: BuddyBackend> Sync for BuddyRegion<A> {}
-
 impl<A: BuddyBackend> BuddyRegion<A> {
-    /// Allocates a zeroed backing region for `backend` and wraps it.
+    /// Reserves a demand-zero backing region for `backend` and wraps it.
     ///
     /// The region is aligned to the backend's `max_size`, so a chunk of size
     /// `2^k` returned by [`BuddyRegion::alloc_bytes`] is always `2^k`-aligned.
+    /// On Linux the backing is an anonymous private mapping — pages cost no
+    /// physical memory until first touch; elsewhere it falls back to a
+    /// zeroed heap allocation with the same observable behaviour.
     pub fn new(backend: A) -> Self {
         let total = backend.total_memory();
         let align = backend.max_size().max(std::mem::align_of::<usize>());
-        let layout = Layout::from_size_align(total, align).expect("invalid region layout");
-        // SAFETY: layout has non-zero size (configs guarantee total >= 1).
-        let raw = unsafe { alloc_zeroed(layout) };
-        let base = NonNull::new(raw).unwrap_or_else(|| handle_alloc_error(layout));
+        let mapping = Mapping::new(total, align);
         BuddyRegion {
-            backend,
-            base,
-            layout,
+            inner: Arc::new(RegionInner {
+                backend,
+                mapping,
+                pinned: Mutex::new(Vec::new()),
+                scrub_passes: AtomicU64::new(0),
+                scrub_blocks: AtomicU64::new(0),
+                scrub_bytes: AtomicU64::new(0),
+                trimmed_pages: AtomicU64::new(0),
+            }),
+            scrubber: Mutex::new(None),
         }
     }
 
     /// The wrapped backend.
     pub fn backend(&self) -> &A {
-        &self.backend
+        &self.inner.backend
     }
 
     /// Base address of the managed region.
     pub fn base(&self) -> NonNull<u8> {
-        self.base
+        self.inner.mapping.base()
     }
 
     /// Total size of the managed region in bytes.
     pub fn total_memory(&self) -> usize {
-        self.backend.total_memory()
+        self.inner.backend.total_memory()
+    }
+
+    /// Clears the decommit accounting for a grant of `size` bytes at
+    /// `offset` (the kernel recommits the frames lazily on first touch).
+    fn note_grant(&self, offset: usize, size: usize) {
+        let granted = self.inner.backend.granted_size_for(size).unwrap_or(size);
+        self.inner.mapping.commit_range(offset, granted.max(size));
     }
 
     /// Allocates at least `size` bytes and returns a pointer into the region.
     pub fn alloc_bytes(&self, size: usize) -> Option<NonNull<u8>> {
-        let offset = self.backend.alloc(size)?;
+        let offset = self.inner.backend.alloc(size)?;
+        self.note_grant(offset, size);
         // SAFETY: `offset < total_memory`, so the resulting pointer stays
-        // within the allocation backing this region.
-        Some(unsafe { NonNull::new_unchecked(self.base.as_ptr().add(offset)) })
+        // within the mapping backing this region.
+        Some(unsafe { NonNull::new_unchecked(self.base().as_ptr().add(offset)) })
     }
 
     /// Fallible variant of [`BuddyRegion::alloc_bytes`].
     pub fn try_alloc_bytes(&self, size: usize) -> Result<NonNull<u8>, AllocError> {
-        let offset = self.backend.try_alloc(size)?;
+        let offset = self.inner.backend.try_alloc(size)?;
+        self.note_grant(offset, size);
         // SAFETY: as above.
-        Ok(unsafe { NonNull::new_unchecked(self.base.as_ptr().add(offset)) })
+        Ok(unsafe { NonNull::new_unchecked(self.base().as_ptr().add(offset)) })
     }
 
     /// Releases a pointer previously returned by [`BuddyRegion::alloc_bytes`].
     pub fn dealloc_bytes(&self, ptr: NonNull<u8>) {
         let offset = self.offset_of(ptr).expect("pointer outside the region");
-        self.backend.dealloc(offset);
+        self.inner.backend.dealloc(offset);
     }
 
     /// Fallible release with validation of the pointer.
     pub fn try_dealloc_bytes(&self, ptr: NonNull<u8>) -> Result<(), FreeError> {
         match self.offset_of(ptr) {
-            Some(offset) => self.backend.try_dealloc(offset),
+            Some(offset) => self.inner.backend.try_dealloc(offset),
             None => Err(FreeError::OutOfRange {
                 offset: ptr.as_ptr() as usize,
                 total_memory: self.total_memory(),
@@ -97,7 +189,7 @@ impl<A: BuddyBackend> BuddyRegion<A> {
 
     /// Converts a pointer inside the region back to its byte offset.
     pub fn offset_of(&self, ptr: NonNull<u8>) -> Option<usize> {
-        let base = self.base.as_ptr() as usize;
+        let base = self.base().as_ptr() as usize;
         let addr = ptr.as_ptr() as usize;
         if addr < base || addr >= base + self.total_memory() {
             return None;
@@ -112,22 +204,131 @@ impl<A: BuddyBackend> BuddyRegion<A> {
 
     /// Bytes currently handed out by the backend.
     pub fn allocated_bytes(&self) -> usize {
-        self.backend.allocated_bytes()
+        self.inner.backend.allocated_bytes()
+    }
+
+    /// Bytes of the span currently committed — managed minus decommitted.
+    /// An upper bound on the region's resident memory: pages never touched
+    /// *and* never scrubbed count as committed (the bound converges once
+    /// the scrubber has passed over the idle span).
+    pub fn committed_bytes(&self) -> usize {
+        self.inner.mapping.committed_bytes()
+    }
+
+    /// Total span the region manages, in bytes (alias of
+    /// [`BuddyRegion::total_memory`], named for the committed/managed pair).
+    pub fn managed_bytes(&self) -> usize {
+        self.total_memory()
+    }
+
+    /// Point-in-time backing-memory accounting.
+    pub fn memory_stats(&self) -> MemoryStatsSnapshot {
+        let inner = &*self.inner;
+        MemoryStatsSnapshot {
+            managed_bytes: self.total_memory() as u64,
+            committed_bytes: inner.mapping.committed_bytes() as u64,
+            decommitted_bytes: inner.mapping.decommitted_bytes() as u64,
+            scrub_passes: inner.scrub_passes.load(Ordering::Relaxed),
+            scrub_blocks: inner.scrub_blocks.load(Ordering::Relaxed),
+            scrub_bytes: inner.scrub_bytes.load(Ordering::Relaxed),
+            recommitted_bytes: inner.mapping.recommit_bytes_total(),
+            trimmed_pages: inner.trimmed_pages.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Excludes `[offset, offset + len)` from scrubbing and faults its
+    /// pages in right now.  The OOM emergency reserve pins its carved
+    /// blocks so a reserve hit never takes a page fault exactly when
+    /// memory is tightest.  The caller must own the range.
+    pub fn pin_range(&self, offset: usize, len: usize) {
+        self.inner
+            .pinned
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((offset, len));
+        self.inner.mapping.pin_range(offset, len);
+    }
+
+    /// Clears the decommit accounting for `[offset, offset + len)`.  Used
+    /// by front-ends that hand out region memory without going through
+    /// [`BuddyRegion::alloc_bytes`] (e.g. a global-allocator facade working
+    /// in raw offsets).
+    pub fn commit_range(&self, offset: usize, len: usize) {
+        self.inner.mapping.commit_range(offset, len);
+    }
+
+    /// One synchronous scrub pass: trims empty slab pages, then walks the
+    /// backend's free blocks, claiming each quiescent one, releasing its
+    /// physical frames and freeing it back.  Returns bytes newly
+    /// decommitted.  Safe to call concurrently with allocation traffic —
+    /// the claim is the ordinary allocation protocol, so the scrubber and
+    /// the mutators resolve conflicts exactly like racing allocators.
+    pub fn scrub_pass(&self) -> usize {
+        self.inner.scrub_pass()
+    }
+
+    /// Starts the background scrubber thread (`nbbs-scrub`), running
+    /// [`BuddyRegion::scrub_pass`] every `interval`.  A no-op if the
+    /// scrubber is already running.  Stopped by
+    /// [`BuddyRegion::stop_scrubber`] or when the region drops.
+    pub fn start_scrubber(&self, interval: Duration)
+    where
+        A: 'static,
+    {
+        let mut guard = self.scrubber.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_some() {
+            return;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let inner = Arc::clone(&self.inner);
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("nbbs-scrub".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Acquire) {
+                    inner.scrub_pass();
+                    // Sleep in slices so stop requests are honoured promptly.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !stop_flag.load(Ordering::Acquire) {
+                        let slice = (interval - slept).min(Duration::from_millis(20));
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                }
+            })
+            .expect("failed to spawn nbbs-scrub");
+        *guard = Some(ScrubberHandle { stop, thread });
+    }
+
+    /// Stops and joins the background scrubber, if running.
+    pub fn stop_scrubber(&self) {
+        let handle = self
+            .scrubber
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(h) = handle {
+            h.stop.store(true, Ordering::Release);
+            let _ = h.thread.join();
+        }
     }
 }
 
 impl<A: BuddyBackend> Drop for BuddyRegion<A> {
     fn drop(&mut self) {
-        // SAFETY: `base` was allocated with exactly this layout in `new`.
-        unsafe { dealloc(self.base.as_ptr(), self.layout) };
+        // The scrubber only holds the shared inner state (kept alive by its
+        // Arc), but there is no reason to keep burning cycles for a region
+        // that is going away.
+        self.stop_scrubber();
     }
 }
 
 impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for BuddyRegion<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BuddyRegion")
-            .field("backend", &self.backend)
-            .field("base", &self.base)
+            .field("backend", &self.inner.backend)
+            .field("base", &self.base())
+            .field("committed_bytes", &self.committed_bytes())
             .finish()
     }
 }
@@ -135,6 +336,7 @@ impl<A: BuddyBackend + std::fmt::Debug> std::fmt::Debug for BuddyRegion<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mapping::page_size;
     use crate::{BuddyConfig, NbbsFourLevel, NbbsOneLevel};
 
     fn region(total: usize, min: usize, max: usize) -> BuddyRegion<NbbsOneLevel> {
@@ -215,5 +417,125 @@ mod tests {
         let r = region(4096, 64, 4096);
         assert_eq!(r.backend().name(), "1lvl-nb");
         assert_eq!(r.total_memory(), 4096);
+    }
+
+    #[test]
+    fn scrub_pass_decommits_idle_memory_and_grants_recommit() {
+        let page = page_size();
+        // 64 top-level blocks of 4 pages each, all page-multiple.
+        let total = page * 256;
+        let r = region(total, page, page * 4);
+        assert_eq!(r.committed_bytes(), total, "everything starts committed");
+
+        // Dirty a block, free it, scrub: committed bytes fall to zero.
+        let p = r.alloc_bytes(page * 4).unwrap();
+        unsafe { p.as_ptr().write_bytes(0xEE, page * 4) };
+        r.dealloc_bytes(p);
+        let freed = r.scrub_pass();
+        assert_eq!(freed, total, "idle region decommits end to end");
+        assert_eq!(r.committed_bytes(), 0);
+        let stats = r.memory_stats();
+        assert_eq!(stats.scrub_passes, 1);
+        assert_eq!(stats.scrub_bytes, total as u64);
+        assert_eq!(stats.managed_bytes, total as u64);
+        assert!(stats.scrub_blocks >= 1);
+
+        // A second pass finds everything already decommitted.
+        assert_eq!(r.scrub_pass(), 0);
+
+        // Reuse after decommit: the memory reads zero and is writable, and
+        // the grant recommits its pages in the accounting.
+        let q = r.alloc_bytes(page * 4).unwrap();
+        unsafe {
+            for i in 0..page * 4 {
+                assert_eq!(*q.as_ptr().add(i), 0, "decommitted block reads zero");
+            }
+            q.as_ptr().write_bytes(0x77, page * 4);
+        }
+        assert_eq!(r.committed_bytes(), page * 4);
+        assert!(r.memory_stats().recommitted_bytes >= (page * 4) as u64);
+        r.dealloc_bytes(q);
+    }
+
+    #[test]
+    fn scrubber_skips_live_and_pinned_blocks() {
+        let page = page_size();
+        let total = page * 64;
+        let r = region(total, page, page * 4);
+
+        let live = r.alloc_bytes(page * 4).unwrap();
+        unsafe { live.as_ptr().write_bytes(0xAB, page * 4) };
+        let _live_off = r.offset_of(live).unwrap();
+
+        // Pin another block (still free — pinning is about exclusion).
+        let pinned = r.alloc_bytes(page * 4).unwrap();
+        let pinned_off = r.offset_of(pinned).unwrap();
+        unsafe { pinned.as_ptr().write_bytes(0xCD, page * 4) };
+        r.pin_range(pinned_off, page * 4);
+        r.dealloc_bytes(pinned);
+
+        r.scrub_pass();
+        // The live block kept its contents; the pinned range stayed
+        // committed even though it is free.
+        unsafe {
+            assert_eq!(*live.as_ptr(), 0xAB);
+            assert_eq!(*live.as_ptr().add(page * 4 - 1), 0xAB);
+            assert_eq!(*r.base().as_ptr().add(pinned_off), 0xCD);
+        }
+        assert!(
+            r.committed_bytes() >= page * 8,
+            "live + pinned stay committed: {} < {}",
+            r.committed_bytes(),
+            page * 8
+        );
+        assert_eq!(
+            r.allocated_bytes(),
+            page * 4,
+            "scrubber returned every claim"
+        );
+        r.dealloc_bytes(live);
+    }
+
+    #[test]
+    fn background_scrubber_starts_stops_and_scrubs() {
+        let page = page_size();
+        let r = region(page * 64, page, page * 4);
+        let p = r.alloc_bytes(page * 4).unwrap();
+        unsafe { p.as_ptr().write_bytes(0x42, page * 4) };
+        r.dealloc_bytes(p);
+
+        r.start_scrubber(Duration::from_millis(1));
+        r.start_scrubber(Duration::from_millis(1)); // idempotent
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while r.committed_bytes() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(r.committed_bytes(), 0, "background scrubber drained RSS");
+        r.stop_scrubber();
+        let passes = r.memory_stats().scrub_passes;
+        assert!(passes >= 1);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(
+            r.memory_stats().scrub_passes,
+            passes,
+            "stopped scrubber makes no more passes"
+        );
+        // Allocation still works after scrubbing stops.
+        assert!(r.alloc_bytes(page).is_some());
+    }
+
+    #[test]
+    fn sub_page_regions_survive_scrubbing() {
+        // A region smaller than one page: nothing can be decommitted, but
+        // nothing breaks either (fallback platforms would round to zero
+        // pages the same way).
+        let r = region(1024, 64, 1024);
+        let p = r.alloc_bytes(512).unwrap();
+        unsafe { p.as_ptr().write_bytes(0x99, 512) };
+        assert_eq!(r.scrub_pass(), 0);
+        unsafe { assert_eq!(*p.as_ptr(), 0x99) };
+        assert_eq!(r.committed_bytes(), 1024);
+        r.dealloc_bytes(p);
+        assert_eq!(r.scrub_pass(), 0, "sub-page blocks are skipped");
     }
 }

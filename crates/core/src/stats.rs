@@ -252,6 +252,78 @@ impl fmt::Display for CacheStatsSnapshot {
     }
 }
 
+/// A point-in-time copy of the backing-memory accounting of a
+/// [`crate::BuddyRegion`]: how much of the managed span is actually
+/// committed, and what the decommit scrubber has done about the rest.
+///
+/// `committed_bytes` is derived from the region's page-granular decommit
+/// bitmap and is an **upper bound** on resident memory: a page that was
+/// never touched and never scrubbed still counts as committed.  The bound
+/// converges on the truth once the scrubber has passed over the idle span.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStatsSnapshot {
+    /// Total span the region manages, in bytes.
+    pub managed_bytes: u64,
+    /// Bytes currently committed (managed minus decommitted) — a gauge.
+    pub committed_bytes: u64,
+    /// Bytes currently decommitted (released to the kernel) — a gauge.
+    pub decommitted_bytes: u64,
+    /// Scrub passes completed (cumulative).
+    pub scrub_passes: u64,
+    /// Free blocks the scrubber claimed and decommitted (cumulative).
+    pub scrub_blocks: u64,
+    /// Bytes the scrubber decommitted (cumulative).
+    pub scrub_bytes: u64,
+    /// Bytes whose decommit mark was cleared by a grant — an upper bound on
+    /// memory the kernel lazily recommitted (cumulative).
+    pub recommitted_bytes: u64,
+    /// Empty slab pages trim passes returned to the buddy (cumulative).
+    pub trimmed_pages: u64,
+}
+
+impl MemoryStatsSnapshot {
+    /// Fraction of the managed span currently committed, in `0.0..=1.0`.
+    pub fn committed_ratio(&self) -> f64 {
+        if self.managed_bytes == 0 {
+            0.0
+        } else {
+            self.committed_bytes as f64 / self.managed_bytes as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (gauges and counters both add up:
+    /// merged regions manage disjoint spans).
+    pub fn merge(&mut self, other: &MemoryStatsSnapshot) {
+        self.managed_bytes += other.managed_bytes;
+        self.committed_bytes += other.committed_bytes;
+        self.decommitted_bytes += other.decommitted_bytes;
+        self.scrub_passes += other.scrub_passes;
+        self.scrub_blocks += other.scrub_blocks;
+        self.scrub_bytes += other.scrub_bytes;
+        self.recommitted_bytes += other.recommitted_bytes;
+        self.trimmed_pages += other.trimmed_pages;
+    }
+}
+
+impl fmt::Display for MemoryStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "committed={}/{} ({:.1}%) decommitted={} scrub: passes={} blocks={} bytes={} \
+             recommitted={} trimmed-pages={}",
+            self.committed_bytes,
+            self.managed_bytes,
+            self.committed_ratio() * 100.0,
+            self.decommitted_bytes,
+            self.scrub_passes,
+            self.scrub_blocks,
+            self.scrub_bytes,
+            self.recommitted_bytes,
+            self.trimmed_pages
+        )
+    }
+}
+
 /// Per-size-class fragmentation counters of a slab front-end layered over a
 /// buddy backend (the `nbbs-slab` crate).
 ///

@@ -205,6 +205,62 @@ pub trait BuddyBackend: Send + Sync {
     fn occupancy(&self) -> Option<OccupancySnapshot> {
         None
     }
+
+    /// Maximal free blocks of at least `min_size` bytes, ascending by
+    /// offset, or `None` for backends without a status tree to walk.
+    ///
+    /// This is the decommit scrubber's fast path: the tree backends answer
+    /// via [`crate::occupancy::free_chunks_of`], which prunes subtrees too
+    /// small to matter instead of descending to allocation units, so a
+    /// page-granular poll costs `O(total / page_size)` rather than a full
+    /// occupancy snapshot.  The default derives the answer from
+    /// [`BuddyBackend::occupancy`] by filtering; wrappers forward to their
+    /// inner backend so the pruned walk is reached through layers.
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        Some(
+            self.occupancy()?
+                .free_chunks
+                .into_iter()
+                .filter(|&(_, size)| size >= min_size)
+                .collect(),
+        )
+    }
+
+    /// Claims the *specific* free block `[offset, offset + size)` for
+    /// maintenance, bypassing any caching layers.  Returns `true` when the
+    /// claim succeeded — the caller now owns the block exactly as if
+    /// [`BuddyBackend::alloc`] had returned it and must release it with
+    /// [`BuddyBackend::scrub_dealloc`].
+    ///
+    /// The decommit scrubber drives this with the `free_chunks` of an
+    /// [`OccupancySnapshot`]: claim the quiescent block, release its
+    /// physical frames, free it back.  A targeted claim (rather than an
+    /// anonymous `alloc(size)`) is what gives the scrubber full coverage —
+    /// the scan cursors would keep handing it the block it just freed —
+    /// and a stale snapshot entry fails harmlessly: the claim is the same
+    /// CAS protocol as allocation, so it refuses any block that gained an
+    /// occupant since the walk.  Backends without a status tree keep the
+    /// default `false`, which makes scrubbing inert on them.
+    fn scrub_claim(&self, _offset: usize, _size: usize) -> bool {
+        false
+    }
+
+    /// Releases a block claimed by [`BuddyBackend::scrub_claim`], bypassing
+    /// any caching layers (a scrubbed block parked in a magazine could
+    /// never coalesce or be claimed again).  Defaults to
+    /// [`BuddyBackend::dealloc`]; cache front-ends forward past their
+    /// magazines.
+    fn scrub_dealloc(&self, offset: usize) {
+        self.dealloc(offset)
+    }
+
+    /// Asks slab-style layers to return empty pages they were keeping
+    /// warm to the backing buddy, so the scrubber can decommit them.
+    /// Returns how many pages were released; plain backends keep the
+    /// default `0`.
+    fn trim_empty_pages(&self) -> usize {
+        0
+    }
 }
 
 /// Read-only access to the logical status of every tree node.
@@ -278,6 +334,18 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for std::sync::Arc<T> {
     fn occupancy(&self) -> Option<OccupancySnapshot> {
         (**self).occupancy()
     }
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        (**self).free_chunks(min_size)
+    }
+    fn scrub_claim(&self, offset: usize, size: usize) -> bool {
+        (**self).scrub_claim(offset, size)
+    }
+    fn scrub_dealloc(&self, offset: usize) {
+        (**self).scrub_dealloc(offset)
+    }
+    fn trim_empty_pages(&self) -> usize {
+        (**self).trim_empty_pages()
+    }
 }
 
 impl<T: BuddyBackend + ?Sized> BuddyBackend for &T {
@@ -331,5 +399,17 @@ impl<T: BuddyBackend + ?Sized> BuddyBackend for &T {
     }
     fn occupancy(&self) -> Option<OccupancySnapshot> {
         (**self).occupancy()
+    }
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        (**self).free_chunks(min_size)
+    }
+    fn scrub_claim(&self, offset: usize, size: usize) -> bool {
+        (**self).scrub_claim(offset, size)
+    }
+    fn scrub_dealloc(&self, offset: usize) {
+        (**self).scrub_dealloc(offset)
+    }
+    fn trim_empty_pages(&self) -> usize {
+        (**self).trim_empty_pages()
     }
 }

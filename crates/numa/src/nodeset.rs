@@ -439,8 +439,12 @@ impl<A: BuddyBackend> BuddyBackend for NodeSet<A> {
 
     fn occupancy(&self) -> Option<nbbs::OccupancySnapshot> {
         let mut merged: Option<nbbs::OccupancySnapshot> = None;
-        for n in &self.nodes {
-            if let Some(s) = n.occupancy() {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(mut s) = n.occupancy() {
+                // Free chunks come back node-local; rebase them into the
+                // packed global offset space before merging so the decommit
+                // scrubber claims the right node's blocks.
+                s.shift_free_chunks(i << self.node_shift);
                 match &mut merged {
                     Some(acc) => acc.merge(&s),
                     None => merged = Some(s),
@@ -448,6 +452,38 @@ impl<A: BuddyBackend> BuddyBackend for NodeSet<A> {
             }
         }
         merged
+    }
+
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        let mut merged: Option<Vec<(usize, usize)>> = None;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let Some(chunks) = n.free_chunks(min_size) {
+                // Node-local offsets rebase into the packed global space,
+                // same as the occupancy merge above.
+                let base = i << self.node_shift;
+                merged
+                    .get_or_insert_with(Vec::new)
+                    .extend(chunks.into_iter().map(|(off, size)| (base | off, size)));
+            }
+        }
+        merged
+    }
+
+    fn scrub_claim(&self, offset: usize, size: usize) -> bool {
+        let (node, local) = self.split(offset);
+        match self.nodes.get(node) {
+            Some(n) => n.scrub_claim(local, size),
+            None => false,
+        }
+    }
+
+    fn scrub_dealloc(&self, offset: usize) {
+        let (node, local) = self.split(offset);
+        self.nodes[node].scrub_dealloc(local);
+    }
+
+    fn trim_empty_pages(&self) -> usize {
+        self.nodes.iter().map(|n| n.trim_empty_pages()).sum()
     }
 }
 

@@ -200,6 +200,24 @@ impl<A: BuddyBackend> BuddyBackend for Recorded<A> {
     fn occupancy(&self) -> Option<nbbs::OccupancySnapshot> {
         self.inner.occupancy()
     }
+
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        self.inner.free_chunks(min_size)
+    }
+
+    // Maintenance traffic (the decommit scrubber) is forwarded untimed:
+    // the latency recorders exist for the mutator paths.
+    fn scrub_claim(&self, offset: usize, size: usize) -> bool {
+        self.inner.scrub_claim(offset, size)
+    }
+
+    fn scrub_dealloc(&self, offset: usize) {
+        self.inner.scrub_dealloc(offset)
+    }
+
+    fn trim_empty_pages(&self) -> usize {
+        self.inner.trim_empty_pages()
+    }
 }
 
 #[cfg(test)]

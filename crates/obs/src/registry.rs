@@ -17,8 +17,8 @@
 use std::sync::Arc;
 
 use nbbs::{
-    BuddyBackend, CacheStatsSnapshot, FragStatsSnapshot, OccupancySnapshot, OpStatsSnapshot,
-    CAS_LEVELS,
+    BuddyBackend, CacheStatsSnapshot, FragStatsSnapshot, MemoryStatsSnapshot, OccupancySnapshot,
+    OpStatsSnapshot, CAS_LEVELS,
 };
 
 use crate::hist::LatencyPercentiles;
@@ -136,6 +136,9 @@ pub struct StackSnapshot {
     /// Tree occupancy (per-level fill, free-block runs, external
     /// fragmentation), if the backend exposes a status tree.
     pub occupancy: Option<OccupancySnapshot>,
+    /// Committed-versus-managed memory figures and decommit-scrubber
+    /// counters, if the stack owns a [`nbbs::BuddyRegion`].
+    pub memory: Option<MemoryStatsSnapshot>,
     /// Tail-latency summaries per recorded operation kind (only kinds with
     /// at least one sample appear; ordered by [`OpKind::ALL`]).
     pub latency: Vec<(OpKind, LatencyPercentiles)>,
@@ -285,6 +288,28 @@ impl StackSnapshot {
                 occ.largest_free_block,
                 occ.external_frag()
             );
+        }
+        if let Some(m) = &self.memory {
+            let _ = writeln!(
+                out,
+                "  memory   {} B committed of {} B managed ({:.1}%), {} B decommitted",
+                m.committed_bytes,
+                m.managed_bytes,
+                m.committed_ratio() * 100.0,
+                m.decommitted_bytes
+            );
+            if m.scrub_passes + m.trimmed_pages > 0 {
+                let _ = writeln!(
+                    out,
+                    "  scrub    {} passes: {} blocks / {} B decommitted, \
+                     {} B recommitted, {} pages trimmed",
+                    m.scrub_passes,
+                    m.scrub_blocks,
+                    m.scrub_bytes,
+                    m.recommitted_bytes,
+                    m.trimmed_pages
+                );
+            }
         }
         if !self.nodes.is_empty() {
             let total_served: u64 = self.nodes.iter().map(NodeShare::served).sum();
@@ -467,6 +492,24 @@ impl StackSnapshot {
                 levels.join(",")
             );
         }
+        if let Some(m) = &self.memory {
+            let _ = write!(
+                out,
+                ",\"memory\":{{\"managed_bytes\":{},\"committed_bytes\":{},\
+                 \"decommitted_bytes\":{},\"committed_ratio\":{},\"scrub_passes\":{},\
+                 \"scrub_blocks\":{},\"scrub_bytes\":{},\"recommitted_bytes\":{},\
+                 \"trimmed_pages\":{}}}",
+                m.managed_bytes,
+                m.committed_bytes,
+                m.decommitted_bytes,
+                crate::json::num(m.committed_ratio()),
+                m.scrub_passes,
+                m.scrub_blocks,
+                m.scrub_bytes,
+                m.recommitted_bytes,
+                m.trimmed_pages
+            );
+        }
         if !self.latency.is_empty() {
             let rendered: Vec<String> = self
                 .latency
@@ -531,6 +574,7 @@ pub struct MetricsRegistry {
     frag: Option<FragStatsSnapshot>,
     facade: Option<FacadeShare>,
     occupancy: Option<OccupancySnapshot>,
+    memory: Option<MemoryStatsSnapshot>,
     recorder: Option<Arc<Recorder>>,
 }
 
@@ -596,6 +640,13 @@ impl MetricsRegistry {
         self
     }
 
+    /// Sets the committed-memory and scrubber figures (from
+    /// `BuddyRegion::memory_stats`).
+    pub fn set_memory(&mut self, memory: Option<MemoryStatsSnapshot>) -> &mut Self {
+        self.memory = memory;
+        self
+    }
+
     /// Attaches the stack's latency recorder; its histograms are merged
     /// into every subsequent [`MetricsRegistry::snapshot`].
     pub fn set_recorder(&mut self, recorder: Arc<Recorder>) -> &mut Self {
@@ -623,6 +674,7 @@ impl MetricsRegistry {
             frag: self.frag.clone(),
             facade: self.facade,
             occupancy: self.occupancy.clone(),
+            memory: self.memory,
             latency,
         }
     }
@@ -792,6 +844,49 @@ mod tests {
         let bare = MetricsRegistry::new("bare").snapshot();
         assert!(bare.occupancy.is_none());
         assert!(!bare.to_json().contains("\"occupancy\""));
+    }
+
+    #[test]
+    fn memory_and_scrub_sections_render_when_present() {
+        let mut reg = MetricsRegistry::new("mem");
+        reg.set_memory(Some(MemoryStatsSnapshot {
+            managed_bytes: 1 << 20,
+            committed_bytes: 1 << 18,
+            decommitted_bytes: (1 << 20) - (1 << 18),
+            scrub_passes: 3,
+            scrub_blocks: 12,
+            scrub_bytes: 786_432,
+            recommitted_bytes: 4096,
+            trimmed_pages: 2,
+        }));
+        let snap = reg.snapshot();
+        let table = snap.text_table();
+        assert!(
+            table.contains("memory   262144 B committed of 1048576 B managed (25.0%)"),
+            "{table}"
+        );
+        assert!(table.contains("scrub    3 passes"), "{table}");
+        assert!(table.contains("2 pages trimmed"), "{table}");
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"memory\":{\"managed_bytes\":1048576,\"committed_bytes\":262144"),
+            "{json}"
+        );
+        assert!(json.contains("\"scrub_passes\":3"), "{json}");
+        // Regions that never scrubbed hide the scrub row but keep the gauge.
+        let mut quiet = MetricsRegistry::new("quiet");
+        quiet.set_memory(Some(MemoryStatsSnapshot {
+            managed_bytes: 4096,
+            committed_bytes: 4096,
+            ..Default::default()
+        }));
+        let table = quiet.snapshot().text_table();
+        assert!(table.contains("memory   4096 B committed"), "{table}");
+        assert!(!table.contains("scrub "), "{table}");
+        // Stacks without a region stay silent.
+        let bare = MetricsRegistry::new("bare").snapshot();
+        assert!(bare.memory.is_none());
+        assert!(!bare.to_json().contains("\"memory\""));
     }
 
     #[test]

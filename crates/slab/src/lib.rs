@@ -664,15 +664,22 @@ impl<A: BuddyBackend> SlabBackend<A> {
     }
 
     /// Retires every fully-free page regardless of the hysteresis — the
-    /// slab half of [`BuddyBackend::drain_cache`].
-    fn reclaim_empty_pages(&self) {
+    /// slab half of [`BuddyBackend::drain_cache`] and the
+    /// [`BuddyBackend::trim_empty_pages`] payload.  Without this, a class
+    /// that goes idle would keep its `keep_empty_pages` warm pages bound
+    /// forever, hiding them from the decommit scrubber.  Returns how many
+    /// pages went back to the buddy.
+    fn reclaim_empty_pages(&self) -> usize {
+        let mut reclaimed = 0;
         for idx in 0..self.pages.len() {
             let s = self.pages[idx].load(Ordering::Acquire);
             let cp1 = class_plus1_of(s);
             if cp1 != 0 && used_of(s) == 0 && self.try_retire(idx, cp1 - 1) {
                 saturating_dec(&self.class_ctl[cp1 - 1].counters.empty_pages);
+                reclaimed += 1;
             }
         }
+        reclaimed
     }
 
     /// Point-in-time fragmentation counters (the
@@ -866,6 +873,28 @@ impl<A: BuddyBackend> BuddyBackend for SlabBackend<A> {
 
     fn occupancy(&self) -> Option<nbbs::OccupancySnapshot> {
         self.inner.occupancy()
+    }
+
+    fn free_chunks(&self, min_size: usize) -> Option<Vec<(usize, usize)>> {
+        self.inner.free_chunks(min_size)
+    }
+
+    fn scrub_claim(&self, offset: usize, size: usize) -> bool {
+        // Straight to the buddy: a page bound to a slab class is allocated
+        // there, so the claim CAS refuses it — only whole free buddy blocks
+        // are claimable.
+        self.inner.scrub_claim(offset, size)
+    }
+
+    fn scrub_dealloc(&self, offset: usize) {
+        self.inner.scrub_dealloc(offset)
+    }
+
+    /// Returns idle classes' warm empty pages to the buddy (bypassing the
+    /// `keep_empty_pages` hysteresis) so the scrubber can decommit them.
+    fn trim_empty_pages(&self) -> usize {
+        self.rescue_orphaned_pages();
+        self.reclaim_empty_pages() + self.inner.trim_empty_pages()
     }
 }
 

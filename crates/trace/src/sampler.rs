@@ -51,6 +51,12 @@ pub struct Sample {
     pub d_requested_bytes: u64,
     /// Facade-granted bytes since the previous sample.
     pub d_granted_bytes: u64,
+    /// Committed bytes of the backing region (gauge; 0 without a region).
+    pub committed_bytes: u64,
+    /// Managed span of the backing region (gauge; 0 without a region).
+    pub managed_bytes: u64,
+    /// Bytes the decommit scrubber released since the previous sample.
+    pub d_scrub_bytes: u64,
 }
 
 impl Sample {
@@ -60,7 +66,8 @@ impl Sample {
             "{{\"seq\":{},\"at_ms\":{},\"free_bytes\":{},\"largest_free_block\":{},\
              \"external_frag\":{},\"d_allocs\":{},\"d_frees\":{},\"d_failed_allocs\":{},\
              \"d_cache_hits\":{},\"d_cache_misses\":{},\"d_requested_bytes\":{},\
-             \"d_granted_bytes\":{}}}",
+             \"d_granted_bytes\":{},\"committed_bytes\":{},\"managed_bytes\":{},\
+             \"d_scrub_bytes\":{}}}",
             self.seq,
             self.at_ms,
             self.free_bytes,
@@ -72,7 +79,10 @@ impl Sample {
             self.d_cache_hits,
             self.d_cache_misses,
             self.d_requested_bytes,
-            self.d_granted_bytes
+            self.d_granted_bytes,
+            self.committed_bytes,
+            self.managed_bytes,
+            self.d_scrub_bytes
         )
     }
 }
@@ -87,6 +97,8 @@ struct Counters {
     cache_misses: u64,
     requested_bytes: u64,
     granted_bytes: u64,
+    scrub_passes: u64,
+    scrub_bytes: u64,
 }
 
 impl Counters {
@@ -99,6 +111,8 @@ impl Counters {
             cache_misses: snap.cache.as_ref().map_or(0, |c| c.misses),
             requested_bytes: snap.facade.as_ref().map_or(0, |f| f.requested_bytes),
             granted_bytes: snap.facade.as_ref().map_or(0, |f| f.granted_bytes),
+            scrub_passes: snap.memory.as_ref().map_or(0, |m| m.scrub_passes),
+            scrub_bytes: snap.memory.as_ref().map_or(0, |m| m.scrub_bytes),
         }
     }
 }
@@ -154,6 +168,9 @@ impl SeriesRecorder {
             d_cache_misses: now.cache_misses.saturating_sub(prev.cache_misses),
             d_requested_bytes: now.requested_bytes.saturating_sub(prev.requested_bytes),
             d_granted_bytes: now.granted_bytes.saturating_sub(prev.granted_bytes),
+            committed_bytes: snap.memory.as_ref().map_or(0, |m| m.committed_bytes),
+            managed_bytes: snap.memory.as_ref().map_or(0, |m| m.managed_bytes),
+            d_scrub_bytes: now.scrub_bytes.saturating_sub(prev.scrub_bytes),
         };
         self.prev = Some(now);
         self.latest_counters = now;
@@ -242,6 +259,18 @@ impl SeriesRecorder {
             "Bytes granted by the backend for facade requests.",
             c.granted_bytes,
         );
+        counter(
+            &mut out,
+            "nbbs_scrub_passes_total",
+            "Decommit scrubber passes completed.",
+            c.scrub_passes,
+        );
+        counter(
+            &mut out,
+            "nbbs_scrub_bytes_total",
+            "Bytes the decommit scrubber released to the kernel.",
+            c.scrub_bytes,
+        );
         let gauge = |out: &mut String, name: &str, help: &str, v: String| {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
@@ -265,6 +294,18 @@ impl SeriesRecorder {
                 "nbbs_external_frag_ratio",
                 "Largest free block over total free bytes.",
                 prom_num(s.external_frag),
+            );
+            gauge(
+                &mut out,
+                "nbbs_committed_bytes",
+                "Bytes of the backing region currently committed.",
+                s.committed_bytes.to_string(),
+            );
+            gauge(
+                &mut out,
+                "nbbs_managed_bytes",
+                "Total span the backing region manages.",
+                s.managed_bytes.to_string(),
             );
         }
         gauge(
@@ -511,12 +552,50 @@ mod tests {
             free_blocks: 2,
             merged_trees: 1,
             levels: Vec::new(),
+            free_chunks: Vec::new(),
         });
         let mut series = SeriesRecorder::new("occ", 4);
         let s = series.observe(&snap, 5);
         assert_eq!(s.free_bytes, 8192);
         assert_eq!(s.largest_free_block, 4096);
         assert!((s.external_frag - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_gauges_and_scrub_deltas_flow_through() {
+        let mut snap = snap_with(1, 0, 0, 0);
+        snap.memory = Some(nbbs::MemoryStatsSnapshot {
+            managed_bytes: 1 << 20,
+            committed_bytes: 1 << 19,
+            scrub_passes: 2,
+            scrub_bytes: 8192,
+            ..Default::default()
+        });
+        let mut series = SeriesRecorder::new("mem", 4);
+        let s = series.observe(&snap, 0);
+        assert_eq!(s.committed_bytes, 1 << 19);
+        assert_eq!(s.managed_bytes, 1 << 20);
+        assert_eq!(s.d_scrub_bytes, 8192, "first sample baselines at zero");
+        snap.memory.as_mut().unwrap().scrub_bytes = 12_288;
+        snap.memory.as_mut().unwrap().committed_bytes = 1 << 18;
+        let s = series.observe(&snap, 10);
+        assert_eq!(s.d_scrub_bytes, 4096);
+        assert_eq!(s.committed_bytes, 1 << 18);
+        let text = series.to_prometheus();
+        assert!(
+            text.contains("nbbs_committed_bytes{stack=\"mem\"} 262144"),
+            "{text}"
+        );
+        assert!(
+            text.contains("nbbs_scrub_bytes_total{stack=\"mem\"} 12288"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE nbbs_managed_bytes gauge"), "{text}");
+        let parsed = crate::jsoncheck::parse_lines(&series.to_json_lines()).expect("valid");
+        assert_eq!(
+            parsed[1].get("d_scrub_bytes").unwrap().as_f64(),
+            Some(4096.0)
+        );
     }
 
     #[test]

@@ -38,6 +38,10 @@
 //!   trace-overhead  Tracing-compiled-in-but-disabled A/B (Larson, event
 //!                   sink installed with the ring stopped vs recording
 //!                   only) — min-gap `overhead_pct=` line for the CI gate
+//!   scrub-overhead  Background decommit-scrubber A/B (Larson over a
+//!                   demand-zero BuddyRegion, scrubber armed at the
+//!                   production 100 ms cadence vs off) — min-gap
+//!                   `overhead_pct=` line for the CI gate
 //!   ablation-scan   Scan-start policy ablation (first-fit vs scattered)
 //!   ablation-rmw    RMW-per-operation ablation (1lvl vs 4lvl)
 //!   ablation-frag   Fragmentation-resilience ablation
@@ -1119,6 +1123,101 @@ fn trace_overhead(opts: &Options) -> Vec<Measurement> {
     measurements
 }
 
+/// Decommit-scrubber A/B: Larson over the cached 4-level tree whose
+/// backend also sits behind a demand-zero [`nbbs::BuddyRegion`]; the
+/// on-side arms the background scrubber at the production cadence (the
+/// `NBBS_SCRUB` default, 100 ms), so its passes race the workload's
+/// allocation CAS traffic for the free blocks and charge the workload the
+/// demand-zero refaults for whatever they win.  The measured gap is the
+/// cost of leaving the scrubber always on under a hot allocator.  Same seven alternating rounds / min-gap
+/// estimator as the other overhead modes; CI gates the printed
+/// `overhead_pct=` at 5%.
+fn scrub_overhead(opts: &Options) -> Vec<Measurement> {
+    println!("\n=== Scrub overhead: Larson, background scrubber armed (100 ms) vs off ===");
+    let threads = opts.threads.clone().unwrap_or_else(|| vec![4]);
+    let sizes = opts.sizes.clone().unwrap_or_else(|| vec![128]);
+    let mut measurements = Vec::new();
+    for &size in &sizes {
+        for &t in &threads {
+            let sweep = SweepConfig::user_space(Workload::Larson, opts.scale);
+            let run_side = |armed: bool| {
+                let cache = Arc::new(MagazineCache::with_config_and_name(
+                    NbbsFourLevel::new(sweep.memory),
+                    CacheConfig::default(),
+                    "cached-4lvl",
+                ));
+                let region = nbbs::BuddyRegion::new(Arc::clone(&cache));
+                if armed {
+                    // Take the one-time whole-arena decommit burst before
+                    // the timed window: a deployed scrubber runs for the
+                    // process lifetime, so the A/B measures steady-state
+                    // passes racing the workload, not first-pass setup.
+                    region.scrub_pass();
+                    region.start_scrubber(std::time::Duration::from_millis(100));
+                }
+                let alloc: SharedBackend = cache;
+                let result = Workload::Larson.run(&alloc, t, size, opts.scale);
+                // Dropping the region stops and joins the scrubber.
+                drop(region);
+                result
+            };
+            let mut rounds = Vec::new();
+            let (mut best_off, mut best_on): (Option<WorkloadResult>, Option<WorkloadResult>) =
+                (None, None);
+            for round in 0..7 {
+                let (off, on) = if round % 2 == 0 {
+                    let off = run_side(false);
+                    (off, run_side(true))
+                } else {
+                    let on = run_side(true);
+                    (run_side(false), on)
+                };
+                let off_kops = off.kops_per_sec();
+                let on_kops = on.kops_per_sec();
+                if off_kops > 0.0 {
+                    rounds.push((off_kops - on_kops) / off_kops * 100.0);
+                }
+                for (slot, r) in [(&mut best_off, off), (&mut best_on, on)] {
+                    if slot
+                        .as_ref()
+                        .is_none_or(|b| r.kops_per_sec() > b.kops_per_sec())
+                    {
+                        *slot = Some(r);
+                    }
+                }
+            }
+            let off = best_off.expect("seven rounds ran");
+            let on = best_on.expect("seven rounds ran");
+            let floor = rounds.iter().copied().fold(f64::INFINITY, f64::min);
+            let overhead = if floor.is_finite() { floor } else { 0.0 };
+            println!(
+                "[scrub-overhead] larson size={size} threads={t} \
+                 off_kops={:.1} on_kops={:.1} rounds={} overhead_pct={overhead:.2}",
+                off.kops_per_sec(),
+                on.kops_per_sec(),
+                rounds
+                    .iter()
+                    .map(|r| format!("{r:.1}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            measurements.push(Measurement::new(
+                "scrub-overhead/off",
+                "cached-4lvl+region",
+                size,
+                off,
+            ));
+            measurements.push(Measurement::new(
+                "scrub-overhead/on",
+                "cached-4lvl+region+scrub",
+                size,
+                on,
+            ));
+        }
+    }
+    measurements
+}
+
 /// Chaos rounds: the paper-evaluation workloads (Larson and the
 /// facade-level Mixed Layout churn) run over the cached 4-level tree with
 /// an armed `nbbs-chaos` storm at the backend boundary — transient
@@ -1486,7 +1585,7 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|fig13|all|frag|profile|trace|trace-overhead|obs-overhead|chaos|chaos-overhead|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
+            eprintln!("usage: nbbs-bench <fig8|fig9|fig10|fig11|fig12|fig13|all|frag|profile|trace|trace-overhead|scrub-overhead|obs-overhead|chaos|chaos-overhead|ablation-scan|ablation-rmw|ablation-frag|list> [options]");
             return ExitCode::FAILURE;
         }
     };
@@ -1546,6 +1645,7 @@ fn main() -> ExitCode {
             }
         },
         "trace-overhead" => (trace_overhead(&opts), Metric::KopsPerSec),
+        "scrub-overhead" => (scrub_overhead(&opts), Metric::KopsPerSec),
         "obs-overhead" => (obs_overhead(&opts), Metric::KopsPerSec),
         "chaos" => (chaos(&opts), Metric::Seconds),
         "chaos-overhead" => (chaos_overhead(&opts), Metric::KopsPerSec),

@@ -14,9 +14,11 @@
 //! run with the observability layer (`nbbs-obs`), storm-testing it
 //! with deterministic fault injection (`nbbs-chaos`), killing
 //! power-of-two internal fragmentation on the small-object path with the
-//! size-class slab layer (`nbbs-slab`), and tracing/profiling the whole
+//! size-class slab layer (`nbbs-slab`), tracing/profiling the whole
 //! stack with the event-trace, heap-profile, and metrics-exposition layer
-//! (`nbbs-trace`).
+//! (`nbbs-trace`), and riding the elastic region chain — demand-zero
+//! backing, the background decommit scrubber, and growth/retirement under
+//! a diurnal load shape.
 
 use std::sync::Arc;
 
@@ -654,4 +656,85 @@ fn main() {
     );
     sampled.drain_all();
     assert_eq!(sampled.backend().allocated_bytes(), 0);
+
+    // ------------------------------------------------------------------
+    // 14. Elastic regions: a BuddyRegion's mapping is demand-zero, so the
+    //     virtual span is reserved up front but physical frames commit
+    //     only as allocations are granted — and `scrub_pass()` (or the
+    //     background `start_scrubber`, which `NBBS_SCRUB=<ms>` arms on
+    //     NbbsGlobalAlloc) claims idle blocks through the ordinary
+    //     allocation CAS and hands their pages back to the kernel.
+    //
+    //     ElasticSet stretches that into a *chain* of buddy instances
+    //     behind one widened backend: slot 0 exists from the start, extra
+    //     regions are built under sustained OOM pressure, and drained
+    //     regions retire to dormant at trough so the scrubber can release
+    //     their whole span.  Pressure later *reactivates* dormant regions
+    //     instead of building new ones.
+    // ------------------------------------------------------------------
+    use nbbs::ElasticSet;
+
+    let elastic = BuddyRegion::new(
+        ElasticSet::new(4, move |_slot| NbbsFourLevel::new(config)).with_grow_threshold(1),
+    );
+    // `committed_bytes` is an upper bound on residency: a fresh demand-zero
+    // mapping reads fully committed, but pages become resident only when
+    // touched and leave the count when the scrubber decommits them.
+    println!(
+        "\nelastic region: {} B reserved across up to {} regions, {} B committed (upper bound)",
+        elastic.managed_bytes(),
+        elastic.backend().max_regions(),
+        elastic.committed_bytes()
+    );
+
+    // Day: demand beyond one region's 1 MiB makes the chain grow.
+    let mut day = Vec::new();
+    while let Some(ptr) = elastic.alloc_bytes(64 << 10) {
+        unsafe { ptr.as_ptr().write_bytes(0xEE, 64 << 10) };
+        day.push(ptr);
+    }
+    let stats = elastic.backend().elastic_stats();
+    println!(
+        "peak: {} chunks live, {} of {} regions active ({} grown under pressure), {} B committed",
+        day.len(),
+        stats.active_regions,
+        stats.max_regions,
+        stats.grows,
+        elastic.committed_bytes()
+    );
+    assert_eq!(stats.active_regions, 4);
+
+    // Night: traffic stops; one scrub pass retires the drained regions and
+    // decommits every idle span.
+    for ptr in day.drain(..) {
+        elastic.dealloc_bytes(ptr);
+    }
+    let released = elastic.scrub_pass();
+    let mem = elastic.memory_stats();
+    println!(
+        "trough: scrub released {released} B -> {} B committed ({:.1}%), \
+         {} regions retired, {} active",
+        mem.committed_bytes,
+        mem.committed_ratio() * 100.0,
+        elastic.backend().elastic_stats().retires,
+        elastic.backend().elastic_stats().active_regions
+    );
+    assert_eq!(elastic.backend().elastic_stats().active_regions, 1);
+
+    // Dawn: renewed pressure reactivates the dormant regions — demand-zero
+    // pages fault back in lazily, no rebuild.
+    let again = elastic.alloc_bytes(64 << 10).expect("slot 0 serves");
+    let mut dawn = vec![again];
+    while let Some(ptr) = elastic.alloc_bytes(64 << 10) {
+        dawn.push(ptr);
+    }
+    println!(
+        "dawn: {} chunks live again, {} reactivation(s), 0 rebuilds",
+        dawn.len(),
+        elastic.backend().elastic_stats().reactivations
+    );
+    for ptr in dawn {
+        elastic.dealloc_bytes(ptr);
+    }
+    assert_eq!(elastic.backend().allocated_bytes(), 0);
 }

@@ -5,7 +5,16 @@
 //! Run with:
 //! ```text
 //! cargo run --release --example web_server_sim [threads] [seconds]
+//! cargo run --release --example web_server_sim diurnal [threads] [seconds]
 //! ```
+//!
+//! The `diurnal` mode plays a day/night traffic cycle against one cached
+//! stack with the background decommit scrubber armed: worker threads ramp
+//! a ~48 MiB working set up and churn it (peak), then the traffic drops to
+//! zero (trough) and the scrubber hands the idle pages back to the kernel.
+//! The mode asserts the committed-bytes counter falls to ≤ 35% of its peak
+//! — and, on Linux, that the process's *resident set* (`/proc/self/statm`)
+//! actually shrank with it, proving the `madvise` calls reach the kernel.
 //!
 //! Worker threads play request handlers driving the *layout-aware* facade —
 //! the API a real server's buffers actually need: each incoming "request"
@@ -195,8 +204,143 @@ fn simulate(label: &str, alloc: Arc<dyn BuddyBackend>, threads: usize, seconds: 
     completed.load(Ordering::Relaxed)
 }
 
+/// Resident-set bytes from `/proc/self/statm` (field 2 is resident pages).
+#[cfg(target_os = "linux")]
+fn resident_bytes() -> Option<usize> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: usize = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096)
+}
+
+/// The day/night cycle: ramp a working set up under churn, drop to idle,
+/// and watch the background scrubber walk committed bytes (and, on Linux,
+/// the resident set) back down.
+fn diurnal(threads: usize, seconds: f64) {
+    // 64 MiB arena, 8-byte units, 16 KiB max request — same geometry as
+    // the comparison mode, one cached non-blocking stack.
+    let config = BuddyConfig::new(64 << 20, 8, 16 << 10).unwrap();
+    let alloc = Arc::new(NbbsAllocator::new(MagazineCache::new(NbbsFourLevel::new(
+        config,
+    ))));
+    alloc
+        .region()
+        .start_scrubber(std::time::Duration::from_millis(25));
+
+    // Peak: each handler holds a slice of a ~48 MiB working set and churns
+    // it — every buffer is written, so the pages are genuinely resident.
+    const WORKING_SET: usize = 48 << 20;
+    let per_thread = WORKING_SET / threads;
+    println!(
+        "diurnal cycle: {threads} handlers, {:.1}s peak, ~{} MiB working set",
+        seconds,
+        WORKING_SET >> 20
+    );
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let alloc = Arc::clone(&alloc);
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0xD1A7 ^ t as u64);
+                let mut held: Vec<(NonNull<u8>, Layout)> = Vec::new();
+                let mut held_bytes = 0usize;
+                let deadline =
+                    std::time::Instant::now() + std::time::Duration::from_secs_f64(seconds);
+                while std::time::Instant::now() < deadline {
+                    if held_bytes < per_thread {
+                        let size = 4096 + rng.next_below(12 << 10);
+                        let layout = Layout::from_size_align(size, CONN_ALIGN)
+                            .expect("sizes stay well-formed");
+                        if let Ok(block) = alloc.allocate(layout) {
+                            unsafe { block.cast::<u8>().as_ptr().write_bytes(0x5A, size) };
+                            held_bytes += size;
+                            held.push((block.cast(), layout));
+                        }
+                    } else {
+                        // At capacity: churn — retire a random buffer and
+                        // replace it next iteration.
+                        let (ptr, layout) = held.swap_remove(rng.next_below(held.len()));
+                        held_bytes -= layout.size();
+                        unsafe { alloc.deallocate(ptr, layout) };
+                    }
+                }
+                // Night falls: this handler's traffic goes to zero.
+                for (ptr, layout) in held {
+                    unsafe { alloc.deallocate(ptr, layout) };
+                }
+            })
+        })
+        .collect();
+
+    // Sample the peak while the handlers are hot.
+    std::thread::sleep(std::time::Duration::from_secs_f64(seconds * 0.8));
+    let peak = alloc.memory_stats();
+    #[cfg(target_os = "linux")]
+    let peak_rss = resident_bytes();
+    println!(
+        "peak:   {} B committed of {} B managed ({:.1}%)",
+        peak.committed_bytes,
+        peak.managed_bytes,
+        peak.committed_ratio() * 100.0
+    );
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Push magazine-parked chunks back to the tree so the scrubber can
+    // claim them (parked chunks are backend-live and refuse claims).
+    alloc.backend().drain_cache();
+
+    // Trough: the background scrubber does the rest on its own timer.
+    let budget = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let trough = loop {
+        let mem = alloc.memory_stats();
+        if mem.committed_bytes * 100 <= peak.committed_bytes * 35 {
+            break mem;
+        }
+        assert!(
+            std::time::Instant::now() < budget,
+            "scrubber never reached the trough target: {mem}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    println!(
+        "trough: {} B committed ({:.1}% of peak) after {} scrub passes",
+        trough.committed_bytes,
+        trough.committed_bytes as f64 / peak.committed_bytes.max(1) as f64 * 100.0,
+        trough.scrub_passes
+    );
+    assert!(
+        trough.committed_bytes * 100 <= peak.committed_bytes * 35,
+        "trough committed must be <= 35% of peak"
+    );
+
+    // On Linux, the counter must be backed by reality: the resident set
+    // shrinks by at least half of what the scrubber says it released.
+    #[cfg(target_os = "linux")]
+    if let (Some(before), Some(after)) = (peak_rss, resident_bytes()) {
+        let released = (peak.committed_bytes - trough.committed_bytes) as usize;
+        println!(
+            "rss:    {} MiB at peak -> {} MiB at trough ({} MiB released by the scrubber)",
+            before >> 20,
+            after >> 20,
+            released >> 20
+        );
+        assert!(
+            after + released / 2 <= before,
+            "resident set must track the decommit: {before} B -> {after} B, released {released} B"
+        );
+    }
+    alloc.region().stop_scrubber();
+    println!("diurnal cycle OK");
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("diurnal") {
+        args.next();
+        let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+        let seconds: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.0);
+        diurnal(threads.max(1), seconds);
+        return;
+    }
     let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
     let seconds: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(1.0);
 

@@ -41,6 +41,11 @@ enum Op {
     Free(usize),
     /// Grow or shrink the k-th live block to `size` bytes (same alignment).
     Realloc { idx: usize, size: usize },
+    /// One synchronous decommit-scrubber pass over the backing region: free
+    /// pages are claimed and released to the kernel mid-workload, so every
+    /// later step runs against memory that may have crossed the decommit
+    /// boundary.
+    Scrub,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -55,6 +60,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             idx: (bits % 64) as usize,
             size: 1 + ((bits >> 16) % 5000) as usize,
         }),
+        1 => Just(Op::Scrub),
     ]
 }
 
@@ -164,6 +170,13 @@ proptest! {
                     block.mirror.resize(size, 0);
                     fill(block, event);
                 }
+                Op::Scrub => {
+                    // The scrubber claims free blocks through the ordinary
+                    // allocation protocol, so a pulse in the middle of the
+                    // workload must never touch a live block's contents —
+                    // the cross-check below proves it didn't.
+                    alloc.region().scrub_pass();
+                }
             }
             // Full cross-check: any overlap between live blocks (or a stray
             // write by the facade) corrupts somebody's pattern.
@@ -177,6 +190,44 @@ proptest! {
         }
         prop_assert_eq!(alloc.allocated_bytes(), 0, "everything returned");
     }
+}
+
+/// Deterministic zero-on-reuse check across the decommit boundary: a dirty
+/// block whose pages went through `scrub_pass` (claim → `madvise` →
+/// release) must come back zeroed from `allocate_zeroed` and writable from
+/// plain `allocate`.
+#[test]
+fn zero_on_reuse_across_the_decommit_boundary() {
+    let alloc = facade();
+    let layout = Layout::from_size_align(1 << 13, 64).unwrap();
+    let dirty = alloc.allocate(layout).unwrap();
+    unsafe {
+        dirty.cast::<u8>().as_ptr().write_bytes(0xFF, dirty.len());
+        alloc.deallocate(dirty.cast(), layout);
+    }
+    // Push the parked chunk back to the tree so the scrubber can claim it,
+    // then decommit the idle span.
+    alloc.backend().drain_cache();
+    let freed = alloc.region().scrub_pass();
+    assert!(freed > 0, "the dirty block's pages were decommitted");
+    let mem = alloc.memory_stats();
+    assert!(mem.committed_bytes < mem.managed_bytes, "{mem}");
+
+    let clean = alloc.allocate_zeroed(layout).unwrap();
+    let bytes = unsafe { std::slice::from_raw_parts(clean.cast::<u8>().as_ptr(), clean.len()) };
+    assert!(
+        bytes.iter().all(|&b| b == 0),
+        "recycled block reads zero after the decommit boundary"
+    );
+    unsafe { alloc.deallocate(clean.cast(), layout) };
+
+    let plain = alloc.allocate(layout).unwrap();
+    unsafe {
+        plain.cast::<u8>().as_ptr().write_bytes(0x5A, plain.len());
+        assert_eq!(*plain.cast::<u8>().as_ptr().add(plain.len() - 1), 0x5A);
+        alloc.deallocate(plain.cast(), layout);
+    }
+    assert_eq!(alloc.allocated_bytes(), 0);
 }
 
 /// Foreign threads — threads that never heard of the cache, as under a
